@@ -1,0 +1,85 @@
+// Figures 8b/8f and 9b/9f: the Hist workload (I_k) under G¹_k on
+// datasets A-G, ε in {0.001, 0.01, 0.1, 1}.
+//
+//   DP baselines (at ε/2): Laplace, Dawa
+//   Blowfish (at ε):       Transformed + Laplace,
+//                          Transformed + ConsistentEst,
+//                          Trans + Dawa + Cons
+//
+// Prints average squared error per query (5 trials), one table per ε.
+
+#include <functional>
+
+#include "bench_util.h"
+#include "core/data_dependent.h"
+#include "data/generators.h"
+#include "mech/dawa.h"
+#include "mech/laplace.h"
+#include "workload/builders.h"
+
+int main() {
+  using namespace blowfish;
+  using namespace blowfish::bench;
+
+  const std::vector<Dataset> datasets = MakeAllDatasets1D(kSeed);
+  const size_t k = datasets[0].domain.size();
+
+  const LaplaceMechanism laplace;
+  const DawaMechanism dawa;
+  const BlowfishMechanismPtr trans_laplace =
+      MakeTransformedLaplace(k).ValueOrDie();
+  const BlowfishMechanismPtr trans_consistent =
+      MakeTransformedConsistent(k).ValueOrDie();
+  const BlowfishMechanismPtr trans_dawa_cons =
+      MakeTransformedDawa(k, /*with_consistency=*/true).ValueOrDie();
+
+  struct Algo {
+    std::string name;
+    bool dp_baseline;  // run at ε/2
+    EstimatorFn run;
+  };
+  const std::vector<Algo> algos = {
+      {"Laplace (DP, eps/2)", true,
+       [&](const Vector& x, double e, Rng* r) { return laplace.Run(x, e, r); }},
+      {"Dawa (DP, eps/2)", true,
+       [&](const Vector& x, double e, Rng* r) { return dawa.Run(x, e, r); }},
+      {"Transformed + Laplace", false,
+       [&](const Vector& x, double e, Rng* r) {
+         return trans_laplace->Run(x, e, r);
+       }},
+      {"Transformed + ConsistentEst", false,
+       [&](const Vector& x, double e, Rng* r) {
+         return trans_consistent->Run(x, e, r);
+       }},
+      {"Trans + Dawa + Cons", false,
+       [&](const Vector& x, double e, Rng* r) {
+         return trans_dawa_cons->Run(x, e, r);
+       }},
+  };
+
+  std::printf("Figures 8b/8f, 9b/9f: Hist under G^1_%zu\n", k);
+  for (double eps : EpsilonGrid()) {
+    std::vector<std::string> cols;
+    for (const Dataset& ds : datasets) cols.push_back(ds.name);
+    PrintHeader("epsilon = " + Fmt(eps) +
+                    "  (avg squared error per query, 5 trials)",
+                cols);
+    for (const Algo& algo : algos) {
+      std::vector<std::string> cells;
+      for (const Dataset& ds : datasets) {
+        const RangeWorkload w = HistogramRanges(ds.domain);
+        const double run_eps = algo.dp_baseline ? eps / 2.0 : eps;
+        const ErrorStats stats =
+            MeasureError(algo.run, w, ds.counts, run_eps, kTrials, kSeed);
+        cells.push_back(Fmt(stats.mean));
+      }
+      PrintRow(algo.name, cells);
+    }
+  }
+  std::printf(
+      "\nPaper shape: Transformed+Laplace ~2x below Laplace everywhere; "
+      "data-dependent variants win on sparse datasets (E, F, G) and at\n"
+      "eps >= 0.1 a Blowfish variant wins on all but the sparsest "
+      "datasets, where DAWA's clustering is stronger (Section 6.1).\n");
+  return 0;
+}

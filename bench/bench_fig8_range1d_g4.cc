@@ -1,0 +1,87 @@
+// Figures 8d/8h and 9d/9h: 1D-Range under G⁴_k across domain sizes
+// k in {512, 1024, 2048, 4096} (dataset D aggregated), via the H⁴_k
+// spanner with certified stretch 3 and budget ε/3 (Corollary 4.6).
+//
+//   DP baselines (at ε/2): Privelet, Dawa
+//   Blowfish (at ε):       Transformed + Laplace, Trans + Dawa
+
+#include "bench_util.h"
+#include "core/data_dependent.h"
+#include "data/generators.h"
+#include "mech/dawa.h"
+#include "mech/privelet.h"
+#include "workload/builders.h"
+
+int main() {
+  using namespace blowfish;
+  using namespace blowfish::bench;
+
+  const Dataset base = MakeDataset1D(Dataset1D::kD, kSeed);
+  const std::vector<size_t> domain_sizes = {512, 1024, 2048, 4096};
+  const size_t num_queries = FullMode() ? 10000 : 2000;
+  const size_t theta = 4;
+
+  std::printf(
+      "Figures 8d/8h, 9d/9h: 1D-Range under G^4_k, dataset D aggregated\n");
+  for (double eps : EpsilonGrid()) {
+    std::vector<std::string> cols;
+    for (size_t k : domain_sizes) cols.push_back(std::to_string(k));
+    PrintHeader("epsilon = " + Fmt(eps) +
+                    "  (avg squared error per query, 5 trials)",
+                cols);
+
+    std::vector<std::string> privelet_row, dawa_row, tl_row, td_row;
+    for (size_t k : domain_sizes) {
+      const Dataset ds = base.Aggregate1D(k);
+      Rng query_rng(kSeed + k);
+      const RangeWorkload workload =
+          RandomRanges(ds.domain, num_queries, &query_rng);
+
+      const PriveletMechanism privelet{ds.domain};
+      const DawaMechanism dawa;
+      const BlowfishMechanismPtr trans_laplace =
+          MakeThetaTransformedLaplace(k, theta).ValueOrDie();
+      const BlowfishMechanismPtr trans_dawa =
+          MakeThetaTransformedDawa(k, theta).ValueOrDie();
+
+      privelet_row.push_back(
+          Fmt(MeasureError(
+                  [&](const Vector& x, double e, Rng* r) {
+                    return privelet.Run(x, e, r);
+                  },
+                  workload, ds.counts, eps / 2.0, kTrials, kSeed)
+                  .mean));
+      dawa_row.push_back(
+          Fmt(MeasureError(
+                  [&](const Vector& x, double e, Rng* r) {
+                    return dawa.Run(x, e, r);
+                  },
+                  workload, ds.counts, eps / 2.0, kTrials, kSeed)
+                  .mean));
+      tl_row.push_back(
+          Fmt(MeasureError(
+                  [&](const Vector& x, double e, Rng* r) {
+                    return trans_laplace->Run(x, e, r);
+                  },
+                  workload, ds.counts, eps, kTrials, kSeed)
+                  .mean));
+      td_row.push_back(
+          Fmt(MeasureError(
+                  [&](const Vector& x, double e, Rng* r) {
+                    return trans_dawa->Run(x, e, r);
+                  },
+                  workload, ds.counts, eps, kTrials, kSeed)
+                  .mean));
+    }
+    PrintRow("Privelet (DP, eps/2)", privelet_row);
+    PrintRow("Dawa (DP, eps/2)", dawa_row);
+    PrintRow("Transformed + Laplace", tl_row);
+    PrintRow("Trans + Dawa", td_row);
+  }
+  std::printf(
+      "\nPaper shape: Blowfish rows are at least an order of magnitude "
+      "below the DP rows and FLAT in k (the transformed workload is\n"
+      "identity-like), while DP error grows with domain size "
+      "(Section 6.1, G^4_k discussion).\n");
+  return 0;
+}

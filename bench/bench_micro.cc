@@ -1,0 +1,118 @@
+// Microbenchmarks (google-benchmark): throughput of the computational
+// kernels underlying the mechanisms — wavelet transforms, isotonic
+// regression, the DAWA partition DP, the policy transform, and the
+// sparse workload transform.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pg_matrix.h"
+#include "core/transform.h"
+#include "mech/consistency.h"
+#include "mech/dawa.h"
+#include "mech/privelet.h"
+#include "rng/rng.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+Vector RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (double& x : v) x = rng.Uniform(0, 100);
+  return v;
+}
+
+void BM_HaarForwardInverse(benchmark::State& state) {
+  Vector v = RandomVector(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    HaarForward(&v);
+    HaarInverse(&v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HaarForwardInverse)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_PriveletRun(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const PriveletMechanism mech{DomainShape({k})};
+  const Vector x = RandomVector(k, 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.Run(x, 1.0, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_PriveletRun)->Arg(4096);
+
+void BM_IsotonicRegression(benchmark::State& state) {
+  const Vector y = RandomVector(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsotonicRegression(y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsotonicRegression)->Arg(4096)->Arg(65536);
+
+void BM_DawaPartition(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const DawaMechanism mech;
+  const Vector y = RandomVector(k, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mech.ChoosePartition(y, 0.5, 1.0));
+  }
+}
+BENCHMARK(BM_DawaPartition)->Arg(1024)->Arg(4096);
+
+void BM_TreeTransform(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const PolicyTransform t =
+      PolicyTransform::Create(LinePolicy(k)).ValueOrDie();
+  const Vector x = RandomVector(k, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.TransformDatabase(x));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_TreeTransform)->Arg(4096)->Arg(65536);
+
+void BM_GridTransformCg(benchmark::State& state) {
+  const size_t side = static_cast<size_t>(state.range(0));
+  const PolicyTransform t =
+      PolicyTransform::Create(GridPolicy(DomainShape({side, side}), 1))
+          .ValueOrDie();
+  const Vector x = RandomVector(side * side, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.TransformDatabase(x));
+  }
+}
+BENCHMARK(BM_GridTransformCg)->Arg(32)->Arg(64);
+
+void BM_WorkloadTransform(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const PolicyTransform t =
+      PolicyTransform::Create(Theta1DPolicy(k, 4)).ValueOrDie();
+  Rng rng(8);
+  const SparseMatrix w =
+      RandomRanges(DomainShape({k}), 1000, &rng).ToWorkload().matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.TransformWorkload(w));
+  }
+}
+BENCHMARK(BM_WorkloadTransform)->Arg(512)->Arg(1024);
+
+void BM_PgMatrixBuild(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Policy policy = Theta1DPolicy(k, 8);
+  const PolicyReduction red = ReducePolicyGraph(policy.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildPgMatrix(red.graph));
+  }
+}
+BENCHMARK(BM_PgMatrixBuild)->Arg(4096);
+
+}  // namespace
+}  // namespace blowfish
+
+BENCHMARK_MAIN();

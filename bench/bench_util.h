@@ -1,0 +1,63 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Protocol (Section 6): mean squared error per query, averaged over 5
+// independent trials; ε-differentially-private baselines run at ε/2
+// while (ε, G)-Blowfish mechanisms run at ε; ε sweeps over
+// {0.001, 0.01, 0.1, 1}. Seed 2015 everywhere.
+//
+// Each harness prints the same rows/series as the corresponding paper
+// table or figure. Set BLOWFISH_BENCH_FULL=1 for the paper's full
+// parameter grid; the default trims the grid to keep a full bench
+// sweep under a few minutes.
+
+#ifndef BLOWFISH_BENCH_BENCH_UTIL_H_
+#define BLOWFISH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mech/error.h"
+
+namespace blowfish {
+namespace bench {
+
+inline bool FullMode() {
+  const char* env = std::getenv("BLOWFISH_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline constexpr uint64_t kSeed = 2015;
+inline constexpr size_t kTrials = 5;
+
+inline std::vector<double> EpsilonGrid() {
+  return {0.001, 0.01, 0.1, 1.0};
+}
+
+/// Formats a mean-squared error like the paper's log-scale plots.
+inline std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+/// Prints one table row: name column padded to width 28.
+inline void PrintRow(const std::string& name,
+                     const std::vector<std::string>& cells) {
+  std::printf("  %-30s", name.c_str());
+  for (const std::string& c : cells) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& cols) {
+  std::printf("\n%s\n", title.c_str());
+  PrintRow("", cols);
+  std::printf("  %s\n", std::string(30 + 13 * cols.size(), '-').c_str());
+}
+
+}  // namespace bench
+}  // namespace blowfish
+
+#endif  // BLOWFISH_BENCH_BENCH_UTIL_H_

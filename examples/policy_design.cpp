@@ -1,0 +1,82 @@
+// Policy design walkthrough — how an application owner explores the
+// privacy/utility tradeoff before committing to a policy:
+//
+//   1. enumerate candidate policies over the same domain,
+//   2. inspect structural properties (tree? spanner stretch?),
+//   3. compare policy-specific sensitivities for the target workload,
+//   4. compare the Li-Miklau error lower bounds (Appendix A),
+//   5. let the planner instantiate the best mechanism per policy.
+//
+// Build & run:  ./examples/policy_design
+
+#include <cstdio>
+
+#include "core/lower_bounds.h"
+#include "core/planner.h"
+#include "core/sensitivity.h"
+#include "core/subgraph_approx.h"
+#include "core/transform.h"
+#include "graph/algorithms.h"
+#include "workload/builders.h"
+
+using namespace blowfish;
+
+int main() {
+  const size_t k = 64;  // a 64-bin ordered domain (e.g. ages)
+  const Workload ranges = AllRanges1D(k).ToWorkload();
+  const Matrix gram = RangeWorkloadGram1D(k);
+
+  std::vector<Policy> candidates = {
+      UnboundedDpPolicy(k),  // strongest guarantee
+      BoundedDpPolicy(k),    // classic bounded DP
+      Theta1DPolicy(k, 8),   // hide within +-8 bins
+      Theta1DPolicy(k, 2),   // hide within +-2 bins
+      LinePolicy(k),         // hide only adjacent bins
+  };
+
+  std::printf(
+      "candidate policies over a %zu-bin ordered domain, workload = all "
+      "range queries\n\n",
+      k);
+  std::printf("%-16s %8s %6s %12s %14s %s\n", "policy", "edges", "tree?",
+              "sens(R_k)", "SVD bound", "planned mechanism");
+  for (const Policy& policy : candidates) {
+    const double sens = PolicySpecificSensitivity(ranges.matrix(), policy);
+    const SvdBound bound =
+        SvdLowerBound(gram, policy, /*eps=*/1.0, /*delta=*/0.001)
+            .ValueOrDie();
+    const Plan plan = PlanMechanism({policy, false}).ValueOrDie();
+    const bool tree = PolicyTransform::Create(policy).ValueOrDie().is_tree();
+    std::printf("%-16s %8zu %6s %12.0f %14.3g %s\n", policy.name.c_str(),
+                policy.graph.num_edges(), tree ? "yes" : "no", sens,
+                bound.bound, plan.kind.c_str());
+  }
+
+  std::printf(
+      "\nreading the table:\n"
+      " - sensitivity falls as the policy localizes (complete graph "
+      "protects any value swap; the line only adjacent swaps);\n"
+      " - the SVD lower bound quantifies the best error ANY matrix "
+      "mechanism can achieve under each policy;\n"
+      " - the planner picks tree transforms when Theorem 4.3 applies, "
+      "spanners for Gθ (Lemma 4.5), per-line strategies for grids.\n");
+
+  // Spanner stretch exploration for the θ=8 policy.
+  const Policy theta8 = Theta1DPolicy(k, 8);
+  const SpannerCertificate cert =
+      LineThetaSpannerFor(theta8, 8).ValueOrDie();
+  std::printf(
+      "\nspanner for %s: H^8_%zu with certified stretch %lld -> run any "
+      "tree mechanism at eps/%lld for an (eps, G)-guarantee.\n",
+      theta8.name.c_str(), k, static_cast<long long>(cert.stretch),
+      static_cast<long long>(cert.stretch));
+
+  // What happens on a policy with no good tree? The cycle.
+  Policy cycle{"cycle_64", DomainShape({k}), CycleGraph(k)};
+  const Plan plan = PlanMechanism({cycle, false}).ValueOrDie();
+  std::printf(
+      "\ncycle policy (Theorem 4.4's obstruction): %s, stretch %lld — the "
+      "planner is honest about the cost.\n",
+      plan.kind.c_str(), static_cast<long long>(plan.stretch));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: release a histogram of binned salaries under a Blowfish
+// line-graph policy (the Section 3 "Line Graph" scenario).
+//
+// The policy says: an adversary may learn the rough salary range of an
+// individual, but must not distinguish adjacent salary bins. Under
+// this relaxed guarantee, the transformational-equivalence machinery
+// answers the histogram with a fraction of the noise ordinary
+// differential privacy would need.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "core/planner.h"
+#include "core/policy.h"
+#include "mech/laplace.h"
+#include "workload/builders.h"
+
+using namespace blowfish;
+
+int main() {
+  // 1. Domain: 16 salary bins (bin i covers [2^{i-1}, 2^i) dollars).
+  const size_t k = 16;
+
+  // 2. A private database: counts of individuals per salary bin.
+  const Vector salaries = {2,  8, 25, 60, 120, 180, 220, 160,
+                           90, 40, 18, 7,  3,   1,   1,   0};
+
+  // 3. The policy: adjacent bins are indistinguishable (G^1_k).
+  Policy policy = LinePolicy(k);
+  std::printf("policy: %s over %zu bins, %zu sensitive pairs\n",
+              policy.name.c_str(), k, policy.graph.num_edges());
+
+  // 4. Let the planner pick the mechanism family the theory admits.
+  Plan plan = PlanMechanism({policy, /*prefer_data_dependent=*/false})
+                  .ValueOrDie();
+  std::printf("planner: %s\n  rationale: %s\n", plan.kind.c_str(),
+              plan.rationale.c_str());
+
+  // 5. One private release at epsilon = 0.5.
+  const double epsilon = 0.5;
+  Rng rng(7);
+  const Vector noisy = plan.mechanism->Run(salaries, epsilon, &rng);
+  const PrivacyGuarantee guarantee = plan.mechanism->Guarantee(epsilon);
+  std::printf("guarantee: %s\n\n", guarantee.neighbor_model.c_str());
+
+  std::printf("%6s %10s %10s\n", "bin", "true", "released");
+  for (size_t i = 0; i < k; ++i) {
+    std::printf("%6zu %10.0f %10.1f\n", i, salaries[i], noisy[i]);
+  }
+
+  // 6. Any linear query over the release is post-processing — answer a
+  // range ("how many people earn within bins 4..7?") for free.
+  double range_true = 0.0, range_est = 0.0;
+  for (size_t i = 4; i <= 7; ++i) {
+    range_true += salaries[i];
+    range_est += noisy[i];
+  }
+  std::printf("\nrange [4,7]: true %.0f, released %.1f\n", range_true,
+              range_est);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Data-dependent release of a sparse salary survey — the Section 5.4
+// story: when the database is sparse, exploiting the monotone
+// structure of the transformed database (consistency) and the data
+// itself (DAWA) buys large error reductions on top of the policy
+// relaxation.
+//
+// Build & run:  ./examples/salary_survey
+
+#include <cstdio>
+
+#include "core/data_dependent.h"
+#include "data/generators.h"
+#include "mech/error.h"
+#include "mech/laplace.h"
+#include "workload/builders.h"
+
+using namespace blowfish;
+
+int main() {
+  // Synthetic analogue of the paper's dataset G (medical expenses):
+  // sparse, 4096 bins, ~9.4k records — rebinned to 1024 for the demo.
+  const Dataset survey =
+      MakeDataset1D(Dataset1D::kG, /*seed=*/2015).Aggregate1D(1024);
+  const size_t k = survey.domain.size();
+  std::printf("database: %s\n  %zu bins, %.0f records, %.1f%% empty bins\n",
+              survey.description.c_str(), k, survey.Scale(),
+              survey.PercentZeroCounts());
+
+  // Analyst workload: all-bins histogram plus 1,000 random ranges.
+  Rng query_rng(5);
+  const RangeWorkload ranges = RandomRanges(survey.domain, 1000, &query_rng);
+
+  const double epsilon = 0.1;
+  struct Variant {
+    const char* label;
+    BlowfishMechanismPtr mech;
+  };
+  std::vector<Variant> variants;
+  variants.push_back(
+      {"Transformed + Laplace", MakeTransformedLaplace(k).ValueOrDie()});
+  variants.push_back({"Transformed + ConsistentEst",
+                      MakeTransformedConsistent(k).ValueOrDie()});
+  variants.push_back(
+      {"Trans + Dawa + Cons",
+       MakeTransformedDawa(k, /*with_consistency=*/true).ValueOrDie()});
+
+  std::printf("\nmean squared error per range query (eps = %.2f, G^1_%zu "
+              "policy):\n",
+              epsilon, k);
+  const LaplaceMechanism laplace;
+  const ErrorStats dp = MeasureError(
+      [&](const Vector& x, double e, Rng* rng) {
+        return laplace.Run(x, e, rng);
+      },
+      ranges, survey.counts, epsilon / 2.0, 5, 2015);
+  std::printf("  %-32s %12.1f   (baseline)\n", "Laplace (DP, eps/2)",
+              dp.mean);
+  for (const Variant& v : variants) {
+    const ErrorStats stats = MeasureError(
+        [&](const Vector& x, double e, Rng* rng) {
+          return v.mech->Run(x, e, rng);
+        },
+        ranges, survey.counts, epsilon, 5, 2015);
+    std::printf("  %-32s %12.1f   (%.0fx better)\n", v.label, stats.mean,
+                dp.mean / stats.mean);
+  }
+
+  // Show one release from the strongest variant.
+  Rng rng(17);
+  const Vector release = variants[1].mech->Run(survey.counts, epsilon, &rng);
+  std::printf("\nfirst populated bins (true -> released):\n");
+  size_t shown = 0;
+  for (size_t i = 0; i < k && shown < 8; ++i) {
+    if (survey.counts[i] > 0) {
+      std::printf("  bin %4zu: %6.0f -> %8.2f\n", i, survey.counts[i],
+                  release[i]);
+      ++shown;
+    }
+  }
+  std::printf("\nguarantee: %s\n",
+              variants[1].mech->Guarantee(epsilon).neighbor_model.c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Invariant-checking macros in the style of Arrow's DCHECK family.
+//
+// BF_CHECK fires in all build types; it guards API contracts whose
+// violation indicates a programming error (dimension mismatches,
+// out-of-range indices, invalid policy graphs). Failures print the
+// failing expression with source location and abort, which is the
+// behaviour database engines prefer over throwing from deep inside
+// numerical kernels.
+
+#ifndef BLOWFISH_COMMON_CHECK_H_
+#define BLOWFISH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace blowfish {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "[blowfish] CHECK failed: %s at %s:%d %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+// Lazily builds the user message only on failure.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace blowfish
+
+#define BF_CHECK(expr)                                                       \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::blowfish::internal::CheckFailed(#expr, __FILE__, __LINE__, "");      \
+    }                                                                        \
+  } while (0)
+
+#define BF_CHECK_MSG(expr, ...)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::blowfish::internal::CheckMessageBuilder bf_mb__;                     \
+      bf_mb__ << __VA_ARGS__;                                                \
+      ::blowfish::internal::CheckFailed(#expr, __FILE__, __LINE__,           \
+                                        bf_mb__.str());                      \
+    }                                                                        \
+  } while (0)
+
+#define BF_CHECK_EQ(a, b) BF_CHECK_MSG((a) == (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_CHECK_NE(a, b) BF_CHECK_MSG((a) != (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_CHECK_LT(a, b) BF_CHECK_MSG((a) < (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_CHECK_LE(a, b) BF_CHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_CHECK_GT(a, b) BF_CHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_CHECK_GE(a, b) BF_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+#endif  // BLOWFISH_COMMON_CHECK_H_

@@ -1,0 +1,43 @@
+// Lightweight leveled logging to stderr. Used by mechanisms to report
+// budget accounting and by benches to narrate sweeps; quiet by default
+// above kInfo.
+
+#ifndef BLOWFISH_COMMON_LOGGING_H_
+#define BLOWFISH_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace blowfish {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { EmitLog(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace blowfish
+
+#define BF_LOG(level) ::blowfish::internal::LogLine(::blowfish::LogLevel::level)
+
+#endif  // BLOWFISH_COMMON_LOGGING_H_

@@ -1,0 +1,113 @@
+// Minimal Status / Result error-propagation types in the style of
+// Apache Arrow. Fallible operations that depend on *input data* (file
+// parsing, ill-conditioned numerical problems, infeasible policy
+// reductions) return Status or Result<T>; violations of API contracts
+// use BF_CHECK instead.
+
+#ifndef BLOWFISH_COMMON_STATUS_H_
+#define BLOWFISH_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kNumericalError,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. `Status::OK()` is the success value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable representation, e.g. "InvalidArgument: k must be > 0".
+  std::string ToString() const;
+
+  /// Aborts the process if not ok. Use at call sites where failure is
+  /// impossible by construction.
+  void Check() const { BF_CHECK_MSG(ok(), ToString()); }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {    // NOLINT implicit
+    BF_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    BF_CHECK_MSG(ok(), status_.ToString());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    BF_CHECK_MSG(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+#define BF_RETURN_NOT_OK(expr)              \
+  do {                                      \
+    ::blowfish::Status bf_st__ = (expr);    \
+    if (!bf_st__.ok()) return bf_st__;      \
+  } while (0)
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_COMMON_STATUS_H_

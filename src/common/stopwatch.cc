@@ -1,0 +1,10 @@
+#include "common/stopwatch.h"
+
+namespace blowfish {
+
+double Stopwatch::ElapsedSeconds() const {
+  const auto now = Clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+}  // namespace blowfish

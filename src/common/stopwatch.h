@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef BLOWFISH_COMMON_STOPWATCH_H_
+#define BLOWFISH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace blowfish {
+
+/// \brief Monotonic wall-clock timer. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const;
+
+  /// Elapsed milliseconds since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_COMMON_STOPWATCH_H_

@@ -1,0 +1,39 @@
+// Base interface for Blowfish-private mechanisms built on the
+// transformational-equivalence engine. Every concrete mechanism
+// releases a full-domain histogram estimate x̂ whose publication
+// satisfies the stated (ε, G)-Blowfish guarantee; any linear workload
+// answered from x̂ is post-processing. See transform.h for why this
+// protocol coincides exactly with the paper's per-query
+// reconstructions.
+
+#ifndef BLOWFISH_CORE_BLOWFISH_MECHANISM_H_
+#define BLOWFISH_CORE_BLOWFISH_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "linalg/vector_ops.h"
+#include "mech/mechanism.h"
+#include "rng/rng.h"
+
+namespace blowfish {
+
+/// \brief An (ε, G)-Blowfish private histogram release mechanism.
+class BlowfishMechanism {
+ public:
+  virtual ~BlowfishMechanism() = default;
+
+  /// Releases a noisy full-domain histogram estimate; the release
+  /// satisfies Guarantee(epsilon).
+  virtual Vector Run(const Vector& x, double epsilon, Rng* rng) const = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual PrivacyGuarantee Guarantee(double epsilon) const = 0;
+};
+
+using BlowfishMechanismPtr = std::unique_ptr<BlowfishMechanism>;
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_BLOWFISH_MECHANISM_H_

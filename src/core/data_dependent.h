@@ -1,0 +1,53 @@
+// Factories for the exact algorithm variants evaluated in Section 6.
+// Names follow the paper's figure legends:
+//
+//   DP baselines (run at ε/2 by the experiment protocol):
+//     "Laplace", "Privelet", "Dawa"
+//   Blowfish mechanisms (run at ε):
+//     "Transformed + Laplace"        Laplace on the transformed database
+//     "Transformed + ConsistentEst"  + isotonic projection (Section 5.4.2)
+//     "Trans + Dawa"                 DAWA on the transformed database
+//     "Trans + Dawa + Cons"          + isotonic projection
+//     "Transformed + Privelet"       per-line Privelet grid strategy (2D)
+//
+// All Blowfish factories return mechanisms carrying their (ε, G)
+// guarantee; data-dependence enters only through DAWA's private
+// partition and the constraint projection, both of which are valid for
+// any mechanism because the policies here are tree-reducible
+// (Theorem 4.3).
+
+#ifndef BLOWFISH_CORE_DATA_DEPENDENT_H_
+#define BLOWFISH_CORE_DATA_DEPENDENT_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/blowfish_mechanism.h"
+#include "core/policy.h"
+
+namespace blowfish {
+
+/// "Transformed + Laplace" under the line policy G¹_k.
+Result<BlowfishMechanismPtr> MakeTransformedLaplace(size_t k);
+
+/// "Transformed + ConsistentEst": Laplace + isotonic projection of the
+/// noisy prefix sums.
+Result<BlowfishMechanismPtr> MakeTransformedConsistent(size_t k);
+
+/// "Trans + Dawa [+ Cons]": DAWA histogram on the transformed database,
+/// optionally followed by the isotonic projection.
+Result<BlowfishMechanismPtr> MakeTransformedDawa(size_t k,
+                                                 bool with_consistency);
+
+/// Gθ_k variants via the Hθ_k spanner at budget ε/stretch:
+/// "Transformed + Laplace" (inner Laplace) and "Trans + Dawa" (inner
+/// DAWA). `grouped_privelet` replaces the inner mechanism by
+/// Theorem 5.5's per-group Privelet strategy.
+Result<BlowfishMechanismPtr> MakeThetaTransformedLaplace(size_t k,
+                                                         size_t theta);
+Result<BlowfishMechanismPtr> MakeThetaTransformedDawa(size_t k, size_t theta);
+Result<BlowfishMechanismPtr> MakeThetaGroupedPrivelet(size_t k, size_t theta);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_DATA_DEPENDENT_H_

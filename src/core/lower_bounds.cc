@@ -1,0 +1,118 @@
+#include "core/lower_bounds.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/pg_matrix.h"
+#include "linalg/eigen_sym.h"
+
+namespace blowfish {
+
+double SvdBoundMultiplier(double epsilon, double delta) {
+  BF_CHECK_GT(epsilon, 0.0);
+  BF_CHECK_GT(delta, 0.0);
+  BF_CHECK_LT(delta, 1.0);
+  return 2.0 * std::log(2.0 / delta) / (epsilon * epsilon);
+}
+
+Matrix RangeWorkloadGram1D(size_t k) {
+  Matrix gram(k, k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i; j < k; ++j) {
+      // Ranges [l, r] with l <= i and r >= j (0-based): (i+1)(k-j).
+      const double v = static_cast<double>(i + 1) * static_cast<double>(k - j);
+      gram(i, j) = v;
+      gram(j, i) = v;
+    }
+  }
+  return gram;
+}
+
+Matrix RangeWorkloadGramNd(const DomainShape& domain) {
+  const size_t d = domain.num_dims();
+  std::vector<Matrix> per_dim;
+  per_dim.reserve(d);
+  for (size_t i = 0; i < d; ++i) per_dim.push_back(RangeWorkloadGram1D(domain.dim(i)));
+  const size_t n = domain.size();
+  Matrix gram(n, n);
+  for (size_t a = 0; a < n; ++a) {
+    const std::vector<size_t> ca = domain.Unflatten(a);
+    for (size_t b = a; b < n; ++b) {
+      const std::vector<size_t> cb = domain.Unflatten(b);
+      double v = 1.0;
+      for (size_t i = 0; i < d; ++i) v *= per_dim[i](ca[i], cb[i]);
+      gram(a, b) = v;
+      gram(b, a) = v;
+    }
+  }
+  return gram;
+}
+
+Result<SvdBound> SvdLowerBound(const Matrix& workload_gram,
+                               const Policy& policy, double epsilon,
+                               double delta) {
+  const size_t k = policy.domain_size();
+  if (workload_gram.rows() != k || workload_gram.cols() != k) {
+    return Status::InvalidArgument("workload gram must be k x k");
+  }
+  if (policy.graph.num_edges() == 0) {
+    return Status::InvalidArgument("policy graph has no edges");
+  }
+
+  // Reduce: W' = W D with D[old(j), j] = 1, D[removed(comp(j)), j] = -1;
+  // the reduced Gram is DᵀGD.
+  const PolicyReduction red = ReducePolicyGraph(policy.graph);
+  const size_t kept = red.new_to_old.size();
+  Matrix gram_reduced(kept, kept);
+  for (size_t a = 0; a < kept; ++a) {
+    const size_t oa = red.new_to_old[a];
+    const size_t ra = red.removed_of_component[a];
+    for (size_t b = a; b < kept; ++b) {
+      const size_t ob = red.new_to_old[b];
+      const size_t rb = red.removed_of_component[b];
+      double v = workload_gram(oa, ob);
+      if (ra != SIZE_MAX) v -= workload_gram(ra, ob);
+      if (rb != SIZE_MAX) v -= workload_gram(oa, rb);
+      if (ra != SIZE_MAX && rb != SIZE_MAX) v += workload_gram(ra, rb);
+      gram_reduced(a, b) = v;
+      gram_reduced(b, a) = v;
+    }
+  }
+
+  // Grounded Laplacian L = P_G P_Gᵀ of the reduced graph.
+  Matrix laplacian(kept, kept);
+  for (size_t u = 0; u < kept; ++u) {
+    laplacian(u, u) = static_cast<double>(red.graph.Degree(u));
+  }
+  for (const Graph::Edge& e : red.graph.edges()) {
+    if (e.v == Graph::kBottom) continue;
+    laplacian(e.u, e.v) -= 1.0;
+    laplacian(e.v, e.u) -= 1.0;
+  }
+
+  // S = L^{1/2} G' L^{1/2} via L = U Λ Uᵀ.
+  Result<SymmetricEigenResult> l_eig = SymmetricEigen(laplacian);
+  if (!l_eig.ok()) return l_eig.status();
+  const SymmetricEigenResult& le = l_eig.ValueOrDie();
+  // B = Λ^{1/2} Uᵀ: row i of Uᵀ scaled by sqrt(λ_i).
+  Matrix b(kept, kept);
+  for (size_t i = 0; i < kept; ++i) {
+    const double lam = std::max(le.values[i], 0.0);
+    const double s = std::sqrt(lam);
+    for (size_t j = 0; j < kept; ++j) b(i, j) = s * le.vectors(j, i);
+  }
+  const Matrix s_mat = b.Multiply(gram_reduced).Multiply(b.Transpose());
+  Result<Vector> s_eig = SymmetricEigenvalues(s_mat);
+  if (!s_eig.ok()) return s_eig.status();
+
+  SvdBound out;
+  out.num_edges = red.graph.num_edges();
+  for (double lam : s_eig.ValueOrDie()) {
+    if (lam > 0.0) out.singular_value_sum += std::sqrt(lam);
+  }
+  out.bound = SvdBoundMultiplier(epsilon, delta) * out.singular_value_sum *
+              out.singular_value_sum / static_cast<double>(out.num_edges);
+  return out;
+}
+
+}  // namespace blowfish

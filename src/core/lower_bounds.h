@@ -1,0 +1,54 @@
+// The Li–Miklau SVD lower bound transferred to Blowfish policies
+// (Appendix A, Corollary A.2): any matrix-mechanism strategy answering
+// workload W under (ε, δ, G)-Blowfish privacy has total squared error
+// at least
+//
+//     P(ε, δ) · (λ₁ + ... + λ_s)² / n_G ,   P(ε, δ) = 2 log(2/δ) / ε²,
+//
+// where λᵢ are the singular values of the transformed workload
+// W_G = W' P_G and n_G = |E(G)| its column count. Figure 10 plots this
+// bound against domain size for Gθ policies in 1D and 2D.
+//
+// Scaling trick: the nonzero σᵢ(W' P_G)² equal the nonzero eigenvalues
+// of L^{1/2} (W'ᵀW') L^{1/2} with L = P_G P_Gᵀ (the ⊥-grounded
+// Laplacian, k'×k'), so the bound needs only k'-sized symmetric
+// eigensolves — never a dense |E| or #queries sized problem. The full
+// range-workload Grams have closed forms.
+
+#ifndef BLOWFISH_CORE_LOWER_BOUNDS_H_
+#define BLOWFISH_CORE_LOWER_BOUNDS_H_
+
+#include "common/status.h"
+#include "core/policy.h"
+#include "linalg/matrix.h"
+
+namespace blowfish {
+
+/// P(ε, δ) of Corollary A.2.
+double SvdBoundMultiplier(double epsilon, double delta);
+
+/// Gram matrix WᵀW of the full 1D range workload R_k: entry (i, j) is
+/// the number of ranges containing both cells:
+/// (min(i,j)+1) · (k − max(i,j)).
+Matrix RangeWorkloadGram1D(size_t k);
+
+/// Gram of the full d-dimensional range workload R_{k^d}: entries are
+/// products of the per-dimension 1D formulas.
+Matrix RangeWorkloadGramNd(const DomainShape& domain);
+
+/// \brief Result of the SVD bound computation.
+struct SvdBound {
+  double bound = 0.0;               ///< MINERROR lower bound
+  double singular_value_sum = 0.0;  ///< λ₁ + ... + λ_s of W_G
+  size_t num_edges = 0;             ///< n_G
+};
+
+/// Computes Corollary A.2 for a workload given by its (original-domain)
+/// Gram matrix WᵀW under the given policy.
+Result<SvdBound> SvdLowerBound(const Matrix& workload_gram,
+                               const Policy& policy, double epsilon,
+                               double delta);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_LOWER_BOUNDS_H_

@@ -1,0 +1,132 @@
+#include "core/mechanisms_2d.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "mech/privelet.h"
+
+namespace blowfish {
+
+GridBlowfishMechanism::GridBlowfishMechanism(PolicyTransform transform)
+    : transform_(std::move(transform)) {
+  BuildLineGroups();
+}
+
+Result<std::unique_ptr<GridBlowfishMechanism>> GridBlowfishMechanism::Create(
+    Policy policy) {
+  if (policy.domain.num_dims() < 2) {
+    return Status::InvalidArgument(
+        "grid strategy needs a >=2-dimensional domain; use the tree "
+        "transform for 1D line policies");
+  }
+  // Validate θ=1 structure: every edge connects L1-distance-1 vertices.
+  for (const Graph::Edge& e : policy.graph.edges()) {
+    if (e.v == Graph::kBottom ||
+        policy.domain.L1Distance(e.u, e.v) != 1) {
+      return Status::InvalidArgument(
+          "grid strategy requires the θ=1 grid policy graph");
+    }
+  }
+  Result<PolicyTransform> transform = PolicyTransform::Create(std::move(policy));
+  if (!transform.ok()) return transform.status();
+  // The reduction must keep edge columns aligned with original edges.
+  if (transform.ValueOrDie().num_edges() !=
+      transform.ValueOrDie().policy().graph.num_edges()) {
+    return Status::Internal("grid reduction changed the edge count");
+  }
+  return std::unique_ptr<GridBlowfishMechanism>(
+      new GridBlowfishMechanism(std::move(transform).ValueOrDie()));
+}
+
+void GridBlowfishMechanism::BuildLineGroups() {
+  const Graph& g = transform_.policy().graph;
+  const DomainShape& dom = transform_.policy().domain;
+  const size_t d = dom.num_dims();
+
+  std::map<std::pair<size_t, size_t>, size_t> line_of;  // (dim, plane) -> idx
+  const std::vector<Graph::Edge>& edges = g.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const std::vector<size_t> cu = dom.Unflatten(edges[e].u);
+    const std::vector<size_t> cv = dom.Unflatten(edges[e].v);
+    size_t dd = SIZE_MAX;
+    for (size_t i = 0; i < d; ++i) {
+      if (cu[i] != cv[i]) {
+        BF_CHECK_EQ(dd, SIZE_MAX);
+        dd = i;
+      }
+    }
+    BF_CHECK_NE(dd, SIZE_MAX);
+    const size_t plane = std::min(cu[dd], cv[dd]);
+    const auto key = std::make_pair(dd, plane);
+    auto it = line_of.find(key);
+    if (it == line_of.end()) {
+      // New line: its cells are indexed by the remaining d-1 coords.
+      std::vector<size_t> rest_dims;
+      for (size_t i = 0; i < d; ++i) {
+        if (i != dd) rest_dims.push_back(dom.dim(i));
+      }
+      if (rest_dims.empty()) rest_dims.push_back(1);
+      group_shapes_.emplace_back(rest_dims);
+      groups_.emplace_back(group_shapes_.back().size(), SIZE_MAX);
+      it = line_of.emplace(key, groups_.size() - 1).first;
+    }
+    std::vector<size_t> rest;
+    for (size_t i = 0; i < d; ++i) {
+      if (i != dd) rest.push_back(cu[i]);
+    }
+    if (rest.empty()) rest.push_back(0);
+    const size_t pos = group_shapes_[it->second].Flatten(rest);
+    BF_CHECK_EQ(groups_[it->second][pos], SIZE_MAX);
+    groups_[it->second][pos] = e;
+  }
+  // Every edge must land in exactly one line slot.
+  size_t placed = 0;
+  for (const auto& group : groups_) {
+    for (size_t slot : group) {
+      BF_CHECK_NE(slot, SIZE_MAX);
+      ++placed;
+    }
+  }
+  BF_CHECK_EQ(placed, edges.size());
+}
+
+Vector GridBlowfishMechanism::Run(const Vector& x, double epsilon,
+                                  Rng* rng) const {
+  const Vector xg = PrecomputeTransformed(x);
+  return RunOnTransformed(xg, Sum(x), epsilon, rng);
+}
+
+Vector GridBlowfishMechanism::RunOnTransformed(const Vector& xg, double n,
+                                               double epsilon,
+                                               Rng* rng) const {
+  BF_CHECK_EQ(xg.size(), transform_.num_edges());
+  BF_CHECK_GT(epsilon, 0.0);
+  Vector noisy(xg.size(), 0.0);
+  // One Privelet instance per line shape (lines of equal shape share
+  // an instance; the runs remain independent).
+  std::map<std::vector<size_t>, std::shared_ptr<PriveletMechanism>> cache;
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const DomainShape& shape = group_shapes_[gi];
+    auto it = cache.find(shape.dims());
+    if (it == cache.end()) {
+      it = cache
+               .emplace(shape.dims(),
+                        std::make_shared<PriveletMechanism>(shape))
+               .first;
+    }
+    Vector sub(groups_[gi].size());
+    for (size_t i = 0; i < sub.size(); ++i) sub[i] = xg[groups_[gi][i]];
+    const Vector est = it->second->Run(sub, epsilon, rng);
+    for (size_t i = 0; i < sub.size(); ++i) noisy[groups_[gi][i]] = est[i];
+  }
+  return transform_.ReconstructHistogram(noisy, n);
+}
+
+PrivacyGuarantee GridBlowfishMechanism::Guarantee(double epsilon) const {
+  return PrivacyGuarantee{epsilon,
+                          "(" + std::to_string(epsilon) + ", " +
+                              transform_.policy().name +
+                              ")-Blowfish (Theorem 4.1)"};
+}
+
+}  // namespace blowfish

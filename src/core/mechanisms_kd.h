@@ -1,0 +1,100 @@
+// The Section 5.3.2 / Theorem 5.6 strategy: 2D range queries under the
+// distance-threshold policy Gθ_{k²} (θ >= 2).
+//
+// The domain is tiled into s×s blocks (s = θ/d = θ/2); the substitute
+// graph Hθ has one *internal* edge per non-red vertex (to its block's
+// red corner) and *external* edges forming a coarse grid over the red
+// corners (Figure 7b). A mechanism that is (ε', H)-Blowfish private is
+// (ℓ·ε', G)-Blowfish private for the certified stretch ℓ (Lemma 4.5),
+// so we run at ε' = ε/ℓ.
+//
+// Strategy on the transformed (edge) domain:
+//  * external edges: per-line 1D Privelet over the red grid (the
+//    Section 5.2.2 strategy; budget ε', lines disjoint);
+//  * internal edges: two slab systems at ε'/2 each — 2D Privelet over
+//    every row-of-blocks slab (s×k cells) and every column-of-blocks
+//    slab (k×s cells). Internal and external edges are disjoint, so
+//    the releases parallel-compose to ε' overall.
+//
+// A transformed range query's internal support splits into at most 4
+// strips, each bounded by s in one dimension (Figure 7d); each strip
+// is answered from the slab system whose slabs are aligned with the
+// strip, giving the O(d³ log^{3(d-1)} k · log³ θ / ε²) error of
+// Theorem 5.6. Because the per-query choice of slab system is part of
+// reconstruction, this mechanism answers range workloads directly
+// rather than releasing a single histogram estimate (both releases are
+// still published noisy vectors; reconstruction is post-processing).
+
+#ifndef BLOWFISH_CORE_MECHANISMS_KD_H_
+#define BLOWFISH_CORE_MECHANISMS_KD_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/subgraph_approx.h"
+#include "core/transform.h"
+#include "mech/mechanism.h"
+#include "workload/workload.h"
+
+namespace blowfish {
+
+/// \brief Gθ_{k²} range-query mechanism (θ >= 2).
+class GridThetaRangeMechanism {
+ public:
+  /// Requires θ >= 2 and (θ/2 == 0 is impossible) k divisible by the
+  /// block side s = max(1, θ/2).
+  static Result<std::unique_ptr<GridThetaRangeMechanism>> Create(
+      size_t k, size_t theta);
+
+  /// Answers every query of `workload` (a 2D range workload over the
+  /// k×k domain) under (ε, Gθ_{k²})-Blowfish privacy.
+  Vector AnswerRanges(const RangeWorkload& workload, const Vector& x,
+                      double epsilon, Rng* rng) const;
+
+  /// Split entry points for multi-trial benchmarking: the database
+  /// transform is noise-free and reusable across trials.
+  Vector PrecomputeTransformed(const Vector& x) const {
+    return transform_.TransformDatabase(x);
+  }
+  Vector AnswerRangesOnTransformed(const RangeWorkload& workload,
+                                   const Vector& xg, double n,
+                                   double epsilon, Rng* rng) const;
+
+  PrivacyGuarantee Guarantee(double epsilon) const;
+  int64_t stretch() const { return stretch_; }
+  size_t block() const { return block_; }
+  std::string name() const { return "Transformed+SlabPrivelet"; }
+
+ private:
+  GridThetaRangeMechanism() = default;
+
+  struct Releases {
+    Vector est_row;  // per edge; meaningful for internal edges
+    Vector est_col;  // per edge; internal
+    Vector est_ext;  // per edge; external
+  };
+  Releases RunReleases(const Vector& xg, double eps_prime, Rng* rng) const;
+
+  size_t k_ = 0;
+  size_t theta_ = 0;
+  size_t block_ = 0;
+  int64_t stretch_ = 0;
+  PolicyTransform transform_;  // over the spanner policy H
+  std::string original_policy_name_;
+
+  // Per-edge metadata (index = P_G column = spanner edge index).
+  struct EdgeInfo {
+    bool internal = false;
+    size_t u = 0, v = 0;  // original endpoints (v is the red/second one)
+    // Internal: black endpoint coordinates.
+    size_t bi = 0, bj = 0;
+  };
+  std::vector<EdgeInfo> edge_info_;
+  // External line groups: edge indices ordered along the line.
+  std::vector<std::vector<size_t>> external_lines_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_MECHANISMS_KD_H_

@@ -1,0 +1,157 @@
+#include "core/pg_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace blowfish {
+
+SparseMatrix BuildPgMatrix(const Graph& g) {
+  BF_CHECK_MSG(g.has_bottom(),
+               "Case-I P_G requires ⊥-edges; reduce the policy first");
+  std::vector<Triplet> triplets;
+  triplets.reserve(2 * g.num_edges());
+  const std::vector<Graph::Edge>& edges = g.edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    triplets.push_back({edges[e].u, e, 1.0});
+    if (edges[e].v != Graph::kBottom) {
+      triplets.push_back({edges[e].v, e, -1.0});
+    }
+  }
+  return SparseMatrix::FromTriplets(g.num_vertices(), g.num_edges(),
+                                    std::move(triplets));
+}
+
+PolicyReduction ReducePolicyGraph(const Graph& g, size_t prefer_removed) {
+  const size_t k = g.num_vertices();
+  PolicyReduction red;
+
+  // Component structure, with ⊥ participating in connectivity: every
+  // component already containing a ⊥-edge is "grounded".
+  size_t num_components = 0;
+  const std::vector<size_t> comp = ConnectedComponents(g, &num_components);
+  std::vector<bool> grounded(num_components, false);
+  size_t bottom_comp = SIZE_MAX;
+  for (const Graph::Edge& e : g.edges()) {
+    if (e.v == Graph::kBottom) {
+      grounded[comp[e.u]] = true;
+      bottom_comp = comp[e.u];
+    }
+  }
+  // Components reachable from ⊥ share its component id.
+  if (bottom_comp != SIZE_MAX) grounded[bottom_comp] = true;
+
+  // Pick the removed vertex for each ungrounded component: the largest
+  // index, unless prefer_removed lies in that component.
+  std::vector<size_t> removed_vertex_of(num_components, SIZE_MAX);
+  for (size_t u = 0; u < k; ++u) {
+    const size_t c = comp[u];
+    if (grounded[c]) continue;
+    if (removed_vertex_of[c] == SIZE_MAX || u > removed_vertex_of[c]) {
+      removed_vertex_of[c] = u;
+    }
+  }
+  if (prefer_removed != SIZE_MAX) {
+    BF_CHECK_LT(prefer_removed, k);
+    const size_t c = comp[prefer_removed];
+    if (!grounded[c]) removed_vertex_of[c] = prefer_removed;
+  }
+
+  std::vector<bool> is_removed(k, false);
+  for (size_t c = 0; c < num_components; ++c) {
+    if (removed_vertex_of[c] != SIZE_MAX) {
+      is_removed[removed_vertex_of[c]] = true;
+      red.removed.push_back(removed_vertex_of[c]);
+    }
+  }
+  std::sort(red.removed.begin(), red.removed.end());
+
+  // Index maps.
+  red.old_to_new.assign(k, SIZE_MAX);
+  for (size_t u = 0; u < k; ++u) {
+    if (!is_removed[u]) {
+      red.old_to_new[u] = red.new_to_old.size();
+      red.new_to_old.push_back(u);
+    }
+  }
+  red.removed_of_component.assign(red.new_to_old.size(), SIZE_MAX);
+  for (size_t j = 0; j < red.new_to_old.size(); ++j) {
+    red.removed_of_component[j] = removed_vertex_of[comp[red.new_to_old[j]]];
+  }
+
+  // Rebuild the graph over kept vertices; removed endpoints become ⊥.
+  Graph reduced(red.new_to_old.size());
+  for (const Graph::Edge& e : g.edges()) {
+    const bool u_removed = is_removed[e.u];
+    const bool v_removed = e.v != Graph::kBottom && is_removed[e.v];
+    BF_CHECK_MSG(!(u_removed && v_removed),
+                 "removed vertices must come from distinct components");
+    size_t nu, nv;
+    if (u_removed) {
+      BF_CHECK(e.v != Graph::kBottom);
+      nu = red.old_to_new[e.v];
+      nv = Graph::kBottom;
+    } else {
+      nu = red.old_to_new[e.u];
+      nv = (e.v == Graph::kBottom || v_removed) ? Graph::kBottom
+                                                : red.old_to_new[e.v];
+    }
+    // Two parallel edges can arise if a vertex had both a ⊥-edge and an
+    // edge to the removed vertex; the policy semantics of the duplicate
+    // are identical, so keep a single edge.
+    if (!reduced.HasEdge(nu, nv)) reduced.AddEdge(nu, nv);
+  }
+  red.graph = std::move(reduced);
+  return red;
+}
+
+SparseMatrix ReduceWorkloadMatrix(const SparseMatrix& w,
+                                  const PolicyReduction& reduction) {
+  const size_t k = reduction.old_to_new.size();
+  BF_CHECK_EQ(w.cols(), k);
+  const size_t kept = reduction.new_to_old.size();
+  // Kept columns per removed vertex, for the q[j]·(n_C − Σ x) rewrite.
+  std::vector<std::vector<size_t>> members;
+  std::vector<size_t> member_slot(k, SIZE_MAX);
+  for (size_t nc = 0; nc < kept; ++nc) {
+    const size_t rv = reduction.removed_of_component[nc];
+    if (rv == SIZE_MAX) continue;
+    if (member_slot[rv] == SIZE_MAX) {
+      member_slot[rv] = members.size();
+      members.emplace_back();
+    }
+    members[member_slot[rv]].push_back(nc);
+  }
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < w.rows(); ++r) {
+    const SparseMatrix::RowView row = w.Row(r);
+    for (size_t i = 0; i < row.nnz; ++i) {
+      const size_t j = row.cols[i];
+      const double v = row.values[i];
+      const size_t nj = reduction.old_to_new[j];
+      if (nj != SIZE_MAX) {
+        // Kept column: contributes +v at its new index.
+        triplets.push_back({r, nj, v});
+      } else {
+        // Removed column j = removed vertex of some component C:
+        // q[j] x[j] = q[j] (n_C - sum_{i in C, i != j} x[i]) subtracts
+        // q[j] from every kept column of C.
+        for (size_t nc : members[member_slot[j]]) {
+          triplets.push_back({r, nc, -v});
+        }
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(w.rows(), kept, std::move(triplets));
+}
+
+Vector ReduceDatabase(const Vector& x, const PolicyReduction& reduction) {
+  BF_CHECK_EQ(x.size(), reduction.old_to_new.size());
+  Vector out;
+  out.reserve(reduction.new_to_old.size());
+  for (size_t old : reduction.new_to_old) out.push_back(x[old]);
+  return out;
+}
+
+}  // namespace blowfish

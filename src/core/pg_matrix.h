@@ -1,0 +1,68 @@
+// Construction of the policy transform matrix P_G (Section 4.4).
+//
+// Case I (policy contains ⊥): P_G is k x |E|; the column of edge
+// (u, v) has +1 in row u and -1 in row v; the column of (u, ⊥) has a
+// single +1 in row u. P_G has full row rank (Lemma 4.8).
+//
+// Case II (no ⊥): pick a vertex v, replace it by ⊥ (its edges become
+// ⊥-edges), drop x[v] from the database and rewrite every query q to
+// q' with q'[j] = q[j] - q[v] plus the public constant q[v]·n
+// (Lemma 4.10 / Appendix D.1). Answers and neighbor structure are
+// preserved exactly.
+//
+// Case III (disconnected, Appendix E): apply the Case II replacement
+// once per component that has no ⊥-edge; all components then share the
+// single ⊥ vertex, which restores Case I.
+
+#ifndef BLOWFISH_CORE_PG_MATRIX_H_
+#define BLOWFISH_CORE_PG_MATRIX_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/sparse.h"
+
+namespace blowfish {
+
+/// Builds the Case-I P_G for a graph that already contains ⊥-edges.
+/// Rows = domain vertices (k), columns = edges in insertion order.
+SparseMatrix BuildPgMatrix(const Graph& g);
+
+/// \brief Result of the Case II / Case III reduction.
+struct PolicyReduction {
+  /// Graph over the kept vertices, with ⊥-edges standing in for every
+  /// removed vertex's edges. Always has ⊥-connectivity.
+  Graph graph;
+  /// Removed original vertex indices (ascending); one per component
+  /// that lacked ⊥-edges. Empty when the input already had ⊥.
+  std::vector<size_t> removed;
+  /// old_to_new[u] = index of u among kept vertices, or SIZE_MAX if
+  /// u was removed.
+  std::vector<size_t> old_to_new;
+  /// new_to_old[j] = original index of kept vertex j.
+  std::vector<size_t> new_to_old;
+  /// For every kept vertex, the removed vertex of its component
+  /// (SIZE_MAX if its component was already grounded). Used by the
+  /// workload rewrite q'[j] = q[j] - q[removed(comp(j))].
+  std::vector<size_t> removed_of_component;
+};
+
+/// Performs the Case II/III reduction. `prefer_removed` optionally
+/// forces the removed vertex of the component containing it (the paper
+/// removes the rightmost line-graph vertex in Example 4.1); pass
+/// SIZE_MAX to default to the largest index per component.
+PolicyReduction ReducePolicyGraph(const Graph& g,
+                                  size_t prefer_removed = SIZE_MAX);
+
+/// Rewrites a workload over the original domain to the reduced domain:
+/// W'[q, j'] = W[q, old(j')] - W[q, removed(comp)]. Column count
+/// equals reduction.new_to_old.size().
+SparseMatrix ReduceWorkloadMatrix(const SparseMatrix& w,
+                                  const PolicyReduction& reduction);
+
+/// Drops removed coordinates from a database vector.
+Vector ReduceDatabase(const Vector& x, const PolicyReduction& reduction);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_PG_MATRIX_H_

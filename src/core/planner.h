@@ -1,0 +1,58 @@
+// Policy-aware mechanism selection — the practical payoff of the
+// paper: given a Blowfish policy (and whether the caller wants
+// data-dependent behaviour), choose the error-optimal strategy family
+// the theory admits:
+//
+//   tree-reducible policy      -> Theorem 4.3 tree transform (any inner
+//                                 mechanism; isotonic consistency when
+//                                 the transformed database is monotone)
+//   1D distance-threshold Gθ_k -> Hθ_k spanner + tree transform at
+//                                 ε/stretch (Section 5.3.1)
+//   grid policy θ=1, d>=2      -> per-line Privelet matrix mechanism
+//                                 (Theorem 4.1 / Section 5.2.2)
+//   2D distance-threshold θ>=2 -> slab strategy (Theorem 5.6), exposed
+//                                 through GridThetaRangeMechanism
+//   anything else (connected)  -> BFS spanning-tree fallback with the
+//                                 certified (possibly large) stretch
+//
+// The planner never silently weakens the guarantee: the chosen
+// mechanism's Guarantee() always states (ε, G) for the *original*
+// policy, with stretch already folded in.
+
+#ifndef BLOWFISH_CORE_PLANNER_H_
+#define BLOWFISH_CORE_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/blowfish_mechanism.h"
+#include "core/policy.h"
+
+namespace blowfish {
+
+/// \brief What the caller wants answered.
+struct PlanRequest {
+  Policy policy;
+  /// Prefer data-dependent estimation (DAWA) over Laplace for the
+  /// transformed database.
+  bool prefer_data_dependent = false;
+};
+
+/// \brief A selected mechanism plus the reasoning.
+struct Plan {
+  BlowfishMechanismPtr mechanism;
+  std::string kind;       ///< strategy family (see header comment)
+  std::string rationale;  ///< human-readable justification
+  int64_t stretch = 1;    ///< 1 unless a spanner was needed
+};
+
+/// Chooses and instantiates a mechanism for the request. For 2D θ>=2
+/// threshold policies this returns kind "grid-theta-range" with a null
+/// `mechanism` — use GridThetaRangeMechanism directly (its
+/// reconstruction is per-query, not a histogram release).
+Result<Plan> PlanMechanism(PlanRequest request);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_PLANNER_H_

@@ -1,0 +1,52 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Vector PerEdgeSensitivities(const SparseMatrix& w, const Policy& policy) {
+  BF_CHECK_EQ(w.cols(), policy.domain_size());
+  // Column access via the transpose (rows of Wᵀ are columns of W).
+  const SparseMatrix wt = w.Transpose();
+  const std::vector<Graph::Edge>& edges = policy.graph.edges();
+  Vector out;
+  out.reserve(edges.size());
+  for (const Graph::Edge& e : edges) {
+    const SparseMatrix::RowView cu = wt.Row(e.u);
+    double norm = 0.0;
+    if (e.v == Graph::kBottom) {
+      for (size_t i = 0; i < cu.nnz; ++i) norm += std::fabs(cu.values[i]);
+    } else {
+      const SparseMatrix::RowView cv = wt.Row(e.v);
+      // Merge the two sorted sparse rows computing ‖cu − cv‖₁.
+      size_t i = 0, j = 0;
+      while (i < cu.nnz || j < cv.nnz) {
+        if (j >= cv.nnz || (i < cu.nnz && cu.cols[i] < cv.cols[j])) {
+          norm += std::fabs(cu.values[i]);
+          ++i;
+        } else if (i >= cu.nnz || cv.cols[j] < cu.cols[i]) {
+          norm += std::fabs(cv.values[j]);
+          ++j;
+        } else {
+          norm += std::fabs(cu.values[i] - cv.values[j]);
+          ++i;
+          ++j;
+        }
+      }
+    }
+    out.push_back(norm);
+  }
+  return out;
+}
+
+double PolicySpecificSensitivity(const SparseMatrix& w,
+                                 const Policy& policy) {
+  const Vector per_edge = PerEdgeSensitivities(w, policy);
+  double best = 0.0;
+  for (double v : per_edge) best = std::max(best, v);
+  return best;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,26 @@
+// Policy-specific sensitivity ∆_W(G) (Definition 4.1): the largest L1
+// change of the workload answer across any pair of Blowfish neighbors.
+// Lemma 4.7 shows it equals the plain L1 sensitivity of the transformed
+// workload W_G; this module provides the direct per-edge computation
+// (no P_G needed) and a brute-force enumeration used to validate both
+// in tests.
+
+#ifndef BLOWFISH_CORE_SENSITIVITY_H_
+#define BLOWFISH_CORE_SENSITIVITY_H_
+
+#include "core/policy.h"
+#include "linalg/sparse.h"
+
+namespace blowfish {
+
+/// Direct evaluation of Definition 4.1: for every policy edge (u, v),
+/// ‖W(e_u − e_v)‖₁ (or ‖W e_u‖₁ for ⊥-edges); returns the max.
+double PolicySpecificSensitivity(const SparseMatrix& w, const Policy& policy);
+
+/// Per-edge sensitivities in policy-edge order (diagnostics and the
+/// Lemma 4.7 test: these are the column L1 norms of W_G).
+Vector PerEdgeSensitivities(const SparseMatrix& w, const Policy& policy);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_SENSITIVITY_H_

@@ -1,0 +1,194 @@
+#include "core/strategy_selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/pg_matrix.h"
+#include "core/transform.h"
+#include "linalg/pinv.h"
+#include "mech/privelet.h"
+
+namespace blowfish {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+double Trace(const Matrix& m) {
+  double acc = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) acc += m(i, i);
+  return acc;
+}
+
+// tr(A B) for square A, B of equal size.
+double TraceProduct(const Matrix& a, const Matrix& b) {
+  BF_CHECK_EQ(a.cols(), b.rows());
+  BF_CHECK_EQ(a.rows(), b.cols());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * b(j, i);
+  return acc;
+}
+
+}  // namespace
+
+Matrix BuildHierarchicalStrategy(size_t m, size_t branching) {
+  BF_CHECK_GE(branching, 2u);
+  BF_CHECK_GT(m, 0u);
+  // Level sizes bottom-up, then one row per node.
+  std::vector<std::vector<std::pair<size_t, size_t>>> levels;  // [lo, hi)
+  std::vector<std::pair<size_t, size_t>> current;
+  for (size_t i = 0; i < m; ++i) current.push_back({i, i + 1});
+  levels.push_back(current);
+  while (current.size() > 1) {
+    std::vector<std::pair<size_t, size_t>> next;
+    for (size_t j = 0; j < current.size(); j += branching) {
+      const size_t last = std::min(j + branching, current.size()) - 1;
+      next.push_back({current[j].first, current[last].second});
+    }
+    levels.push_back(next);
+    current = next;
+  }
+  size_t rows = 0;
+  for (const auto& level : levels) rows += level.size();
+  Matrix a(rows, m);
+  size_t r = 0;
+  for (const auto& level : levels) {
+    for (const auto& [lo, hi] : level) {
+      for (size_t c = lo; c < hi; ++c) a(r, c) = 1.0;
+      ++r;
+    }
+  }
+  return a;
+}
+
+Result<Matrix> BuildWaveletStrategy(size_t m) {
+  if (!IsPowerOfTwo(m)) {
+    return Status::InvalidArgument(
+        "wavelet strategy requires a power-of-two domain");
+  }
+  // Row i of the analysis matrix: apply the forward transform to each
+  // basis vector and collect coefficient i, then scale by weight i so
+  // all columns have equal L1 mass (sensitivity h+1).
+  const Vector weights = HaarWeights(m);
+  Matrix a(m, m);
+  Vector basis(m, 0.0);
+  for (size_t c = 0; c < m; ++c) {
+    basis.assign(m, 0.0);
+    basis[c] = 1.0;
+    HaarForward(&basis);
+    for (size_t r = 0; r < m; ++r) a(r, c) = weights[r] * basis[r];
+  }
+  return a;
+}
+
+Result<StrategyChoice> SelectStrategyFromGram(const Matrix& workload_gram,
+                                              double epsilon) {
+  if (workload_gram.rows() == 0 ||
+      workload_gram.rows() != workload_gram.cols()) {
+    return Status::InvalidArgument("workload gram must be square, nonempty");
+  }
+  BF_CHECK_GT(epsilon, 0.0);
+  const size_t m = workload_gram.cols();
+  const double gram_trace = Trace(workload_gram);
+
+  struct Candidate {
+    std::string name;
+    Matrix a;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"identity", Matrix::Identity(m)});
+  candidates.push_back({"hierarchical-b2", BuildHierarchicalStrategy(m, 2)});
+  if (IsPowerOfTwo(m)) {
+    candidates.push_back({"wavelet", BuildWaveletStrategy(m).ValueOrDie()});
+  }
+
+  StrategyChoice best;
+  best.expected_total_squared_error =
+      std::numeric_limits<double>::infinity();
+  for (Candidate& cand : candidates) {
+    Result<Matrix> pinv = PseudoInverse(cand.a);
+    if (!pinv.ok()) continue;
+    const Matrix& ap = pinv.ValueOrDie();
+    // Answerability: rowspace(W) ⊆ rowspace(A), i.e.
+    // tr(G (I - A⁺A)) == 0 for the projector A⁺A.
+    const Matrix projector = ap.Multiply(cand.a);
+    const double residual = gram_trace - TraceProduct(workload_gram, projector);
+    // Tolerance is dominated by the eigensolver's O(m * eps) projector
+    // error at m ~ 1000; genuinely unanswerable workloads miss by O(1)
+    // fractions of the trace.
+    if (std::fabs(residual) > 1e-6 * std::max(gram_trace, 1.0)) continue;
+    // Error: 2 (∆_A/ε)² tr(A⁺ᵀ G A⁺) = 2 (∆/ε)² Σ_ij (G A⁺)_ij A⁺_ij.
+    const Matrix g_ap = workload_gram.Multiply(ap);
+    double frob_sq = 0.0;
+    for (size_t i = 0; i < g_ap.rows(); ++i)
+      for (size_t j = 0; j < g_ap.cols(); ++j)
+        frob_sq += g_ap(i, j) * ap(i, j);
+    const double scale = cand.a.MaxColumnL1() / epsilon;
+    const double err = 2.0 * scale * scale * frob_sq;
+    best.evaluations.push_back({cand.name, err});
+    if (err < best.expected_total_squared_error) {
+      best.name = cand.name;
+      best.strategy = std::move(cand.a);
+      best.expected_total_squared_error = err;
+    }
+  }
+  if (best.evaluations.empty()) {
+    return Status::NumericalError("no strategy could answer the workload");
+  }
+  return best;
+}
+
+Result<StrategyChoice> SelectStrategy(const Matrix& workload,
+                                      double epsilon) {
+  if (workload.rows() == 0 || workload.cols() == 0) {
+    return Status::InvalidArgument("empty workload");
+  }
+  return SelectStrategyFromGram(workload.GramColumns(), epsilon);
+}
+
+Result<StrategyChoice> SelectStrategyForPolicy(const SparseMatrix& workload,
+                                               const Policy& policy,
+                                               double epsilon) {
+  Result<PolicyTransform> transform = PolicyTransform::Create(policy);
+  if (!transform.ok()) return transform.status();
+  const SparseMatrix wg =
+      transform.ValueOrDie().TransformWorkload(workload);
+  // Theorem 4.1: strategy error on (W_G, DP) equals the Blowfish error
+  // on (W, G).
+  return SelectStrategy(wg.ToDense(), epsilon);
+}
+
+Result<StrategyChoice> SelectStrategyForPolicyFromGram(
+    const Matrix& workload_gram, const Policy& policy, double epsilon) {
+  const size_t k = policy.domain_size();
+  if (workload_gram.rows() != k || workload_gram.cols() != k) {
+    return Status::InvalidArgument("workload gram must be k x k");
+  }
+  const PolicyReduction red = ReducePolicyGraph(policy.graph);
+  const size_t kept = red.new_to_old.size();
+  // G' = Dᵀ G D with D the reduction map (see lower_bounds.cc).
+  Matrix gram_reduced(kept, kept);
+  for (size_t a = 0; a < kept; ++a) {
+    const size_t oa = red.new_to_old[a];
+    const size_t ra = red.removed_of_component[a];
+    for (size_t b = a; b < kept; ++b) {
+      const size_t ob = red.new_to_old[b];
+      const size_t rb = red.removed_of_component[b];
+      double v = workload_gram(oa, ob);
+      if (ra != SIZE_MAX) v -= workload_gram(ra, ob);
+      if (rb != SIZE_MAX) v -= workload_gram(oa, rb);
+      if (ra != SIZE_MAX && rb != SIZE_MAX) v += workload_gram(ra, rb);
+      gram_reduced(a, b) = v;
+      gram_reduced(b, a) = v;
+    }
+  }
+  // Edge-domain gram: P_Gᵀ G' P_G.
+  const Matrix pg = BuildPgMatrix(red.graph).ToDense();
+  const Matrix gram_edges =
+      pg.Transpose().Multiply(gram_reduced).Multiply(pg);
+  return SelectStrategyFromGram(gram_edges, epsilon);
+}
+
+}  // namespace blowfish

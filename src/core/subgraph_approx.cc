@@ -1,0 +1,100 @@
+#include "core/subgraph_approx.h"
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+
+namespace blowfish {
+
+LineSpanner BuildLineThetaSpanner(size_t k, size_t theta) {
+  BF_CHECK_GE(theta, 1u);
+  BF_CHECK_GE(k, 2u);
+  BF_CHECK_MSG(k % theta == 0, "Hθ_k requires θ | k (the paper's setting)");
+  LineSpanner spanner{Graph(k), theta, {}};
+  // Red vertices sit at positions θ-1, 2θ-1, ..., k-1 (0-based). Group
+  // m collects every edge whose right endpoint is red vertex
+  // r = (m+1)θ-1: the θ-1 non-red vertices to its left plus the edge
+  // from the previous red vertex (absent for the first group).
+  for (size_t m = 0; m < k / theta; ++m) {
+    const size_t red = (m + 1) * theta - 1;
+    if (m > 0) {
+      spanner.graph.AddEdge(m * theta - 1, red);  // previous red
+    }
+    for (size_t u = m * theta; u < red; ++u) {
+      spanner.graph.AddEdge(u, red);
+    }
+    spanner.group_ends.push_back(spanner.graph.num_edges());
+  }
+  BF_CHECK_EQ(spanner.graph.num_edges(), k - 1);  // a tree
+  return spanner;
+}
+
+GridSpanner BuildGridThetaSpanner(const DomainShape& domain, size_t block) {
+  BF_CHECK_GE(block, 1u);
+  const size_t d = domain.num_dims();
+  for (size_t i = 0; i < d; ++i) {
+    BF_CHECK_MSG(domain.dim(i) % block == 0,
+                 "grid spanner requires block | dim");
+  }
+  GridSpanner spanner{Graph(domain.size()), block, {}, {}};
+  spanner.red_of.resize(domain.size());
+  spanner.internal_edge.assign(domain.size(), SIZE_MAX);
+
+  // Red corner of the block containing coordinate c along one axis:
+  // (floor(c / block) + 1) * block - 1.
+  const auto red_coord = [block](size_t c) {
+    return (c / block + 1) * block - 1;
+  };
+  for (size_t u = 0; u < domain.size(); ++u) {
+    std::vector<size_t> coords = domain.Unflatten(u);
+    for (size_t i = 0; i < d; ++i) coords[i] = red_coord(coords[i]);
+    spanner.red_of[u] = domain.Flatten(coords);
+  }
+  // Internal edges: non-red vertex -> its red corner.
+  for (size_t u = 0; u < domain.size(); ++u) {
+    if (spanner.red_of[u] != u) {
+      spanner.internal_edge[u] = spanner.graph.num_edges();
+      spanner.graph.AddEdge(u, spanner.red_of[u]);
+    }
+  }
+  // External edges: red corners form a coarse grid (adjacent blocks).
+  std::vector<size_t> neighbor(d);
+  for (size_t u = 0; u < domain.size(); ++u) {
+    if (spanner.red_of[u] != u) continue;  // red vertices only
+    const std::vector<size_t> coords = domain.Unflatten(u);
+    for (size_t i = 0; i < d; ++i) {
+      if (coords[i] + block < domain.dim(i)) {
+        std::vector<size_t> next = coords;
+        next[i] += block;
+        spanner.graph.AddEdge(u, domain.Flatten(next));
+      }
+    }
+  }
+  return spanner;
+}
+
+Result<SpannerCertificate> CertifySpanner(const Policy& original,
+                                          Policy spanner) {
+  if (original.domain_size() != spanner.domain_size()) {
+    return Status::InvalidArgument("spanner domain mismatch");
+  }
+  const int64_t stretch = MaxEdgeStretch(original.graph, spanner.graph);
+  if (stretch < 0) {
+    return Status::InvalidArgument(
+        "spanner does not connect every policy edge");
+  }
+  return SpannerCertificate{std::move(spanner), stretch};
+}
+
+Result<SpannerCertificate> LineThetaSpannerFor(const Policy& theta_policy,
+                                               size_t theta) {
+  const size_t k = theta_policy.domain_size();
+  if (k % theta != 0) {
+    return Status::InvalidArgument("Hθ_k requires θ | k");
+  }
+  LineSpanner line = BuildLineThetaSpanner(k, theta);
+  Policy spanner{"H^" + std::to_string(theta) + "_" + std::to_string(k),
+                 theta_policy.domain, std::move(line.graph)};
+  return CertifySpanner(theta_policy, std::move(spanner));
+}
+
+}  // namespace blowfish

@@ -1,0 +1,74 @@
+// Subgraph approximation (Lemma 4.5 / Corollary 4.6, Sections 5.3.1,
+// 5.3.2). For distance-threshold policies Gθ the transformed workload
+// is not well studied, so the paper substitutes a sparser graph H on
+// the same vertices in which every policy edge is a short path: a
+// mechanism that is (ε, H)-Blowfish private is (ℓ·ε, G)-Blowfish
+// private, where ℓ is the certified stretch. Running the H-mechanism
+// at budget ε/ℓ therefore yields an (ε, G) guarantee.
+//
+// Builders:
+//  * LineThetaSpanner — the Hθ_k of Figure 6: red vertices every θ
+//    positions form a path; every other vertex hangs off the next red
+//    vertex to its right. A tree with stretch ≤ 3.
+//  * GridThetaSpanner — the Hθ_{k^d} of Figure 7: the domain is tiled
+//    into blocks; each block's vertices attach to the block's red
+//    corner (internal edges) and red corners form a coarse grid
+//    (external edges). Not a tree for d >= 2.
+
+#ifndef BLOWFISH_CORE_SUBGRAPH_APPROX_H_
+#define BLOWFISH_CORE_SUBGRAPH_APPROX_H_
+
+#include "common/status.h"
+#include "core/policy.h"
+#include "graph/graph.h"
+
+namespace blowfish {
+
+/// \brief A substitute policy graph together with its certified
+/// stretch relative to the original policy.
+struct SpannerCertificate {
+  Policy spanner;     ///< policy over the same domain using graph H
+  int64_t stretch;    ///< exact max over G-edges of dist_H(u, v)
+};
+
+/// \brief Structure of the 1D spanner Hθ_k (used by strategies to form
+/// Privelet groups): edges are emitted group by group, one group per
+/// red vertex (all edges whose right endpoint is that red vertex,
+/// ordered by left endpoint).
+struct LineSpanner {
+  Graph graph;
+  size_t theta;
+  /// Exclusive end offsets of each red-vertex group in edge order.
+  std::vector<size_t> group_ends;
+};
+
+/// Builds Hθ_k. Requires k % theta == 0 (the paper's setting) and
+/// theta >= 1; theta == 1 degenerates to the line graph with singleton
+/// groups merged into one path group.
+LineSpanner BuildLineThetaSpanner(size_t k, size_t theta);
+
+/// Builds Hθ over a d-dimensional grid with block side `block`
+/// (the paper uses block = θ/d). Each dimension must be divisible by
+/// `block`. Red corner of a block = its maximum coordinate corner.
+/// Returns the graph plus, for each vertex, its red representative
+/// (red vertices map to themselves).
+struct GridSpanner {
+  Graph graph;
+  size_t block;
+  std::vector<size_t> red_of;        ///< flattened red corner per vertex
+  std::vector<size_t> internal_edge; ///< edge index per non-red vertex, SIZE_MAX for red
+};
+GridSpanner BuildGridThetaSpanner(const DomainShape& domain, size_t block);
+
+/// Certifies a spanner against a policy: exact stretch via BFS. Fails
+/// with InvalidArgument if some policy edge is disconnected in H.
+Result<SpannerCertificate> CertifySpanner(const Policy& original,
+                                          Policy spanner);
+
+/// Convenience: build + certify the Hθ_k spanner for a Gθ_k policy.
+Result<SpannerCertificate> LineThetaSpannerFor(const Policy& theta_policy,
+                                               size_t theta);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_CORE_SUBGRAPH_APPROX_H_

@@ -1,0 +1,166 @@
+#include "core/transform.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "graph/algorithms.h"
+#include "linalg/cg.h"
+
+namespace blowfish {
+
+Result<PolicyTransform> PolicyTransform::Create(Policy policy,
+                                                size_t prefer_removed) {
+  if (policy.graph.num_edges() == 0) {
+    return Status::InvalidArgument(
+        "policy graph has no edges; nothing is protected");
+  }
+  PolicyTransform t;
+  t.policy_ = std::move(policy);
+  t.reduction_ = ReducePolicyGraph(t.policy_.graph, prefer_removed);
+  t.pg_ = BuildPgMatrix(t.reduction_.graph);
+  t.is_tree_ = IsTree(t.reduction_.graph);
+
+  if (t.is_tree_) {
+    // Root the tree at ⊥ and record parent edges with signs.
+    const Graph& g = t.reduction_.graph;
+    const size_t kept = g.num_vertices();
+    t.parent_edge_.assign(kept, SIZE_MAX);
+    t.parent_sign_.assign(kept, 0.0);
+    std::vector<bool> visited(kept, false);
+    std::deque<size_t> queue;
+    // Start from every vertex adjacent to ⊥.
+    for (size_t u = 0; u < kept; ++u) {
+      for (const Graph::Incidence& inc : g.Neighbors(u)) {
+        if (inc.neighbor == Graph::kBottom && !visited[u]) {
+          visited[u] = true;
+          t.parent_edge_[u] = inc.edge;
+          t.parent_sign_[u] = 1.0;  // ⊥-edge column: +1 at u
+          queue.push_back(u);
+          t.bfs_order_.push_back(u);
+        }
+      }
+    }
+    while (!queue.empty()) {
+      const size_t u = queue.front();
+      queue.pop_front();
+      for (const Graph::Incidence& inc : g.Neighbors(u)) {
+        if (inc.neighbor == Graph::kBottom) continue;
+        const size_t w = inc.neighbor;
+        if (visited[w]) continue;
+        visited[w] = true;
+        t.parent_edge_[w] = inc.edge;
+        // Column of edge e = (a, b): +1 at a, -1 at b.
+        t.parent_sign_[w] = (g.edges()[inc.edge].u == w) ? 1.0 : -1.0;
+        queue.push_back(w);
+        t.bfs_order_.push_back(w);
+      }
+    }
+    BF_CHECK_EQ(t.bfs_order_.size(), kept);
+  }
+  return t;
+}
+
+SparseMatrix PolicyTransform::TransformWorkload(const SparseMatrix& w) const {
+  BF_CHECK_EQ(w.cols(), policy_.domain_size());
+  const SparseMatrix reduced = ReduceWorkloadMatrix(w, reduction_);
+  return reduced.Multiply(pg_);
+}
+
+Vector PolicyTransform::TransformDatabase(const Vector& x) const {
+  BF_CHECK_EQ(x.size(), policy_.domain_size());
+  const Vector reduced = ReduceDatabase(x, reduction_);
+  return is_tree_ ? TransformDatabaseTree(reduced)
+                  : TransformDatabaseGeneral(reduced);
+}
+
+Vector PolicyTransform::TransformDatabaseTree(const Vector& reduced) const {
+  const Graph& g = reduction_.graph;
+  Vector xg(g.num_edges(), 0.0);
+  // Leaves-first sweep: each vertex determines its parent edge weight
+  // from its own count and its already-solved child edges.
+  for (size_t i = bfs_order_.size(); i-- > 0;) {
+    const size_t u = bfs_order_[i];
+    double val = reduced[u];
+    for (const Graph::Incidence& inc : g.Neighbors(u)) {
+      if (inc.edge == parent_edge_[u]) continue;
+      const double sign = (g.edges()[inc.edge].u == u) ? 1.0 : -1.0;
+      val -= sign * xg[inc.edge];
+    }
+    xg[parent_edge_[u]] = parent_sign_[u] * val;
+  }
+  return xg;
+}
+
+Vector PolicyTransform::TransformDatabaseGeneral(const Vector& reduced) const {
+  // Minimum-norm solution x_G = P^T (P P^T)^{-1} x'. P P^T is the
+  // ⊥-grounded Laplacian of the reduced graph: SPD because every
+  // component touches ⊥.
+  const Graph& g = reduction_.graph;
+  const size_t kept = g.num_vertices();
+  const auto laplacian_apply = [&](const Vector& v) {
+    Vector out(kept, 0.0);
+    for (size_t u = 0; u < kept; ++u) {
+      double acc = static_cast<double>(g.Degree(u)) * v[u];
+      for (const Graph::Incidence& inc : g.Neighbors(u)) {
+        if (inc.neighbor != Graph::kBottom) acc -= v[inc.neighbor];
+      }
+      out[u] = acc;
+    }
+    return out;
+  };
+  CgOptions options;
+  options.rel_tolerance = 1e-11;
+  Result<CgResult> solved = ConjugateGradient(laplacian_apply, reduced, options);
+  solved.status().Check();
+  return pg_.TransposeMultiplyVector(solved.ValueOrDie().x);
+}
+
+Vector PolicyTransform::ReconstructHistogram(
+    const Vector& xg_estimate, const Vector& component_totals) const {
+  BF_CHECK_EQ(xg_estimate.size(), pg_.cols());
+  BF_CHECK_EQ(component_totals.size(), reduction_.removed.size());
+  const Vector kept_estimate = pg_.MultiplyVector(xg_estimate);
+  Vector out(policy_.domain_size(), 0.0);
+  for (size_t j = 0; j < reduction_.new_to_old.size(); ++j) {
+    out[reduction_.new_to_old[j]] = kept_estimate[j];
+  }
+  for (size_t r = 0; r < reduction_.removed.size(); ++r) {
+    const size_t rv = reduction_.removed[r];
+    double others = 0.0;
+    for (size_t j = 0; j < reduction_.new_to_old.size(); ++j) {
+      if (reduction_.removed_of_component[j] == rv) others += kept_estimate[j];
+    }
+    out[rv] = component_totals[r] - others;
+  }
+  return out;
+}
+
+Vector PolicyTransform::ReconstructHistogram(const Vector& xg_estimate,
+                                             double n) const {
+  BF_CHECK_LE(reduction_.removed.size(), 1u);
+  Vector totals;
+  if (reduction_.removed.size() == 1) totals.push_back(n);
+  return ReconstructHistogram(xg_estimate, totals);
+}
+
+Vector PolicyTransform::ComponentTotals(const Vector& x) const {
+  BF_CHECK_EQ(x.size(), policy_.domain_size());
+  Vector totals;
+  totals.reserve(reduction_.removed.size());
+  for (size_t rv : reduction_.removed) {
+    double total = x[rv];
+    for (size_t j = 0; j < reduction_.new_to_old.size(); ++j) {
+      if (reduction_.removed_of_component[j] == rv) {
+        total += x[reduction_.new_to_old[j]];
+      }
+    }
+    totals.push_back(total);
+  }
+  return totals;
+}
+
+double PolicyTransform::PolicySensitivity(const SparseMatrix& w) const {
+  return TransformWorkload(w).MaxColumnL1();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,28 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace blowfish {
+
+double Dataset::PercentZeroCounts() const {
+  if (counts.empty()) return 0.0;
+  return 100.0 * static_cast<double>(CountZeros(counts)) /
+         static_cast<double>(counts.size());
+}
+
+Dataset Dataset::Aggregate1D(size_t new_k) const {
+  BF_CHECK_EQ(domain.num_dims(), 1u);
+  const size_t k = domain.size();
+  BF_CHECK_GT(new_k, 0u);
+  BF_CHECK_EQ(k % new_k, 0u);
+  const size_t factor = k / new_k;
+  Dataset out;
+  out.name = name + "@" + std::to_string(new_k);
+  out.description = description;
+  out.domain = DomainShape({new_k});
+  out.counts.assign(new_k, 0.0);
+  for (size_t i = 0; i < k; ++i) out.counts[i / factor] += counts[i];
+  return out;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,37 @@
+// Dataset representation and summary statistics (Table 1 of the
+// paper). A dataset is a histogram over a (possibly multi-dimensional)
+// grid domain; the statistics the paper reports — domain size, scale
+// (total number of records), and % zero counts — are what drives the
+// relative behaviour of data-dependent mechanisms.
+
+#ifndef BLOWFISH_DATA_DATASET_H_
+#define BLOWFISH_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/builders.h"
+#include "linalg/vector_ops.h"
+
+namespace blowfish {
+
+/// \brief A histogram dataset over a grid domain.
+struct Dataset {
+  std::string name;
+  std::string description;
+  DomainShape domain;
+  Vector counts;  ///< size == domain.size(), non-negative
+
+  /// Total number of records (the paper's "Scale").
+  double Scale() const { return Sum(counts); }
+  /// Percentage of domain cells with an exactly-zero count.
+  double PercentZeroCounts() const;
+  /// Aggregates a 1D dataset to a coarser domain of size `new_k`
+  /// (must divide the current size); used by the paper's domain-size
+  /// sweep over dataset D (4096 -> 2048 -> 1024 -> 512).
+  Dataset Aggregate1D(size_t new_k) const;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_DATA_DATASET_H_

@@ -1,0 +1,285 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+constexpr size_t kDomain1D = 4096;
+
+// Allocates `n` records among cells proportionally to `weights` using
+// the largest-remainder method, then guarantees every cell with a
+// positive weight receives at least one record (shape statistics in
+// Table 1 are phrased in terms of exactly-zero counts). Total is
+// preserved exactly.
+Vector Allocate(const Vector& weights, double n) {
+  const double total_w = Sum(weights);
+  BF_CHECK_GT(total_w, 0.0);
+  const size_t k = weights.size();
+  Vector counts(k, 0.0);
+  std::vector<std::pair<double, size_t>> remainders;
+  remainders.reserve(k);
+  double assigned = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double ideal = n * weights[i] / total_w;
+    counts[i] = std::floor(ideal);
+    assigned += counts[i];
+    remainders.push_back({ideal - counts[i], i});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t leftover = static_cast<size_t>(std::llround(n - assigned));
+  for (size_t j = 0; j < leftover && j < remainders.size(); ++j) {
+    counts[remainders[j].second] += 1.0;
+  }
+  // Ensure intended-support cells are nonzero: move single records from
+  // the heaviest cells.
+  size_t heaviest =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  for (size_t i = 0; i < k; ++i) {
+    if (weights[i] > 0.0 && counts[i] == 0.0) {
+      BF_CHECK_GT(counts[heaviest], 1.0);
+      counts[heaviest] -= 1.0;
+      counts[i] += 1.0;
+    }
+  }
+  return counts;
+}
+
+// Zeroes out the smallest-weight cells until exactly
+// round(zero_frac * k) cells have zero weight. Ties are broken by a
+// random shuffle so the zero set is not an interval.
+void ImposeZeroFraction(Vector* weights, double zero_frac, Rng* rng) {
+  const size_t k = weights->size();
+  const size_t target_zeros = static_cast<size_t>(std::llround(zero_frac * k));
+  std::vector<size_t> order(k);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng->engine());
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*weights)[a] < (*weights)[b];
+  });
+  size_t zeros = 0;
+  for (size_t i = 0; i < k && zeros < target_zeros; ++i) {
+    (*weights)[order[i]] = 0.0;
+    ++zeros;
+  }
+  // If the raw weights already had more zeros than targeted, revive the
+  // extra cells with a tiny positive weight.
+  for (size_t i = target_zeros; i < k; ++i) {
+    if ((*weights)[order[i]] == 0.0) (*weights)[order[i]] = 1e-9;
+  }
+}
+
+double LognormalPdf(double x, double mu, double sigma) {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (x * sigma * std::sqrt(2.0 * M_PI));
+}
+
+Dataset Finish(const std::string& name, const std::string& description,
+               Vector weights, double scale, double zero_frac, Rng* rng) {
+  ImposeZeroFraction(&weights, zero_frac, rng);
+  Dataset ds;
+  ds.name = name;
+  ds.description = description;
+  ds.domain = DomainShape({weights.size()});
+  ds.counts = Allocate(weights, scale);
+  return ds;
+}
+
+Vector WeightsA(Rng* rng) {
+  // Patent-citation arrivals: smooth exponential growth with mild
+  // multiplicative noise — dense, few zeros.
+  Vector w(kDomain1D);
+  for (size_t i = 0; i < kDomain1D; ++i) {
+    const double t = static_cast<double>(i) / kDomain1D;
+    w[i] = std::exp(3.0 * t) * (0.7 + 0.6 * rng->Uniform());
+  }
+  return w;
+}
+
+Vector WeightsB(Rng* rng) {
+  // Personal income in fine bins: lognormal bulk plus round-number
+  // spikes; the upper tail is empty.
+  Vector w(kDomain1D);
+  for (size_t i = 0; i < kDomain1D; ++i) {
+    const double income = (static_cast<double>(i) + 0.5) / kDomain1D * 500.0;
+    w[i] = LognormalPdf(income, std::log(45.0), 0.8);
+    if (i % 64 == 0) w[i] *= 4.0;  // round-number reporting heaps
+    w[i] *= 0.8 + 0.4 * rng->Uniform();
+  }
+  return w;
+}
+
+Vector WeightsC(Rng* rng) {
+  // HepPH citation arrivals: growth with conference-season bursts.
+  Vector w(kDomain1D);
+  for (size_t i = 0; i < kDomain1D; ++i) {
+    const double t = static_cast<double>(i) / kDomain1D;
+    double v = std::exp(2.2 * t) * (0.5 + rng->Uniform());
+    v *= 1.0 + 0.8 * std::sin(t * 40.0);
+    w[i] = std::max(v, 0.0);
+  }
+  return w;
+}
+
+Vector WeightsD(Rng* rng) {
+  // Search-term frequency over time: small baseline, a few large event
+  // spikes with exponential decay, weekly periodicity.
+  Vector w(kDomain1D, 0.0);
+  for (size_t i = 0; i < kDomain1D; ++i) {
+    const double t = static_cast<double>(i);
+    w[i] = 0.2 * (1.0 + 0.5 * std::sin(t / 7.0)) * rng->Uniform();
+  }
+  const size_t num_spikes = 14;
+  for (size_t s = 0; s < num_spikes; ++s) {
+    const size_t center = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(kDomain1D) - 1));
+    const double height = 40.0 * (0.3 + rng->Uniform());
+    const double decay = 20.0 + 60.0 * rng->Uniform();
+    for (size_t i = center; i < std::min(center + 400, kDomain1D); ++i) {
+      w[i] += height * std::exp(-static_cast<double>(i - center) / decay);
+    }
+  }
+  return w;
+}
+
+Vector WeightsE(Rng* rng) {
+  // Per-host external connection counts: Zipfian over a tiny support.
+  Vector w(kDomain1D, 0.0);
+  const size_t support = static_cast<size_t>(0.034 * kDomain1D);
+  for (size_t j = 0; j < support; ++j) {
+    const size_t cell = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(kDomain1D) - 1));
+    w[cell] += 1.0 / std::pow(static_cast<double>(j) + 1.0, 1.1);
+  }
+  return w;
+}
+
+Vector WeightsF(Rng* rng) {
+  // Census capital-loss: overwhelming mass at a handful of clustered
+  // "round amount" bins.
+  Vector w(kDomain1D, 0.0);
+  const size_t num_clusters = 25;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const size_t center = static_cast<size_t>(
+        rng->UniformInt(50, static_cast<int64_t>(kDomain1D) - 50));
+    const double mass = std::pow(10.0, 1.0 + 2.0 * rng->Uniform());
+    for (int64_t off = -2; off <= 2; ++off) {
+      w[center + off] += mass / (1.0 + std::abs(off));
+    }
+  }
+  return w;
+}
+
+Vector WeightsG(Rng* rng) {
+  // Medical expenses: sparse lognormal with scattered support.
+  Vector w(kDomain1D, 0.0);
+  for (size_t i = 0; i < kDomain1D; ++i) {
+    if (rng->Uniform() < 0.35) {
+      const double expense = (static_cast<double>(i) + 0.5) / kDomain1D * 100.0;
+      w[i] = LognormalPdf(expense, std::log(8.0), 1.1) + 1e-4;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+Dataset MakeDataset1D(Dataset1D which, uint64_t seed) {
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(which) + 1)));
+  switch (which) {
+    case Dataset1D::kA:
+      return Finish("A", "patent citation link arrivals (synthetic)",
+                    WeightsA(&rng), 2.8e7, 0.0620, &rng);
+    case Dataset1D::kB:
+      return Finish("B", "personal income histogram (synthetic)",
+                    WeightsB(&rng), 2.0e7, 0.4497, &rng);
+    case Dataset1D::kC:
+      return Finish("C", "HepPH citation link arrivals (synthetic)",
+                    WeightsC(&rng), 3.5e5, 0.2117, &rng);
+    case Dataset1D::kD:
+      return Finish("D", "search term frequency over time (synthetic)",
+                    WeightsD(&rng), 3.4e5, 0.5103, &rng);
+    case Dataset1D::kE:
+      return Finish("E", "per-host external connections (synthetic)",
+                    WeightsE(&rng), 2.6e4, 0.9661, &rng);
+    case Dataset1D::kF:
+      return Finish("F", "census capital-loss attribute (synthetic)",
+                    WeightsF(&rng), 1.8e4, 0.9708, &rng);
+    case Dataset1D::kG:
+      return Finish("G", "personal medical expenses (synthetic)",
+                    WeightsG(&rng), 9.4e3, 0.7480, &rng);
+  }
+  BF_CHECK_MSG(false, "unknown dataset id");
+  return Dataset{};
+}
+
+std::vector<Dataset> MakeAllDatasets1D(uint64_t seed) {
+  std::vector<Dataset> out;
+  for (Dataset1D which : {Dataset1D::kA, Dataset1D::kB, Dataset1D::kC,
+                          Dataset1D::kD, Dataset1D::kE, Dataset1D::kF,
+                          Dataset1D::kG}) {
+    out.push_back(MakeDataset1D(which, seed));
+  }
+  return out;
+}
+
+Dataset MakeTwitterDataset(size_t k, uint64_t seed) {
+  BF_CHECK_GE(k, 2u);
+  Rng rng(seed ^ 0x7719A9C6B1ull);
+  // Population centers in the unit square (western-USA analogue): a few
+  // large metros, several mid-size towns.
+  struct Cluster {
+    double x, y, sigma, weight;
+  };
+  const std::vector<Cluster> clusters = {
+      {0.15, 0.70, 0.012, 0.24},  // large coastal metro
+      {0.18, 0.45, 0.015, 0.16},  {0.12, 0.25, 0.010, 0.12},
+      {0.55, 0.60, 0.020, 0.09},  {0.70, 0.35, 0.018, 0.08},
+      {0.45, 0.20, 0.014, 0.07},  {0.80, 0.75, 0.022, 0.05},
+      {0.35, 0.80, 0.020, 0.04},  {0.62, 0.85, 0.016, 0.03},
+      {0.88, 0.15, 0.020, 0.02},
+  };
+  // Checkins are overwhelmingly urban: a sliver of diffuse rural mass
+  // reproduces Table 1's zero-count profile across all three grids.
+  const double background = 0.0012;
+  const size_t n_points = 190000;
+
+  Dataset ds;
+  ds.name = "T" + std::to_string(k);
+  ds.description = "geo-tagged tweet counts over a " + std::to_string(k) +
+                   "x" + std::to_string(k) + " grid (synthetic)";
+  ds.domain = DomainShape({k, k});
+  ds.counts.assign(k * k, 0.0);
+
+  std::vector<double> cluster_weights;
+  for (const Cluster& c : clusters) cluster_weights.push_back(c.weight);
+
+  for (size_t i = 0; i < n_points; ++i) {
+    double x, y;
+    if (rng.Uniform() < background) {
+      x = rng.Uniform();
+      y = rng.Uniform();
+    } else {
+      const Cluster& c = clusters[rng.Categorical(cluster_weights)];
+      x = c.x + rng.Normal(0.0, c.sigma);
+      y = c.y + rng.Normal(0.0, c.sigma);
+      if (x < 0.0 || x >= 1.0 || y < 0.0 || y >= 1.0) {
+        x = rng.Uniform();
+        y = rng.Uniform();
+      }
+    }
+    const size_t cx = std::min(static_cast<size_t>(x * k), k - 1);
+    const size_t cy = std::min(static_cast<size_t>(y * k), k - 1);
+    ds.counts[ds.domain.Flatten({cx, cy})] += 1.0;
+  }
+  return ds;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,86 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace blowfish {
+
+Result<Vector> LoadHistogramCsv(const std::string& path,
+                                size_t expected_size) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError("cannot open " + path);
+  }
+  Vector bare;
+  Vector indexed(expected_size, 0.0);
+  bool any_indexed = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    const size_t comma = line.find(',');
+    std::istringstream fields(line);
+    if (comma == std::string::npos) {
+      double count;
+      if (!(fields >> count)) {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": expected a numeric count");
+      }
+      bare.push_back(count);
+    } else {
+      any_indexed = true;
+      size_t index;
+      char sep;
+      double count;
+      if (!(fields >> index >> sep >> count) || sep != ',') {
+        return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                       ": expected 'index,count'");
+      }
+      if (expected_size == 0) {
+        if (index >= indexed.size()) indexed.resize(index + 1, 0.0);
+      } else if (index >= expected_size) {
+        return Status::OutOfRange(path + ":" + std::to_string(line_no) +
+                                  ": index " + std::to_string(index) +
+                                  " out of range");
+      }
+      indexed[index] += count;
+    }
+  }
+  if (any_indexed && !bare.empty()) {
+    return Status::InvalidArgument(
+        path + ": mixing bare-count and index,count lines");
+  }
+  if (any_indexed) return indexed;
+  if (expected_size > 0 && bare.size() != expected_size) {
+    return Status::InvalidArgument(
+        path + ": expected " + std::to_string(expected_size) +
+        " cells, found " + std::to_string(bare.size()));
+  }
+  if (bare.empty()) {
+    return Status::InvalidArgument(path + ": no data lines");
+  }
+  return bare;
+}
+
+Status SaveHistogramCsv(const std::string& path, const Vector& counts) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << "# index,count\n";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out << i << "," << counts[i] << "\n";
+  }
+  if (!out.good()) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,29 @@
+// CSV input/output for histogram datasets and releases, so the library
+// (and the blowfish_cli tool) can operate on user data.
+//
+// Format: one line per cell. Either a bare count ("12") or an
+// "index,count" pair; lines starting with '#' and blank lines are
+// skipped. Multi-dimensional domains use row-major flattened indices.
+
+#ifndef BLOWFISH_DATA_IO_H_
+#define BLOWFISH_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace blowfish {
+
+/// Reads a histogram vector. If `expected_size` > 0 the file must
+/// provide exactly that many cells (bare-count format) or indices
+/// within range (pair format, missing cells default to 0).
+Result<Vector> LoadHistogramCsv(const std::string& path,
+                                size_t expected_size = 0);
+
+/// Writes one count per line ("index,count").
+Status SaveHistogramCsv(const std::string& path, const Vector& counts);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_DATA_IO_H_

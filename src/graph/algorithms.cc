@@ -1,0 +1,181 @@
+#include "graph/algorithms.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+// Internally ⊥ is mapped to index n so BFS can treat it uniformly.
+size_t InternalIndex(const Graph& g, size_t v) {
+  return v == Graph::kBottom ? g.num_vertices() : v;
+}
+
+}  // namespace
+
+std::vector<int64_t> BfsDistances(const Graph& g, size_t source) {
+  const size_t n = g.num_vertices();
+  std::vector<int64_t> dist(n + 1, -1);
+  std::deque<size_t> queue;
+  const size_t s = InternalIndex(g, source);
+  BF_CHECK_LE(s, n);
+  dist[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const size_t u = queue.front();
+    queue.pop_front();
+    if (u == n) {
+      // Expand from bottom: bottom's neighbors are all vertices with a
+      // bottom edge; scan is O(V) but bottom is expanded at most once.
+      for (size_t w = 0; w < n; ++w) {
+        if (dist[w] == -1 && g.HasEdge(w, Graph::kBottom)) {
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+      }
+      continue;
+    }
+    for (const Graph::Incidence& inc : g.Neighbors(u)) {
+      const size_t w = InternalIndex(g, inc.neighbor);
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+int64_t Distance(const Graph& g, size_t u, size_t v) {
+  const std::vector<int64_t> dist = BfsDistances(g, u);
+  return dist[InternalIndex(g, v)];
+}
+
+std::vector<size_t> ConnectedComponents(const Graph& g,
+                                        size_t* num_components) {
+  const size_t n = g.num_vertices();
+  std::vector<size_t> comp(n + 1, SIZE_MAX);
+  size_t next = 0;
+  for (size_t start = 0; start <= n; ++start) {
+    if (comp[start] != SIZE_MAX) continue;
+    if (start == n && !g.has_bottom()) continue;  // ⊥ absent
+    const std::vector<int64_t> dist =
+        BfsDistances(g, start == n ? Graph::kBottom : start);
+    for (size_t v = 0; v <= n; ++v) {
+      if (dist[v] >= 0 && comp[v] == SIZE_MAX) comp[v] = next;
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  comp.resize(n);  // callers index by domain vertex
+  return comp;
+}
+
+bool IsConnected(const Graph& g) {
+  size_t n_comp = 0;
+  ConnectedComponents(g, &n_comp);
+  return n_comp <= 1;
+}
+
+bool IsTree(const Graph& g) {
+  if (!IsConnected(g)) return false;
+  const size_t vertices = g.num_vertices() + (g.has_bottom() ? 1 : 0);
+  return g.num_edges() + 1 == vertices;
+}
+
+Graph BfsSpanningTree(const Graph& g, size_t root) {
+  BF_CHECK_MSG(IsConnected(g), "spanning tree requires a connected graph");
+  const size_t n = g.num_vertices();
+  Graph tree(n);
+  std::vector<bool> visited(n + 1, false);
+  std::deque<size_t> queue;
+  const size_t s = InternalIndex(g, root);
+  visited[s] = true;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const size_t u = queue.front();
+    queue.pop_front();
+    if (u == n) {
+      for (size_t w = 0; w < n; ++w) {
+        if (!visited[w] && g.HasEdge(w, Graph::kBottom)) {
+          visited[w] = true;
+          tree.AddEdge(w, Graph::kBottom);
+          queue.push_back(w);
+        }
+      }
+      continue;
+    }
+    for (const Graph::Incidence& inc : g.Neighbors(u)) {
+      const size_t w = InternalIndex(g, inc.neighbor);
+      if (!visited[w]) {
+        visited[w] = true;
+        tree.AddEdge(u, inc.neighbor == Graph::kBottom ? Graph::kBottom
+                                                       : inc.neighbor);
+        queue.push_back(w);
+      }
+    }
+  }
+  return tree;
+}
+
+Graph BfsSpanningForest(const Graph& g) {
+  const size_t n = g.num_vertices();
+  Graph forest(n);
+  std::vector<bool> visited(n + 1, false);
+  const auto bfs_from = [&](size_t start_internal) {
+    std::deque<size_t> queue;
+    visited[start_internal] = true;
+    queue.push_back(start_internal);
+    while (!queue.empty()) {
+      const size_t u = queue.front();
+      queue.pop_front();
+      if (u == n) {
+        for (size_t w = 0; w < n; ++w) {
+          if (!visited[w] && g.HasEdge(w, Graph::kBottom)) {
+            visited[w] = true;
+            forest.AddEdge(w, Graph::kBottom);
+            queue.push_back(w);
+          }
+        }
+        continue;
+      }
+      for (const Graph::Incidence& inc : g.Neighbors(u)) {
+        const size_t w = InternalIndex(g, inc.neighbor);
+        if (!visited[w]) {
+          visited[w] = true;
+          forest.AddEdge(u, inc.neighbor == Graph::kBottom ? Graph::kBottom
+                                                           : inc.neighbor);
+          queue.push_back(w);
+        }
+      }
+    }
+  };
+  if (g.has_bottom()) bfs_from(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (!visited[v]) bfs_from(v);
+  }
+  return forest;
+}
+
+int64_t MaxEdgeStretch(const Graph& g, const Graph& h) {
+  BF_CHECK_EQ(g.num_vertices(), h.num_vertices());
+  // Group queries by source so each BFS in h is reused.
+  std::unordered_map<size_t, std::vector<size_t>> by_source;
+  for (const Graph::Edge& e : g.edges()) {
+    by_source[e.u].push_back(InternalIndex(h, e.v));
+  }
+  int64_t worst = 0;
+  for (const auto& [src, targets] : by_source) {
+    const std::vector<int64_t> dist = BfsDistances(h, src);
+    for (size_t t : targets) {
+      if (dist[t] < 0) return -1;
+      worst = std::max(worst, dist[t]);
+    }
+  }
+  return worst;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,150 @@
+#include "graph/builders.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+DomainShape::DomainShape(std::vector<size_t> dims) : dims_(std::move(dims)) {
+  BF_CHECK(!dims_.empty());
+  size_ = 1;
+  for (size_t d : dims_) {
+    BF_CHECK_GT(d, 0u);
+    size_ *= d;
+  }
+}
+
+size_t DomainShape::Flatten(const std::vector<size_t>& coords) const {
+  BF_CHECK_EQ(coords.size(), dims_.size());
+  size_t idx = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    BF_CHECK_LT(coords[i], dims_[i]);
+    idx = idx * dims_[i] + coords[i];
+  }
+  return idx;
+}
+
+std::vector<size_t> DomainShape::Unflatten(size_t index) const {
+  BF_CHECK_LT(index, size_);
+  std::vector<size_t> coords(dims_.size());
+  for (size_t i = dims_.size(); i-- > 0;) {
+    coords[i] = index % dims_[i];
+    index /= dims_[i];
+  }
+  return coords;
+}
+
+size_t DomainShape::L1Distance(size_t a, size_t b) const {
+  const std::vector<size_t> ca = Unflatten(a);
+  const std::vector<size_t> cb = Unflatten(b);
+  size_t dist = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    dist += (ca[i] > cb[i]) ? (ca[i] - cb[i]) : (cb[i] - ca[i]);
+  }
+  return dist;
+}
+
+Graph LineGraph(size_t k) {
+  BF_CHECK_GE(k, 2u);
+  Graph g(k);
+  for (size_t i = 0; i + 1 < k; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(size_t k) {
+  BF_CHECK_GE(k, 3u);
+  Graph g(k);
+  for (size_t i = 0; i + 1 < k; ++i) g.AddEdge(i, i + 1);
+  g.AddEdge(k - 1, 0);
+  return g;
+}
+
+Graph CompleteGraph(size_t k) {
+  BF_CHECK_GE(k, 2u);
+  Graph g(k);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = i + 1; j < k; ++j) g.AddEdge(i, j);
+  return g;
+}
+
+Graph StarBottomGraph(size_t k) {
+  BF_CHECK_GE(k, 1u);
+  Graph g(k);
+  for (size_t i = 0; i < k; ++i) g.AddEdge(i, Graph::kBottom);
+  return g;
+}
+
+namespace {
+
+// Enumerates nonzero integer offsets delta with sum |delta_i| <= theta
+// whose first nonzero coordinate is positive, so each unordered vertex
+// pair is generated exactly once.
+void EnumerateOffsets(size_t dim, size_t num_dims, int64_t remaining,
+                      bool fixed_positive, std::vector<int64_t>* current,
+                      std::vector<std::vector<int64_t>>* out) {
+  if (dim == num_dims) {
+    if (fixed_positive) out->push_back(*current);
+    return;
+  }
+  const int64_t lo = fixed_positive ? -remaining : 0;
+  for (int64_t v = lo; v <= remaining; ++v) {
+    (*current)[dim] = v;
+    const bool next_fixed = fixed_positive || v > 0;
+    // Once the leading coordinate is 0, a negative value would make the
+    // first nonzero coordinate negative; skip those branches.
+    if (!fixed_positive && v < 0) continue;
+    EnumerateOffsets(dim + 1, num_dims, remaining - std::llabs(v), next_fixed,
+                     current, out);
+  }
+}
+
+}  // namespace
+
+Graph DistanceThresholdGraph(const DomainShape& domain, size_t theta) {
+  BF_CHECK_GE(theta, 1u);
+  const size_t d = domain.num_dims();
+  std::vector<std::vector<int64_t>> offsets;
+  std::vector<int64_t> current(d, 0);
+  EnumerateOffsets(0, d, static_cast<int64_t>(theta), false, &current,
+                   &offsets);
+
+  Graph g(domain.size());
+  std::vector<size_t> coords;
+  std::vector<size_t> other(d);
+  for (size_t u = 0; u < domain.size(); ++u) {
+    coords = domain.Unflatten(u);
+    for (const auto& delta : offsets) {
+      bool ok = true;
+      for (size_t i = 0; i < d; ++i) {
+        const int64_t c = static_cast<int64_t>(coords[i]) + delta[i];
+        if (c < 0 || c >= static_cast<int64_t>(domain.dim(i))) {
+          ok = false;
+          break;
+        }
+        other[i] = static_cast<size_t>(c);
+      }
+      if (ok) g.AddEdge(u, domain.Flatten(other));
+    }
+  }
+  return g;
+}
+
+Graph SensitiveAttributeGraph(const DomainShape& domain,
+                              const std::vector<size_t>& sensitive_dims) {
+  Graph g(domain.size());
+  for (size_t u = 0; u < domain.size(); ++u) {
+    const std::vector<size_t> coords = domain.Unflatten(u);
+    for (size_t dim : sensitive_dims) {
+      BF_CHECK_LT(dim, domain.num_dims());
+      std::vector<size_t> other = coords;
+      for (size_t v = coords[dim] + 1; v < domain.dim(dim); ++v) {
+        other[dim] = v;
+        g.AddEdge(u, domain.Flatten(other));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace blowfish

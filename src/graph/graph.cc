@@ -1,0 +1,39 @@
+#include "graph/graph.h"
+
+#include "common/check.h"
+
+namespace blowfish {
+
+void Graph::AddEdge(size_t u, size_t v) {
+  BF_CHECK_MSG(u != v, "self loops are not valid policy edges");
+  if (u == kBottom) std::swap(u, v);
+  BF_CHECK_LT(u, adj_.size());
+  BF_CHECK_MSG(v == kBottom || v < adj_.size(),
+               "edge endpoint out of range: " << v);
+  BF_CHECK_MSG(!HasEdge(u, v), "duplicate policy edge");
+  const size_t edge_index = edges_.size();
+  edges_.push_back({u, v});
+  adj_[u].push_back({v, edge_index});
+  if (v == kBottom) {
+    ++bottom_degree_;
+  } else {
+    adj_[v].push_back({u, edge_index});
+  }
+}
+
+bool Graph::HasEdge(size_t u, size_t v) const {
+  if (u == kBottom) std::swap(u, v);
+  if (u == kBottom) return false;
+  BF_CHECK_LT(u, adj_.size());
+  for (const Incidence& inc : adj_[u]) {
+    if (inc.neighbor == v) return true;
+  }
+  return false;
+}
+
+const std::vector<Graph::Incidence>& Graph::Neighbors(size_t u) const {
+  BF_CHECK_LT(u, adj_.size());
+  return adj_[u];
+}
+
+}  // namespace blowfish

@@ -1,0 +1,69 @@
+// Undirected policy graph over a finite domain, with the paper's
+// special vertex ⊥ ("bottom", Definition 3.1). Domain values are
+// vertices 0..k-1; ⊥ is represented by the sentinel Graph::kBottom.
+// An edge (u, v) says an adversary must not distinguish value u from
+// value v; an edge (u, ⊥) says presence of a tuple with value u must
+// not be distinguishable from its absence (Definition 3.2).
+
+#ifndef BLOWFISH_GRAPH_GRAPH_H_
+#define BLOWFISH_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace blowfish {
+
+/// \brief Undirected multigraph-free graph over domain vertices plus an
+/// optional bottom vertex. Edge insertion order is preserved; the edge
+/// index doubles as the column index of the policy matrix P_G.
+class Graph {
+ public:
+  static constexpr size_t kBottom = std::numeric_limits<size_t>::max();
+
+  struct Edge {
+    size_t u;  ///< domain vertex, always < num_vertices()
+    size_t v;  ///< domain vertex or kBottom
+  };
+
+  /// Empty graph (no vertices); useful as a placeholder before
+  /// assignment.
+  Graph() = default;
+
+  explicit Graph(size_t num_vertices) : adj_(num_vertices) {}
+
+  /// Adds an undirected edge. Exactly one endpoint may be kBottom;
+  /// self-loops and duplicate edges are rejected.
+  void AddEdge(size_t u, size_t v);
+
+  /// True if (u, v) is already an edge (order-insensitive).
+  bool HasEdge(size_t u, size_t v) const;
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  /// Number of edges incident to bottom.
+  size_t num_bottom_edges() const { return bottom_degree_; }
+  bool has_bottom() const { return bottom_degree_ > 0; }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Incident (neighbor, edge index) pairs of a domain vertex.
+  struct Incidence {
+    size_t neighbor;  ///< kBottom for bottom edges
+    size_t edge;      ///< index into edges()
+  };
+  const std::vector<Incidence>& Neighbors(size_t u) const;
+
+  /// Degree counting bottom edges.
+  size_t Degree(size_t u) const { return adj_[u].size(); }
+
+ private:
+  std::vector<std::vector<Incidence>> adj_;
+  std::vector<Edge> edges_;
+  size_t bottom_degree_ = 0;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_GRAPH_GRAPH_H_

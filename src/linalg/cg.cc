@@ -1,0 +1,53 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Result<CgResult> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply, const Vector& b,
+    const CgOptions& options) {
+  const size_t n = b.size();
+  BF_CHECK_GT(n, 0u);
+  const size_t max_iter =
+      options.max_iterations > 0 ? options.max_iterations : 10 * n;
+
+  CgResult res;
+  res.x.assign(n, 0.0);
+  Vector r = b;  // r = b - A*0
+  Vector p = r;
+  double rs_old = Dot(r, r);
+  const double b_norm = NormL2(b);
+  const double target = options.rel_tolerance * std::max(b_norm, 1e-300);
+
+  if (std::sqrt(rs_old) <= target) {
+    res.residual_norm = std::sqrt(rs_old);
+    return res;
+  }
+
+  for (size_t it = 0; it < max_iter; ++it) {
+    const Vector ap = apply(p);
+    const double p_ap = Dot(p, ap);
+    if (p_ap <= 0.0) {
+      return Status::NumericalError(
+          "cg: operator is not positive definite (p^T A p <= 0)");
+    }
+    const double alpha = rs_old / p_ap;
+    Axpy(&res.x, alpha, p);
+    Axpy(&r, -alpha, ap);
+    const double rs_new = Dot(r, r);
+    res.iterations = it + 1;
+    if (std::sqrt(rs_new) <= target) {
+      res.residual_norm = std::sqrt(rs_new);
+      return res;
+    }
+    const double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  return Status::NumericalError("cg: did not converge within max iterations");
+}
+
+}  // namespace blowfish

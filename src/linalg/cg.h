@@ -1,0 +1,38 @@
+// Conjugate gradient for SPD systems given only a matrix-vector
+// product. Used to apply P_G^{-1} = P_G^T (P_G P_G^T)^{-1} on large
+// non-tree policy graphs (e.g. 2D grids with 10^4 cells) where a dense
+// factorization of the Laplacian would be wasteful.
+
+#ifndef BLOWFISH_LINALG_CG_H_
+#define BLOWFISH_LINALG_CG_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "linalg/vector_ops.h"
+
+namespace blowfish {
+
+/// \brief Options for the conjugate gradient solver.
+struct CgOptions {
+  double rel_tolerance = 1e-10;  ///< stop when ||r|| <= tol * ||b||
+  size_t max_iterations = 0;     ///< 0 = 10 * dimension
+};
+
+/// \brief Result of a CG solve.
+struct CgResult {
+  Vector x;
+  size_t iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solves A x = b where `apply` computes A*v for an SPD operator A.
+/// Returns NumericalError if the iteration stalls before reaching the
+/// tolerance.
+Result<CgResult> ConjugateGradient(
+    const std::function<Vector(const Vector&)>& apply, const Vector& b,
+    const CgOptions& options = CgOptions());
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_CG_H_

@@ -1,0 +1,64 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("cholesky: matrix is not square");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0) {
+      return Status::NumericalError(
+          "cholesky: matrix is not positive definite");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / l(j, j);
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+Vector Cholesky::Solve(const Vector& b) const {
+  const size_t n = l_.rows();
+  BF_CHECK_EQ(b.size(), n);
+  // Forward: L y = b.
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l_(i, k) * y[k];
+    y[i] = v / l_(i, i);
+  }
+  // Backward: L^T x = y.
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    double v = y[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l_(k, i) * x[k];
+    x[i] = v / l_(i, i);
+  }
+  return x;
+}
+
+Matrix Cholesky::SolveMatrix(const Matrix& b) const {
+  BF_CHECK_EQ(b.rows(), l_.rows());
+  Matrix out(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    for (size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    Vector sol = Solve(col);
+    for (size_t r = 0; r < b.rows(); ++r) out(r, c) = sol[r];
+  }
+  return out;
+}
+
+}  // namespace blowfish

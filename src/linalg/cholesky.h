@@ -1,0 +1,38 @@
+// Cholesky factorization and SPD solves. The general (non-tree) policy
+// transform needs x_G = P_G^T (P_G P_G^T)^{-1} x, and P_G P_G^T is a
+// graph-Laplacian-like SPD matrix; at small domain sizes a dense
+// Cholesky solve is the simplest exact path (conjugate gradient covers
+// large domains, see cg.h).
+
+#ifndef BLOWFISH_LINALG_CHOLESKY_H_
+#define BLOWFISH_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace blowfish {
+
+/// \brief Lower-triangular Cholesky factor of an SPD matrix, with
+/// forward/backward substitution solves.
+class Cholesky {
+ public:
+  /// Factors a = L L^T. Fails with NumericalError if `a` is not
+  /// (numerically) positive definite.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_CHOLESKY_H_

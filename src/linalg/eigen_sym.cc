@@ -1,0 +1,248 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+double Hypot(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of a real symmetric matrix to tridiagonal form.
+// On exit `a` holds the accumulated orthogonal transform Q (if
+// want_vectors), `d` the diagonal and `e` the subdiagonal (e[0] = 0).
+// Port of the standard tred2 algorithm (Numerical Recipes / EISPACK).
+void Tred2(Matrix* a_ptr, Vector* d_ptr, Vector* e_ptr, bool want_vectors) {
+  Matrix& a = *a_ptr;
+  Vector& d = *d_ptr;
+  Vector& e = *e_ptr;
+  const size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (size_t i = n - 1; i > 0; --i) {
+    const size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (size_t k = 0; k <= l; ++k) scale += std::fabs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (size_t j = 0; j <= l; ++j) {
+          if (want_vectors) a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  if (want_vectors) d[0] = 0.0;
+  e[0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (want_vectors) {
+      if (d[i] != 0.0) {
+        for (size_t j = 0; j < i; ++j) {
+          double g = 0.0;
+          for (size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+          for (size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+        }
+      }
+      d[i] = a(i, i);
+      a(i, i) = 1.0;
+      for (size_t j = 0; j < i; ++j) {
+        a(j, i) = 0.0;
+        a(i, j) = 0.0;
+      }
+    } else {
+      d[i] = a(i, i);
+    }
+  }
+}
+
+// QL iteration with implicit shifts on a tridiagonal matrix; `z`
+// accumulates eigenvectors if want_vectors. Port of tql2.
+Status Tql2(Vector* d_ptr, Vector* e_ptr, Matrix* z_ptr, bool want_vectors) {
+  Vector& d = *d_ptr;
+  Vector& e = *e_ptr;
+  Matrix& z = *z_ptr;
+  const size_t n = d.size();
+  if (n == 0) return Status::OK();
+  for (size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  // Convergence is judged against the running matrix magnitude (the
+  // EISPACK/JAMA tst1), not the local diagonal pair: matrices mixing
+  // large eigenvalues with tight clusters of small identical ones
+  // (e.g. tree-strategy Grams) cannot push e[m] below eps * local_dd.
+  double tst1 = 0.0;
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    tst1 = std::max(tst1, std::fabs(d[l]) + std::fabs(e[l]));
+    size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        if (std::fabs(e[m]) <= 1e-300 + 2.22e-16 * tst1) break;
+      }
+      if (m != l) {
+        // Spectra with large clusters of identical eigenvalues (tree
+        // and incidence Grams) converge linearly rather than cubically
+        // for a while; the cap is generous for that reason.
+        if (++iter == 500) {
+          return Status::NumericalError(
+              "QL iteration failed to converge after 500 sweeps");
+        }
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = Hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        bool underflow = false;
+        for (size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = Hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Rotation underflow: deflate and restart this eigenvalue
+            // (the "r == 0 && i >= l" branch of the reference tql2).
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (want_vectors) {
+            for (size_t k = 0; k < n; ++k) {
+              f = z(k, i + 1);
+              z(k, i + 1) = s * z(k, i) + c * f;
+              z(k, i) = c * z(k, i) - s * f;
+            }
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return Status::OK();
+}
+
+// Sorts eigenvalues ascending, permuting eigenvector columns to match.
+void SortAscending(Vector* d, Matrix* z, bool want_vectors) {
+  const size_t n = d->size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return (*d)[a] < (*d)[b]; });
+  Vector sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = (*d)[order[i]];
+  if (want_vectors) {
+    Matrix sorted_z(n, n);
+    for (size_t j = 0; j < n; ++j)
+      for (size_t i = 0; i < n; ++i) sorted_z(i, j) = (*z)(i, order[j]);
+    *z = std::move(sorted_z);
+  }
+  *d = std::move(sorted);
+}
+
+Status CheckSymmetric(const Matrix& a) {
+  if (!a.IsSquare()) {
+    return Status::InvalidArgument("eigen: matrix is not square");
+  }
+  double scale = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j)
+      scale = std::max(scale, std::fabs(a(i, j)));
+  const double tol = 1e-9 * std::max(1.0, scale);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = i + 1; j < a.cols(); ++j)
+      if (std::fabs(a(i, j) - a(j, i)) > tol)
+        return Status::InvalidArgument("eigen: matrix is not symmetric");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SymmetricEigenResult> SymmetricEigen(const Matrix& a) {
+  Status sym = CheckSymmetric(a);
+  if (!sym.ok()) return sym;
+  const size_t n = a.rows();
+  SymmetricEigenResult res;
+  res.vectors = a;
+  // Symmetrize exactly to stabilize the reduction.
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (res.vectors(i, j) + res.vectors(j, i));
+      res.vectors(i, j) = v;
+      res.vectors(j, i) = v;
+    }
+  Vector e;
+  Tred2(&res.vectors, &res.values, &e, /*want_vectors=*/true);
+  Status st = Tql2(&res.values, &e, &res.vectors, /*want_vectors=*/true);
+  if (!st.ok()) return st;
+  SortAscending(&res.values, &res.vectors, /*want_vectors=*/true);
+  return res;
+}
+
+Result<Vector> SymmetricEigenvalues(const Matrix& a) {
+  Status sym = CheckSymmetric(a);
+  if (!sym.ok()) return sym;
+  Matrix work = a;
+  Vector d, e;
+  Tred2(&work, &d, &e, /*want_vectors=*/false);
+  Status st = Tql2(&d, &e, &work, /*want_vectors=*/false);
+  if (!st.ok()) return st;
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+Result<Vector> SingularValues(const Matrix& a, double rel_tol) {
+  // Use the smaller Gram matrix; sigma_i = sqrt(lambda_i(Gram)).
+  const Matrix gram =
+      (a.rows() <= a.cols()) ? a.GramRows() : a.GramColumns();
+  Result<Vector> eig = SymmetricEigenvalues(gram);
+  if (!eig.ok()) return eig.status();
+  Vector sv = eig.ValueOrDie();
+  std::reverse(sv.begin(), sv.end());  // descending
+  double max_val = sv.empty() ? 0.0 : std::max(sv[0], 0.0);
+  for (double& v : sv) {
+    v = (v > rel_tol * max_val && v > 0.0) ? std::sqrt(v) : 0.0;
+  }
+  return sv;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,39 @@
+// Dense symmetric eigensolver: Householder tridiagonalization followed
+// by the implicit-shift QL iteration (the classic EISPACK tred2/tql2
+// pair). This is the workhorse behind the Moore-Penrose pseudoinverse
+// (Theorem 4.1's A+), singular values of transformed workloads, and
+// the Li-Miklau SVD lower bound (Appendix A / Figure 10).
+
+#ifndef BLOWFISH_LINALG_EIGEN_SYM_H_
+#define BLOWFISH_LINALG_EIGEN_SYM_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace blowfish {
+
+/// \brief Eigen decomposition A = V * diag(values) * V^T of a symmetric
+/// matrix. Eigenvalues are sorted ascending; column j of `vectors` is
+/// the eigenvector for `values[j]`.
+struct SymmetricEigenResult {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+/// Returns NumericalError if the QL iteration fails to converge
+/// (pathological inputs only). The input is checked for symmetry up to
+/// a small tolerance.
+Result<SymmetricEigenResult> SymmetricEigen(const Matrix& a);
+
+/// Eigenvalues only (still O(n^3) but skips eigenvector accumulation).
+Result<Vector> SymmetricEigenvalues(const Matrix& a);
+
+/// Singular values of an arbitrary dense matrix, descending order,
+/// computed from the eigenvalues of the smaller Gram matrix. Values
+/// below `rel_tol * max` are clamped to zero.
+Result<Vector> SingularValues(const Matrix& a, double rel_tol = 1e-12);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,167 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    BF_CHECK_EQ(row.size(), cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  BF_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for cache friendliness on row-major storage.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVector(const Vector& v) const {
+  BF_CHECK_EQ(cols_, v.size());
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMultiplyVector(const Vector& v) const {
+  BF_CHECK_EQ(rows_, v.size());
+  Vector out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = RowPtr(i);
+    const double s = v[i];
+    if (s == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) out[j] += s * row[j];
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  BF_CHECK_EQ(rows_, other.rows_);
+  BF_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  BF_CHECK_EQ(rows_, other.rows_);
+  BF_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double s) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = s * data_[i];
+  return out;
+}
+
+Matrix Matrix::GramColumns() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (size_t j = i; j < cols_; ++j) out_row[j] += a * row[j];
+    }
+  }
+  for (size_t i = 0; i < cols_; ++i)
+    for (size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
+  return out;
+}
+
+Matrix Matrix::GramRows() const {
+  Matrix out(rows_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* ri = RowPtr(i);
+    for (size_t j = i; j < rows_; ++j) {
+      const double* rj = RowPtr(j);
+      double acc = 0.0;
+      for (size_t c = 0; c < cols_; ++c) acc += ri[c] * rj[c];
+      out(i, j) = acc;
+      out(j, i) = acc;
+    }
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxColumnL1() const {
+  double best = 0.0;
+  for (size_t c = 0; c < cols_; ++c) best = std::max(best, ColumnL1(c));
+  return best;
+}
+
+double Matrix::ColumnL1(size_t c) const {
+  BF_CHECK_LT(c, cols_);
+  double acc = 0.0;
+  for (size_t r = 0; r < rows_; ++r) acc += std::fabs((*this)(r, c));
+  return acc;
+}
+
+Vector Matrix::Row(size_t r) const {
+  BF_CHECK_LT(r, rows_);
+  return Vector(RowPtr(r), RowPtr(r) + cols_);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  BF_CHECK_EQ(rows_, other.rows_);
+  BF_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i)
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  return m;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,79 @@
+// Dense row-major matrix. Used where the paper's math genuinely needs
+// dense algebra: the matrix mechanism's strategy pseudoinverse
+// (Theorem 4.1), the SVD lower bound (Appendix A), and small-domain
+// verification in tests. Large workloads stay sparse (see sparse.h).
+
+#ifndef BLOWFISH_LINALG_MATRIX_H_
+#define BLOWFISH_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace blowfish {
+
+/// \brief Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Row-of-rows construction for tests: Matrix({{1,0},{0,1}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(size_t n);
+  static Matrix Zero(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& d);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row pointer (row-major contiguous storage).
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  Vector MultiplyVector(const Vector& v) const;
+  /// Computes A^T * v without materializing the transpose.
+  Vector TransposeMultiplyVector(const Vector& v) const;
+  Matrix Add(const Matrix& other) const;
+  Matrix Sub(const Matrix& other) const;
+  Matrix Scale(double s) const;
+
+  /// Gram matrix A^T A (cols x cols), exploiting symmetry.
+  Matrix GramColumns() const;
+  /// Gram matrix A A^T (rows x rows), exploiting symmetry.
+  Matrix GramRows() const;
+
+  double FrobeniusNorm() const;
+  /// Max over columns of the column L1 norm — the L1 sensitivity of a
+  /// strategy/workload matrix under unbounded differential privacy
+  /// (Definition 2.3 applied to a histogram change of +-1 in one cell).
+  double MaxColumnL1() const;
+  /// L1 norm of one column.
+  double ColumnL1(size_t c) const;
+
+  /// Row as a vector copy.
+  Vector Row(size_t r) const;
+
+  /// Max |a_ij - b_ij|.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  bool IsSquare() const { return rows_ == cols_; }
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_MATRIX_H_

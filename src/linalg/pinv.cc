@@ -1,0 +1,60 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen_sym.h"
+
+namespace blowfish {
+
+Result<Matrix> PseudoInverse(const Matrix& a, double rel_tol) {
+  // Work with the smaller Gram matrix G and its eigensystem.
+  // If G = A A^T = Q D Q^T (rows <= cols):  A+ = A^T Q D+ Q^T.
+  // If G = A^T A = Q D Q^T (cols <  rows):  A+ = Q D+ Q^T A^T.
+  const bool use_rows = a.rows() <= a.cols();
+  const Matrix gram = use_rows ? a.GramRows() : a.GramColumns();
+  Result<SymmetricEigenResult> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+  const SymmetricEigenResult& e = eig.ValueOrDie();
+
+  double max_eig = 0.0;
+  for (double v : e.values) max_eig = std::max(max_eig, v);
+  // Numerically-zero Gram eigenvalues carry O(n * machine-eps) noise
+  // relative to the largest; the cutoff must sit above that floor or
+  // rank-deficient inputs get garbage 1/lambda amplification.
+  const double noise_floor = 1e-13 * static_cast<double>(gram.rows());
+  const double cutoff =
+      std::max(rel_tol * rel_tol, noise_floor) * std::max(max_eig, 1e-300);
+
+  // Build Q D+ Q^T.
+  const size_t n = gram.rows();
+  Matrix core(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    const double lambda = e.values[k];
+    if (lambda <= cutoff) continue;
+    const double inv = 1.0 / lambda;
+    for (size_t i = 0; i < n; ++i) {
+      const double qik = e.vectors(i, k);
+      if (qik == 0.0) continue;
+      for (size_t j = 0; j < n; ++j)
+        core(i, j) += inv * qik * e.vectors(j, k);
+    }
+  }
+  const Matrix at = a.Transpose();
+  return use_rows ? at.Multiply(core) : core.Multiply(at);
+}
+
+Result<Matrix> RightInverse(const Matrix& a) {
+  const Matrix gram = a.GramRows();  // A A^T
+  Result<Cholesky> chol = Cholesky::Factor(gram);
+  if (!chol.ok()) {
+    return Status::NumericalError(
+        "right inverse: A A^T is singular; matrix lacks full row rank");
+  }
+  // A^T (A A^T)^{-1} = (solve (A A^T) X = A, then X^T).
+  const Matrix solved = chol.ValueOrDie().SolveMatrix(a);  // (A A^T)^{-1} A
+  return solved.Transpose();
+}
+
+}  // namespace blowfish

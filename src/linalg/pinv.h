@@ -1,0 +1,26 @@
+// Moore-Penrose pseudoinverse. The matrix mechanism (Theorem 4.1,
+// Equation 2) answers W via a strategy A as W A+ (A x + noise); the
+// transformational equivalence proof relies on (A P_G)+ = P_G+ A+
+// when P_G has full row rank, which the tests verify numerically.
+
+#ifndef BLOWFISH_LINALG_PINV_H_
+#define BLOWFISH_LINALG_PINV_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace blowfish {
+
+/// Computes the Moore-Penrose pseudoinverse A+ via the symmetric eigen
+/// decomposition of the smaller Gram matrix of A. Singular values
+/// below `rel_tol * sigma_max` are treated as zero.
+Result<Matrix> PseudoInverse(const Matrix& a, double rel_tol = 1e-10);
+
+/// Right inverse of a full-row-rank matrix: A^T (A A^T)^{-1}. Fails if
+/// A A^T is singular (i.e. A does not have full row rank). This is the
+/// P_G^{-1} of Section 4.4.
+Result<Matrix> RightInverse(const Matrix& a);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_PINV_H_

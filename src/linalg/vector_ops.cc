@@ -1,0 +1,105 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Vector Add(const Vector& a, const Vector& b) {
+  BF_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(const Vector& a, const Vector& b) {
+  BF_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(const Vector& a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+void Axpy(Vector* a, double s, const Vector& b) {
+  BF_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  BF_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double NormL1(const Vector& a) {
+  double acc = 0.0;
+  for (double v : a) acc += std::fabs(v);
+  return acc;
+}
+
+double NormL2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+double NormInf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Sum(const Vector& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+double Mean(const Vector& a) {
+  if (a.empty()) return 0.0;
+  return Sum(a) / static_cast<double>(a.size());
+}
+
+size_t CountZeros(const Vector& a) {
+  size_t n = 0;
+  for (double v : a) {
+    if (v == 0.0) ++n;
+  }
+  return n;
+}
+
+Vector PrefixSums(const Vector& a) {
+  Vector out(a.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector AdjacentDifferences(const Vector& p) {
+  Vector out(p.size());
+  double prev = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    out[i] = p[i] - prev;
+    prev = p[i];
+  }
+  return out;
+}
+
+double MeanSquaredError(const Vector& truth, const Vector& estimate) {
+  BF_CHECK_EQ(truth.size(), estimate.size());
+  BF_CHECK(!truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - estimate[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace blowfish

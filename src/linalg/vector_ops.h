@@ -1,0 +1,63 @@
+// Free functions over dense vectors (std::vector<double>). Databases
+// are represented as histogram vectors over the flattened domain
+// (Section 2 of the paper), so these operations are the innermost
+// primitives of every mechanism.
+
+#ifndef BLOWFISH_LINALG_VECTOR_OPS_H_
+#define BLOWFISH_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace blowfish {
+
+using Vector = std::vector<double>;
+
+/// out = a + b (sizes must match).
+Vector Add(const Vector& a, const Vector& b);
+
+/// out = a - b (sizes must match).
+Vector Sub(const Vector& a, const Vector& b);
+
+/// out = s * a.
+Vector Scale(const Vector& a, double s);
+
+/// In-place a += s * b.
+void Axpy(Vector* a, double s, const Vector& b);
+
+/// Inner product <a, b>.
+double Dot(const Vector& a, const Vector& b);
+
+/// L1 norm: sum |a_i|.
+double NormL1(const Vector& a);
+
+/// L2 norm.
+double NormL2(const Vector& a);
+
+/// Max |a_i|.
+double NormInf(const Vector& a);
+
+/// Sum of entries.
+double Sum(const Vector& a);
+
+/// Mean of entries (0 for empty).
+double Mean(const Vector& a);
+
+/// Number of entries equal to zero (exact comparison; databases hold
+/// integral counts stored as doubles).
+size_t CountZeros(const Vector& a);
+
+/// Prefix sums: out[i] = a[0] + ... + a[i]. Same length as input.
+Vector PrefixSums(const Vector& a);
+
+/// Inverse of PrefixSums: out[0] = p[0], out[i] = p[i] - p[i-1].
+Vector AdjacentDifferences(const Vector& p);
+
+/// Mean squared difference between two vectors of equal size; this is
+/// the per-query error measure of Definition 2.4 when applied to
+/// (true answers, noisy answers).
+double MeanSquaredError(const Vector& truth, const Vector& estimate);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_LINALG_VECTOR_OPS_H_

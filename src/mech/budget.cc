@@ -1,0 +1,52 @@
+#include "mech/budget.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+// Tolerance for floating-point budget arithmetic (splits like ε/3
+// accumulate rounding).
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
+  BF_CHECK_GT(total_epsilon, 0.0);
+}
+
+Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("spend must be positive: " + label);
+  }
+  if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
+    return Status::InvalidArgument(
+        "budget exceeded by '" + label + "': spent " +
+        std::to_string(spent_) + " + " + std::to_string(epsilon) + " > " +
+        std::to_string(total_));
+  }
+  spent_ += epsilon;
+  ledger_.push_back({epsilon, label});
+  return Status::OK();
+}
+
+Status PrivacyBudget::SpendParallel(double epsilon, size_t count,
+                                    const std::string& label) {
+  if (count == 0) {
+    return Status::InvalidArgument("parallel spend needs >= 1 release");
+  }
+  return Spend(epsilon,
+               label + " (parallel x" + std::to_string(count) + ")");
+}
+
+std::string PrivacyBudget::ToString() const {
+  std::ostringstream out;
+  out << "budget " << total_ << ", spent " << spent_ << ":";
+  for (const Entry& e : ledger_) {
+    out << "\n  " << e.epsilon << "  " << e.label;
+  }
+  return out.str();
+}
+
+}  // namespace blowfish

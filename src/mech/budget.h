@@ -1,0 +1,58 @@
+// Explicit privacy-budget accounting. The paper's strategies lean on
+// two composition rules:
+//
+//   sequential: releases on the same data add their ε's;
+//   parallel:   releases on disjoint sub-domains share one ε
+//               (one neighbor step touches one part).
+//
+// PrivacyBudget makes the accounting auditable: mechanisms that split
+// budget (DAWA's two stages, the Theorem 5.6 slab systems, Lemma 4.5's
+// stretch division) can record their spends, and tests can assert the
+// ledger matches the claimed guarantee.
+
+#ifndef BLOWFISH_MECH_BUDGET_H_
+#define BLOWFISH_MECH_BUDGET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blowfish {
+
+/// \brief A sequential-composition ledger for one privacy budget.
+class PrivacyBudget {
+ public:
+  explicit PrivacyBudget(double total_epsilon);
+
+  /// Records a sequential spend; fails without side effects if it
+  /// would exceed the total.
+  Status Spend(double epsilon, const std::string& label);
+
+  /// Parallel composition: `count` releases over disjoint sub-domains
+  /// cost max over parts = `epsilon` once; recorded as a single entry.
+  Status SpendParallel(double epsilon, size_t count,
+                       const std::string& label);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  struct Entry {
+    double epsilon;
+    std::string label;
+  };
+  const std::vector<Entry>& ledger() const { return ledger_; }
+
+  /// Human-readable audit trail.
+  std::string ToString() const;
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+  std::vector<Entry> ledger_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_BUDGET_H_

@@ -1,0 +1,54 @@
+#include "mech/consistency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Vector IsotonicRegressionWeighted(const Vector& y, const Vector& weights) {
+  BF_CHECK_EQ(y.size(), weights.size());
+  const size_t n = y.size();
+  if (n == 0) return {};
+
+  // Stack of blocks (mean, weight, count); merge while decreasing.
+  struct Block {
+    double mean;
+    double weight;
+    size_t count;
+  };
+  std::vector<Block> stack;
+  stack.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    BF_CHECK_GT(weights[i], 0.0);
+    Block b{y[i], weights[i], 1};
+    while (!stack.empty() && stack.back().mean >= b.mean) {
+      const Block& top = stack.back();
+      const double w = top.weight + b.weight;
+      b.mean = (top.mean * top.weight + b.mean * b.weight) / w;
+      b.weight = w;
+      b.count += top.count;
+      stack.pop_back();
+    }
+    stack.push_back(b);
+  }
+  Vector out;
+  out.reserve(n);
+  for (const Block& b : stack) {
+    out.insert(out.end(), b.count, b.mean);
+  }
+  return out;
+}
+
+Vector IsotonicRegression(const Vector& y) {
+  return IsotonicRegressionWeighted(y, Vector(y.size(), 1.0));
+}
+
+Vector IsotonicRegressionClamped(const Vector& y, double lo, double hi) {
+  BF_CHECK_LE(lo, hi);
+  Vector z = IsotonicRegression(y);
+  for (double& v : z) v = std::clamp(v, lo, hi);
+  return z;
+}
+
+}  // namespace blowfish

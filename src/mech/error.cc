@@ -1,0 +1,59 @@
+#include "mech/error.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+ErrorStats Summarize(const std::vector<double>& per_trial) {
+  ErrorStats stats;
+  stats.trials = per_trial.size();
+  if (per_trial.empty()) return stats;
+  double sum = 0.0;
+  for (double v : per_trial) sum += v;
+  stats.mean = sum / static_cast<double>(per_trial.size());
+  double var = 0.0;
+  for (double v : per_trial) var += (v - stats.mean) * (v - stats.mean);
+  if (per_trial.size() > 1) {
+    var /= static_cast<double>(per_trial.size() - 1);
+  }
+  stats.stddev = std::sqrt(var);
+  return stats;
+}
+
+}  // namespace
+
+ErrorStats MeasureError(const EstimatorFn& estimator,
+                        const RangeWorkload& workload, const Vector& x,
+                        double epsilon, size_t trials, uint64_t seed) {
+  BF_CHECK_GT(trials, 0u);
+  const Vector truth = workload.Answer(x);
+  std::vector<double> per_trial;
+  per_trial.reserve(trials);
+  for (size_t t = 0; t < trials; ++t) {
+    Rng rng(seed + 0x100000001ull * (t + 1));
+    const Vector estimate = estimator(x, epsilon, &rng);
+    per_trial.push_back(MeanSquaredError(truth, workload.Answer(estimate)));
+  }
+  return Summarize(per_trial);
+}
+
+ErrorStats MeasureErrorExplicit(const EstimatorFn& estimator,
+                                const Workload& workload, const Vector& x,
+                                double epsilon, size_t trials, uint64_t seed) {
+  BF_CHECK_GT(trials, 0u);
+  const Vector truth = workload.Answer(x);
+  std::vector<double> per_trial;
+  per_trial.reserve(trials);
+  for (size_t t = 0; t < trials; ++t) {
+    Rng rng(seed + 0x100000001ull * (t + 1));
+    const Vector estimate = estimator(x, epsilon, &rng);
+    per_trial.push_back(MeanSquaredError(truth, workload.Answer(estimate)));
+  }
+  return Summarize(per_trial);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,42 @@
+// Empirical error measurement (Definition 2.4): mean squared error per
+// query, averaged over independent trials — the protocol of Section 6
+// (5 trials per configuration).
+
+#ifndef BLOWFISH_MECH_ERROR_H_
+#define BLOWFISH_MECH_ERROR_H_
+
+#include <functional>
+
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+#include "workload/workload.h"
+
+namespace blowfish {
+
+/// A histogram-estimator run: (x, epsilon, rng) -> x̂.
+using EstimatorFn =
+    std::function<Vector(const Vector&, double, Rng*)>;
+
+/// \brief Mean/min/max per-query squared error across trials.
+struct ErrorStats {
+  double mean = 0.0;    ///< mean over trials of MSE-per-query
+  double stddev = 0.0;  ///< stddev over trials
+  size_t trials = 0;
+};
+
+/// Runs `estimator` `trials` times on (x, epsilon) with independent
+/// seeded generators, answers `workload` on the estimate, and reports
+/// the squared error per query (Definition 2.4 normalized by query
+/// count).
+ErrorStats MeasureError(const EstimatorFn& estimator,
+                        const RangeWorkload& workload, const Vector& x,
+                        double epsilon, size_t trials, uint64_t seed);
+
+/// Same protocol for an explicit workload matrix.
+ErrorStats MeasureErrorExplicit(const EstimatorFn& estimator,
+                                const Workload& workload, const Vector& x,
+                                double epsilon, size_t trials, uint64_t seed);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_ERROR_H_

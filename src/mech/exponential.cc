@@ -1,0 +1,45 @@
+#include "mech/exponential.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+ExponentialMechanism::ExponentialMechanism(size_t num_outputs, LossFn loss)
+    : num_outputs_(num_outputs), loss_(std::move(loss)) {
+  BF_CHECK_GT(num_outputs_, 0u);
+  BF_CHECK(loss_ != nullptr);
+}
+
+Vector ExponentialMechanism::Distribution(size_t input,
+                                          double epsilon) const {
+  Vector probs(num_outputs_);
+  double total = 0.0;
+  for (size_t o = 0; o < num_outputs_; ++o) {
+    probs[o] = std::exp(-epsilon * loss_(input, o));
+    total += probs[o];
+  }
+  BF_CHECK_GT(total, 0.0);
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+size_t ExponentialMechanism::Sample(size_t input, double epsilon,
+                                    Rng* rng) const {
+  BF_CHECK(rng != nullptr);
+  return rng->Categorical(Distribution(input, epsilon));
+}
+
+double ExponentialMechanism::MaxLogRatio(size_t input_a, size_t input_b,
+                                         double epsilon) const {
+  const Vector pa = Distribution(input_a, epsilon);
+  const Vector pb = Distribution(input_b, epsilon);
+  double worst = 0.0;
+  for (size_t o = 0; o < num_outputs_; ++o) {
+    worst = std::max(worst, std::fabs(std::log(pa[o]) - std::log(pb[o])));
+  }
+  return worst;
+}
+
+}  // namespace blowfish

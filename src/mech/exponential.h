@@ -1,0 +1,48 @@
+// Exponential mechanism over a finite output range. The paper's
+// negative result (Theorem 4.4) is witnessed by the data-*dependent*
+// mechanism M(x) that outputs y with probability proportional to
+// exp(-ε · d_G(x, y)): it satisfies Blowfish privacy under the policy
+// graph G but cannot be re-expressed as a differentially private
+// mechanism on any transformed instance when G has no isometric L1
+// embedding (e.g. odd cycles). We expose the exact output
+// distribution so tests can certify privacy ratios analytically
+// instead of sampling.
+
+#ifndef BLOWFISH_MECH_EXPONENTIAL_H_
+#define BLOWFISH_MECH_EXPONENTIAL_H_
+
+#include <functional>
+
+#include "linalg/vector_ops.h"
+#include "rng/rng.h"
+
+namespace blowfish {
+
+/// \brief Exponential mechanism with outputs {0, .., m-1} and a
+/// loss function: P[M(input) = o] ∝ exp(-ε · loss(input, o)).
+class ExponentialMechanism {
+ public:
+  using LossFn = std::function<double(size_t input, size_t output)>;
+
+  ExponentialMechanism(size_t num_outputs, LossFn loss);
+
+  /// Exact output distribution for the given input at privacy level ε.
+  Vector Distribution(size_t input, double epsilon) const;
+
+  /// One sample.
+  size_t Sample(size_t input, double epsilon, Rng* rng) const;
+
+  /// Largest log-probability ratio between the two inputs over all
+  /// outputs: max_o | log P[M(a)=o] - log P[M(b)=o] |. A mechanism is
+  /// (ε,G)-Blowfish private iff this is <= ε for every policy-neighbor
+  /// pair (a, b).
+  double MaxLogRatio(size_t input_a, size_t input_b, double epsilon) const;
+
+ private:
+  size_t num_outputs_;
+  LossFn loss_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_EXPONENTIAL_H_

@@ -1,0 +1,30 @@
+#include "mech/gaussian.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+GaussianMechanism::GaussianMechanism(double delta) : delta_(delta) {
+  BF_CHECK_GT(delta_, 0.0);
+  BF_CHECK_LT(delta_, 1.0);
+}
+
+double GaussianMechanism::Sigma(double epsilon) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  BF_CHECK_MSG(epsilon < 1.0,
+               "the classic Gaussian calibration requires eps < 1");
+  return std::sqrt(2.0 * std::log(1.25 / delta_)) / epsilon;
+}
+
+Vector GaussianMechanism::Run(const Vector& x, double epsilon,
+                              Rng* rng) const {
+  BF_CHECK(rng != nullptr);
+  const double sigma = Sigma(epsilon);
+  Vector out = x;
+  for (double& v : out) v += rng->Normal(0.0, sigma);
+  return out;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,38 @@
+// The analytic Gaussian mechanism for (ε, δ)-differential privacy.
+// Appendix A of the paper notes that transformational equivalence
+// extends verbatim to (ε, δ) guarantees ("we can similarly define
+// (ε, δ, G)-Blowfish privacy"), which is also the regime of the
+// Li-Miklau SVD bound (Corollary A.2). Plugging this mechanism into
+// the tree transform yields (ε, δ, G)-Blowfish releases.
+//
+// Calibration: for L2 sensitivity ∆₂ and ε ∈ (0, 1), noise
+// σ = ∆₂ sqrt(2 ln(1.25/δ)) / ε suffices (Dwork & Roth, Thm A.1).
+
+#ifndef BLOWFISH_MECH_GAUSSIAN_H_
+#define BLOWFISH_MECH_GAUSSIAN_H_
+
+#include "mech/mechanism.h"
+
+namespace blowfish {
+
+/// \brief Histogram release via x + N(0, σ²)^k at (ε, δ)-DP, L2
+/// sensitivity 1 per cell change.
+class GaussianMechanism : public HistogramMechanism {
+ public:
+  explicit GaussianMechanism(double delta);
+
+  Vector Run(const Vector& x, double epsilon, Rng* rng) const override;
+  std::string name() const override { return "Gaussian"; }
+
+  double delta() const { return delta_; }
+
+  /// The calibrated noise standard deviation for the given budget.
+  double Sigma(double epsilon) const;
+
+ private:
+  double delta_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_GAUSSIAN_H_

@@ -1,0 +1,41 @@
+// Hierarchical mechanism (Hay et al., PVLDB 2010): noisy counts at
+// every node of a b-ary interval tree over the domain, followed by
+// ordinary least-squares consistency. Range queries answered from the
+// consistent leaf estimates have O(log³ k / ε²) error, matching
+// Privelet asymptotically; the paper cites it as the other classic
+// building block ("hierarchical mechanism [10]").
+//
+// The least-squares step solves min_z ‖T z − y‖₂² where T is the tree
+// aggregation matrix (one row per node, summing the leaves below) and
+// y the noisy node counts. Since all nodes receive iid noise of the
+// same scale, OLS is the best linear unbiased estimate. We solve the
+// normal equations TᵀT z = Tᵀ y by conjugate gradient, applying T and
+// Tᵀ implicitly in O(k log k) per iteration.
+
+#ifndef BLOWFISH_MECH_HIERARCHICAL_H_
+#define BLOWFISH_MECH_HIERARCHICAL_H_
+
+#include "mech/mechanism.h"
+
+namespace blowfish {
+
+/// \brief Hierarchical (tree) histogram mechanism with OLS consistency.
+class HierarchicalMechanism : public HistogramMechanism {
+ public:
+  /// `branching` >= 2 is the tree fan-out (2 = binary tree).
+  explicit HierarchicalMechanism(size_t branching = 2);
+
+  Vector Run(const Vector& x, double epsilon, Rng* rng) const override;
+  std::string name() const override { return "Hierarchical"; }
+
+  /// Number of levels of the tree over a domain of size k, which is
+  /// also the per-record L1 sensitivity of the node-count vector.
+  size_t NumLevels(size_t k) const;
+
+ private:
+  size_t branching_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_MECH_HIERARCHICAL_H_

@@ -1,0 +1,53 @@
+#include "mech/matrix_mechanism.h"
+
+#include "common/check.h"
+#include "linalg/pinv.h"
+
+namespace blowfish {
+
+Result<MatrixMechanism> MatrixMechanism::Create(Matrix w, Matrix a) {
+  if (w.cols() != a.cols()) {
+    return Status::InvalidArgument(
+        "matrix mechanism: W and A must share the domain dimension");
+  }
+  Result<Matrix> a_pinv = PseudoInverse(a);
+  if (!a_pinv.ok()) return a_pinv.status();
+  Matrix w_a_pinv = w.Multiply(a_pinv.ValueOrDie());
+  // Check the reconstruction property W A+ A = W.
+  const Matrix reconstructed = w_a_pinv.Multiply(a);
+  const double err = reconstructed.MaxAbsDiff(w);
+  if (err > 1e-6 * (1.0 + w.FrobeniusNorm())) {
+    return Status::InvalidArgument(
+        "matrix mechanism: workload is not answerable by strategy "
+        "(W A+ A != W)");
+  }
+  const double delta_a = a.MaxColumnL1();
+  return MatrixMechanism(std::move(w), std::move(a), std::move(w_a_pinv),
+                         delta_a);
+}
+
+Vector MatrixMechanism::Run(const Vector& x, double epsilon, Rng* rng) const {
+  BF_CHECK(rng != nullptr);
+  const Vector noise = rng->LaplaceVector(a_.rows(), 1.0);
+  return RunWithNoise(x, epsilon, noise);
+}
+
+Vector MatrixMechanism::RunWithNoise(const Vector& x, double epsilon,
+                                     const Vector& noise_unit_scale) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  BF_CHECK_EQ(noise_unit_scale.size(), a_.rows());
+  const double scale = delta_a_ / epsilon;
+  Vector answers = w_.MultiplyVector(x);
+  const Vector propagated =
+      w_a_pinv_.MultiplyVector(Scale(noise_unit_scale, scale));
+  return Add(answers, propagated);
+}
+
+double MatrixMechanism::ExpectedTotalSquaredError(double epsilon) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  const double lambda = delta_a_ / epsilon;
+  const double frob = w_a_pinv_.FrobeniusNorm();
+  return 2.0 * lambda * lambda * frob * frob;
+}
+
+}  // namespace blowfish

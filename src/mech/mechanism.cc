@@ -1,0 +1,4 @@
+#include "mech/mechanism.h"
+
+// Interface-only translation unit; kept so the build surface of the
+// module is uniform (one .cc per header).

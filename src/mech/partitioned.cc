@@ -1,0 +1,88 @@
+#include "mech/partitioned.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+using FactoryFn = std::function<HistogramMechanismPtr(size_t)>;
+
+// Size-keyed cache so repeated groups reuse one sub-mechanism instance
+// (sub-mechanisms are stateless w.r.t. data).
+class SizeCache {
+ public:
+  explicit SizeCache(const FactoryFn& factory) : factory_(factory) {}
+  const HistogramMechanism& Get(size_t size) {
+    auto it = cache_.find(size);
+    if (it == cache_.end()) {
+      it = cache_.emplace(size, factory_(size)).first;
+      BF_CHECK(it->second != nullptr);
+    }
+    return *it->second;
+  }
+
+ private:
+  const FactoryFn& factory_;
+  std::map<size_t, HistogramMechanismPtr> cache_;
+};
+
+}  // namespace
+
+PartitionedMechanism::PartitionedMechanism(std::vector<size_t> group_ends,
+                                           FactoryFn factory,
+                                           std::string label)
+    : group_ends_(std::move(group_ends)),
+      factory_(std::move(factory)),
+      label_(std::move(label)) {
+  BF_CHECK(!group_ends_.empty());
+  for (size_t i = 1; i < group_ends_.size(); ++i) {
+    BF_CHECK_LT(group_ends_[i - 1], group_ends_[i]);
+  }
+  BF_CHECK(factory_ != nullptr);
+}
+
+Vector PartitionedMechanism::Run(const Vector& x, double epsilon,
+                                 Rng* rng) const {
+  BF_CHECK_EQ(group_ends_.back(), x.size());
+  SizeCache cache(factory_);
+  Vector out(x.size());
+  size_t start = 0;
+  for (size_t end : group_ends_) {
+    const Vector group(x.begin() + start, x.begin() + end);
+    const Vector est = cache.Get(end - start).Run(group, epsilon, rng);
+    BF_CHECK_EQ(est.size(), end - start);
+    for (size_t i = 0; i < est.size(); ++i) out[start + i] = est[i];
+    start = end;
+  }
+  return out;
+}
+
+Vector PartitionedMechanism::RunScattered(
+    const std::vector<std::vector<size_t>>& groups, const FactoryFn& factory,
+    const Vector& x, double epsilon, Rng* rng) {
+  SizeCache cache(factory);
+  Vector out(x.size());
+  std::vector<bool> covered(x.size(), false);
+  for (const std::vector<size_t>& group : groups) {
+    Vector sub;
+    sub.reserve(group.size());
+    for (size_t idx : group) {
+      BF_CHECK_LT(idx, x.size());
+      BF_CHECK_MSG(!covered[idx], "groups must be disjoint");
+      covered[idx] = true;
+      sub.push_back(x[idx]);
+    }
+    const Vector est = cache.Get(group.size()).Run(sub, epsilon, rng);
+    BF_CHECK_EQ(est.size(), group.size());
+    for (size_t i = 0; i < group.size(); ++i) out[group[i]] = est[i];
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    BF_CHECK_MSG(covered[i], "groups must cover the whole domain");
+  }
+  return out;
+}
+
+}  // namespace blowfish

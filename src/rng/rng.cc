@@ -1,0 +1,71 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  BF_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::Laplace(double scale) {
+  BF_CHECK_GT(scale, 0.0);
+  // Inverse CDF: U in (-1/2, 1/2), X = -b * sgn(U) * ln(1 - 2|U|).
+  double u;
+  do {
+    u = Uniform(-0.5, 0.5);
+  } while (u == -0.5);  // avoid log(0)
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+std::vector<double> Rng::LaplaceVector(size_t n, double scale) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = Laplace(scale);
+  return out;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+double Rng::Exponential(double rate) {
+  BF_CHECK_GT(rate, 0.0);
+  std::exponential_distribution<double> dist(rate);
+  return dist(gen_);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  BF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    BF_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  BF_CHECK_GT(total, 0.0);
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: r == total
+}
+
+Rng Rng::Fork() {
+  // Draw a fresh 64-bit seed; child streams from mt19937_64 seeded with
+  // independent values are effectively independent for our purposes.
+  return Rng(gen_());
+}
+
+}  // namespace blowfish

@@ -1,0 +1,125 @@
+#include "workload/builders.h"
+
+#include "common/check.h"
+
+namespace blowfish {
+
+Workload IdentityWorkload(size_t k) {
+  return Workload("I_" + std::to_string(k), SparseMatrix::Identity(k));
+}
+
+Workload CumulativeWorkload(size_t k) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(k * (k + 1) / 2);
+  for (size_t i = 0; i < k; ++i)
+    for (size_t j = 0; j <= i; ++j) triplets.push_back({i, j, 1.0});
+  return Workload("C_" + std::to_string(k),
+                  SparseMatrix::FromTriplets(k, k, std::move(triplets)));
+}
+
+RangeWorkload AllRanges1D(size_t k) {
+  DomainShape domain({k});
+  std::vector<RangeQuery> queries;
+  queries.reserve(k * (k + 1) / 2);
+  for (size_t l = 0; l < k; ++l)
+    for (size_t r = l; r < k; ++r) queries.push_back({{l}, {r}});
+  return RangeWorkload("R_" + std::to_string(k), std::move(domain),
+                       std::move(queries));
+}
+
+namespace {
+
+void CrossRanges(const DomainShape& domain, size_t dim,
+                 std::vector<size_t>* lo, std::vector<size_t>* hi,
+                 std::vector<RangeQuery>* out) {
+  if (dim == domain.num_dims()) {
+    out->push_back({*lo, *hi});
+    return;
+  }
+  for (size_t l = 0; l < domain.dim(dim); ++l) {
+    for (size_t r = l; r < domain.dim(dim); ++r) {
+      (*lo)[dim] = l;
+      (*hi)[dim] = r;
+      CrossRanges(domain, dim + 1, lo, hi, out);
+    }
+  }
+}
+
+}  // namespace
+
+RangeWorkload AllRangesNd(const DomainShape& domain) {
+  std::vector<RangeQuery> queries;
+  std::vector<size_t> lo(domain.num_dims()), hi(domain.num_dims());
+  CrossRanges(domain, 0, &lo, &hi, &queries);
+  return RangeWorkload("R_nd", domain, std::move(queries));
+}
+
+RangeWorkload RandomRanges(const DomainShape& domain, size_t count,
+                           Rng* rng) {
+  BF_CHECK(rng != nullptr);
+  std::vector<RangeQuery> queries;
+  queries.reserve(count);
+  const size_t d = domain.num_dims();
+  for (size_t i = 0; i < count; ++i) {
+    RangeQuery q;
+    q.lo.resize(d);
+    q.hi.resize(d);
+    for (size_t dim = 0; dim < d; ++dim) {
+      size_t a = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(domain.dim(dim)) - 1));
+      size_t b = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(domain.dim(dim)) - 1));
+      if (a > b) std::swap(a, b);
+      q.lo[dim] = a;
+      q.hi[dim] = b;
+    }
+    queries.push_back(std::move(q));
+  }
+  return RangeWorkload("random_ranges", domain, std::move(queries));
+}
+
+RangeWorkload MarginalWorkload(const DomainShape& domain,
+                               const std::vector<size_t>& dims) {
+  const size_t d = domain.num_dims();
+  for (size_t dim : dims) BF_CHECK_LT(dim, d);
+  // Enumerate value combinations of the marginal dimensions; the other
+  // dimensions span their full extent.
+  std::vector<RangeQuery> queries;
+  std::vector<size_t> values(dims.size(), 0);
+  bool done = dims.empty();
+  do {
+    RangeQuery q;
+    q.lo.assign(d, 0);
+    q.hi.resize(d);
+    for (size_t i = 0; i < d; ++i) q.hi[i] = domain.dim(i) - 1;
+    for (size_t j = 0; j < dims.size(); ++j) {
+      q.lo[dims[j]] = values[j];
+      q.hi[dims[j]] = values[j];
+    }
+    queries.push_back(std::move(q));
+    // Odometer over the marginal dimensions.
+    done = true;
+    for (size_t j = dims.size(); j-- > 0;) {
+      if (values[j] + 1 < domain.dim(dims[j])) {
+        ++values[j];
+        done = false;
+        break;
+      }
+      values[j] = 0;
+    }
+  } while (!done);
+  // Note: empty `dims` yields exactly one query — the total count.
+  return RangeWorkload("marginal", domain, std::move(queries));
+}
+
+RangeWorkload HistogramRanges(const DomainShape& domain) {
+  std::vector<RangeQuery> queries;
+  queries.reserve(domain.size());
+  for (size_t i = 0; i < domain.size(); ++i) {
+    const std::vector<size_t> c = domain.Unflatten(i);
+    queries.push_back({c, c});
+  }
+  return RangeWorkload("histogram", domain, std::move(queries));
+}
+
+}  // namespace blowfish

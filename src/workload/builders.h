@@ -1,0 +1,50 @@
+// Builders for the workloads the paper studies: the identity
+// (histogram) workload I_k, the cumulative-histogram workload C_k
+// (Figure 1), the full 1D range workload R_k, full d-dimensional range
+// workloads R_{k^d}, and the random range samples used in Section 6
+// (10,000 random 1D / 2D ranges).
+
+#ifndef BLOWFISH_WORKLOAD_BUILDERS_H_
+#define BLOWFISH_WORKLOAD_BUILDERS_H_
+
+#include "rng/rng.h"
+#include "workload/workload.h"
+
+namespace blowfish {
+
+/// Identity workload I_k: the histogram query (Example 2.1); L1
+/// sensitivity 1.
+Workload IdentityWorkload(size_t k);
+
+/// Cumulative histogram workload C_k: query i is the prefix sum
+/// x[0] + ... + x[i] (Example 2.1); L1 sensitivity k.
+Workload CumulativeWorkload(size_t k);
+
+/// All one-dimensional ranges R_k = {q(l, r) : l <= r}, as an implicit
+/// range workload; k(k+1)/2 queries.
+RangeWorkload AllRanges1D(size_t k);
+
+/// All d-dimensional ranges R_{k^d} over a grid domain; use only at
+/// small domains (the query count is the product of per-dim counts).
+RangeWorkload AllRangesNd(const DomainShape& domain);
+
+/// `count` ranges drawn uniformly: per dimension, endpoints are two
+/// uniform draws (order-normalized). Section 6's 1D-Range and 2D-Range
+/// workloads use count = 10,000.
+RangeWorkload RandomRanges(const DomainShape& domain, size_t count,
+                           Rng* rng);
+
+/// The histogram workload as an implicit range workload (length-1
+/// ranges), for uniform handling in experiment drivers.
+RangeWorkload HistogramRanges(const DomainShape& domain);
+
+/// The marginal workload over a subset of dimensions (Section 6's
+/// "range query and marginal workloads"): one query per combination of
+/// values of `dims`, each summing all cells agreeing on those values.
+/// E.g. dims = {0} over a k x m domain yields the k row totals.
+RangeWorkload MarginalWorkload(const DomainShape& domain,
+                               const std::vector<size_t>& dims);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_WORKLOAD_BUILDERS_H_

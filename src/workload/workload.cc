@@ -1,0 +1,106 @@
+#include "workload/workload.h"
+
+#include "common/check.h"
+
+namespace blowfish {
+
+RangeWorkload::RangeWorkload(std::string name, DomainShape domain,
+                             std::vector<RangeQuery> queries)
+    : name_(std::move(name)),
+      domain_(std::move(domain)),
+      queries_(std::move(queries)) {
+  for (const RangeQuery& q : queries_) {
+    BF_CHECK_EQ(q.lo.size(), domain_.num_dims());
+    BF_CHECK_EQ(q.hi.size(), domain_.num_dims());
+    for (size_t d = 0; d < domain_.num_dims(); ++d) {
+      BF_CHECK_LE(q.lo[d], q.hi[d]);
+      BF_CHECK_LT(q.hi[d], domain_.dim(d));
+    }
+  }
+}
+
+namespace {
+
+// Summed-area table over the row-major flattened domain: after the
+// d-th pass, sat[i] holds the sum of x over the dominated box in the
+// first d dimensions.
+Vector SummedAreaTable(const DomainShape& domain, const Vector& x) {
+  Vector sat = x;
+  const size_t d = domain.num_dims();
+  // Strides of the row-major layout.
+  std::vector<size_t> stride(d, 1);
+  for (size_t i = d - 1; i-- > 0;) stride[i] = stride[i + 1] * domain.dim(i + 1);
+  for (size_t dim = 0; dim < d; ++dim) {
+    const size_t s = stride[dim];
+    const size_t extent = domain.dim(dim);
+    for (size_t i = 0; i < domain.size(); ++i) {
+      const size_t coord = (i / s) % extent;
+      if (coord > 0) sat[i] += sat[i - s];
+    }
+  }
+  return sat;
+}
+
+}  // namespace
+
+Vector RangeWorkload::Answer(const Vector& x) const {
+  BF_CHECK_EQ(x.size(), domain_.size());
+  const Vector sat = SummedAreaTable(domain_, x);
+  const size_t d = domain_.num_dims();
+  Vector out(queries_.size(), 0.0);
+  std::vector<size_t> corner(d);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const RangeQuery& q = queries_[qi];
+    double acc = 0.0;
+    // Inclusion-exclusion over the 2^d corners of the box.
+    for (size_t mask = 0; mask < (size_t{1} << d); ++mask) {
+      bool valid = true;
+      int sign = 1;
+      for (size_t dim = 0; dim < d; ++dim) {
+        if (mask & (size_t{1} << dim)) {
+          sign = -sign;
+          if (q.lo[dim] == 0) {
+            valid = false;
+            break;
+          }
+          corner[dim] = q.lo[dim] - 1;
+        } else {
+          corner[dim] = q.hi[dim];
+        }
+      }
+      if (!valid) continue;
+      acc += sign * sat[domain_.Flatten(corner)];
+    }
+    out[qi] = acc;
+  }
+  return out;
+}
+
+Workload RangeWorkload::ToWorkload() const {
+  std::vector<Triplet> triplets;
+  const size_t d = domain_.num_dims();
+  std::vector<size_t> coords(d);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const RangeQuery& q = queries_[qi];
+    // Enumerate all cells in the box with an odometer walk.
+    coords = q.lo;
+    bool done = false;
+    while (!done) {
+      triplets.push_back({qi, domain_.Flatten(coords), 1.0});
+      done = true;
+      for (size_t dim = d; dim-- > 0;) {
+        if (coords[dim] < q.hi[dim]) {
+          ++coords[dim];
+          done = false;
+          break;
+        }
+        coords[dim] = q.lo[dim];
+      }
+    }
+  }
+  return Workload(name_, SparseMatrix::FromTriplets(
+                             queries_.size(), domain_.size(),
+                             std::move(triplets)));
+}
+
+}  // namespace blowfish

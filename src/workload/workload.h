@@ -1,0 +1,81 @@
+// Linear query workloads (Section 2). A workload is a q x k matrix W
+// whose rows are linear queries over the histogram vector x; the
+// answer is W x. Two representations coexist:
+//
+//  * `Workload` wraps a sparse matrix and is the exact object the
+//    theory manipulates (transforms, sensitivities, pseudoinverses).
+//  * `RangeWorkload` keeps multi-dimensional range queries implicit
+//    (lo/hi corners) and answers them in O(domain + q) via summed-area
+//    tables; experiments at domain size 4096 or 100x100 with 10^4
+//    queries never materialize W.
+//
+// `RangeWorkload::ToWorkload()` bridges the two for small domains.
+
+#ifndef BLOWFISH_WORKLOAD_WORKLOAD_H_
+#define BLOWFISH_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/builders.h"
+#include "linalg/sparse.h"
+
+namespace blowfish {
+
+/// \brief A workload of linear queries with an explicit sparse matrix.
+class Workload {
+ public:
+  Workload() = default;
+  Workload(std::string name, SparseMatrix matrix)
+      : name_(std::move(name)), matrix_(std::move(matrix)) {}
+
+  const std::string& name() const { return name_; }
+  const SparseMatrix& matrix() const { return matrix_; }
+  size_t num_queries() const { return matrix_.rows(); }
+  size_t domain_size() const { return matrix_.cols(); }
+
+  /// Exact answers W x.
+  Vector Answer(const Vector& x) const { return matrix_.MultiplyVector(x); }
+
+  /// L1 sensitivity under unbounded differential privacy
+  /// (Definition 2.3): max column L1 norm.
+  double SensitivityUnbounded() const { return matrix_.MaxColumnL1(); }
+
+ private:
+  std::string name_;
+  SparseMatrix matrix_;
+};
+
+/// \brief An axis-aligned range query over a d-dimensional grid domain;
+/// bounds are inclusive cell coordinates.
+struct RangeQuery {
+  std::vector<size_t> lo;
+  std::vector<size_t> hi;
+};
+
+/// \brief Implicit workload of d-dimensional range queries.
+class RangeWorkload {
+ public:
+  RangeWorkload(std::string name, DomainShape domain,
+                std::vector<RangeQuery> queries);
+
+  const std::string& name() const { return name_; }
+  const DomainShape& domain() const { return domain_; }
+  const std::vector<RangeQuery>& queries() const { return queries_; }
+  size_t num_queries() const { return queries_.size(); }
+
+  /// Exact answers via a summed-area table: O(domain + q * 2^d).
+  Vector Answer(const Vector& x) const;
+
+  /// Materializes the explicit sparse workload (use at small domains).
+  Workload ToWorkload() const;
+
+ private:
+  std::string name_;
+  DomainShape domain_;
+  std::vector<RangeQuery> queries_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_WORKLOAD_WORKLOAD_H_

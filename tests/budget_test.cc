@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mech/budget.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Budget, SequentialSpendsAccumulate) {
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.Spend(0.25, "stage 1").ok());
+  EXPECT_TRUE(budget.Spend(0.75, "stage 2").ok());
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+  EXPECT_EQ(budget.ledger().size(), 2u);
+}
+
+TEST(Budget, OverspendRejectedWithoutSideEffects) {
+  PrivacyBudget budget(0.5);
+  EXPECT_TRUE(budget.Spend(0.4, "a").ok());
+  const Status overspend = budget.Spend(0.2, "b");
+  EXPECT_FALSE(overspend.ok());
+  EXPECT_NEAR(budget.spent(), 0.4, 1e-12);
+  EXPECT_EQ(budget.ledger().size(), 1u);
+}
+
+TEST(Budget, ThirdSplitsToleratesRounding) {
+  // The Lemma 4.5 pattern: three ε/3 spends must exactly fill ε.
+  PrivacyBudget budget(1.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(budget.Spend(1.0 / 3.0, "eps/3").ok()) << i;
+  }
+  EXPECT_FALSE(budget.Spend(0.01, "extra").ok());
+}
+
+TEST(Budget, ParallelCountsOnce) {
+  // The Theorem 5.4 pattern: 2(k-1) disjoint lines at full ε cost ε.
+  PrivacyBudget budget(1.0);
+  EXPECT_TRUE(budget.SpendParallel(1.0, 126, "privelet lines").ok());
+  EXPECT_NEAR(budget.remaining(), 0.0, 1e-12);
+  EXPECT_NE(budget.ToString().find("parallel x126"), std::string::npos);
+}
+
+TEST(Budget, InvalidSpendsRejected) {
+  PrivacyBudget budget(1.0);
+  EXPECT_FALSE(budget.Spend(0.0, "zero").ok());
+  EXPECT_FALSE(budget.Spend(-0.1, "negative").ok());
+  EXPECT_FALSE(budget.SpendParallel(0.5, 0, "no parts").ok());
+}
+
+TEST(BudgetDeath, NonPositiveTotalRejected) {
+  EXPECT_DEATH(PrivacyBudget(0.0), "CHECK failed");
+}
+
+TEST(Budget, DawaStyleSplitAudits) {
+  // DAWA: ε1 = 0.25ε partition + ε2 = 0.75ε totals.
+  PrivacyBudget budget(0.1);
+  EXPECT_TRUE(budget.Spend(0.025, "stage-1 partition").ok());
+  EXPECT_TRUE(budget.Spend(0.075, "stage-2 bucket totals").ok());
+  const std::string audit = budget.ToString();
+  EXPECT_NE(audit.find("stage-1 partition"), std::string::npos);
+  EXPECT_NE(audit.find("stage-2 bucket totals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(Status, AllCodesStringify) {
+  EXPECT_NE(Status::OutOfRange("x").ToString().find("OutOfRange"),
+            std::string::npos);
+  EXPECT_NE(Status::NotFound("x").ToString().find("NotFound"),
+            std::string::npos);
+  EXPECT_NE(Status::NumericalError("x").ToString().find("NumericalError"),
+            std::string::npos);
+  EXPECT_NE(Status::IOError("x").ToString().find("IOError"),
+            std::string::npos);
+  EXPECT_NE(Status::Unimplemented("x").ToString().find("Unimplemented"),
+            std::string::npos);
+  EXPECT_NE(Status::Internal("x").ToString().find("Internal"),
+            std::string::npos);
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_EQ(ok_result.ValueOrDie(), 42);
+  EXPECT_EQ(*ok_result, 42);
+
+  Result<int> err_result(Status::NotFound("nope"));
+  EXPECT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, MoveExtractsValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultDeath, ValueOrDieOnErrorAborts) {
+  Result<int> err(Status::Internal("boom"));
+  EXPECT_DEATH(err.ValueOrDie(), "boom");
+}
+
+TEST(StatusDeath, CheckAbortsOnError) {
+  EXPECT_DEATH(Status::IOError("disk gone").Check(), "disk gone");
+}
+
+TEST(ReturnNotOk, PropagatesErrors) {
+  const auto f = [](bool fail) -> Status {
+    BF_RETURN_NOT_OK(fail ? Status::Internal("inner") : Status::OK());
+    return Status::OK();
+  };
+  EXPECT_TRUE(f(false).ok());
+  EXPECT_EQ(f(true).message(), "inner");
+}
+
+TEST(CheckMacros, ComparisonsPassAndFail) {
+  BF_CHECK_EQ(1, 1);
+  BF_CHECK_LT(1, 2);
+  BF_CHECK_GE(2, 2);
+  EXPECT_DEATH(BF_CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(BF_CHECK_MSG(false, "custom " << 7), "custom 7");
+}
+
+TEST(Logging, LevelFilteringWorks) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  BF_LOG(kInfo) << "should be suppressed";  // no crash, no assertion
+  SetLogLevel(old);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double busy = 0.0;
+  for (int i = 0; i < 100000; ++i) busy += i * 1e-9;
+  EXPECT_GE(sw.ElapsedSeconds() + busy * 0.0, 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,85 @@
+// Synthetic dataset generators must reproduce Table 1's shape
+// statistics (domain size, scale, % zero counts).
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace blowfish {
+namespace {
+
+struct Target {
+  Dataset1D id;
+  const char* name;
+  double scale;
+  double pct_zeros;
+};
+
+class Dataset1DTest : public ::testing::TestWithParam<Target> {};
+
+TEST_P(Dataset1DTest, MatchesTable1Statistics) {
+  const Target& t = GetParam();
+  const Dataset ds = MakeDataset1D(t.id, 2015);
+  EXPECT_EQ(ds.name, t.name);
+  EXPECT_EQ(ds.domain.size(), 4096u);
+  EXPECT_NEAR(ds.Scale(), t.scale, 2.0);  // largest-remainder is exact
+  EXPECT_NEAR(ds.PercentZeroCounts(), t.pct_zeros, 0.5);
+  for (double c : ds.counts) EXPECT_GE(c, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, Dataset1DTest,
+    ::testing::Values(Target{Dataset1D::kA, "A", 2.8e7, 6.20},
+                      Target{Dataset1D::kB, "B", 2.0e7, 44.97},
+                      Target{Dataset1D::kC, "C", 3.5e5, 21.17},
+                      Target{Dataset1D::kD, "D", 3.4e5, 51.03},
+                      Target{Dataset1D::kE, "E", 2.6e4, 96.61},
+                      Target{Dataset1D::kF, "F", 1.8e4, 97.08},
+                      Target{Dataset1D::kG, "G", 9.4e3, 74.80}),
+    [](const ::testing::TestParamInfo<Target>& param_info) {
+      return std::string(param_info.param.name);
+    });
+
+TEST(Datasets, DeterministicPerSeed) {
+  const Dataset a = MakeDataset1D(Dataset1D::kD, 7);
+  const Dataset b = MakeDataset1D(Dataset1D::kD, 7);
+  EXPECT_EQ(a.counts, b.counts);
+  const Dataset c = MakeDataset1D(Dataset1D::kD, 8);
+  EXPECT_NE(a.counts, c.counts);
+}
+
+TEST(Datasets, AllSevenBuilt) {
+  const std::vector<Dataset> all = MakeAllDatasets1D(2015);
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(all[0].name, "A");
+  EXPECT_EQ(all[6].name, "G");
+}
+
+TEST(Datasets, Aggregate1DPreservesScale) {
+  const Dataset d = MakeDataset1D(Dataset1D::kD, 2015);
+  const Dataset coarse = d.Aggregate1D(512);
+  EXPECT_EQ(coarse.domain.size(), 512u);
+  EXPECT_DOUBLE_EQ(coarse.Scale(), d.Scale());
+  // Aggregation can only reduce sparsity.
+  EXPECT_LE(coarse.PercentZeroCounts(), d.PercentZeroCounts());
+}
+
+TEST(Datasets, TwitterGridsMatchTable1Shape) {
+  // T100: 84.93% zeros, T50: 69.24%, T25: 43.20% (Table 1); the
+  // synthetic generator should land in the qualitative neighborhood
+  // and preserve the ordering T25 < T50 < T100.
+  const Dataset t100 = MakeTwitterDataset(100, 2015);
+  const Dataset t50 = MakeTwitterDataset(50, 2015);
+  const Dataset t25 = MakeTwitterDataset(25, 2015);
+  EXPECT_EQ(t100.domain.dims(), (std::vector<size_t>{100, 100}));
+  EXPECT_DOUBLE_EQ(t100.Scale(), 190000.0);
+  EXPECT_DOUBLE_EQ(t50.Scale(), 190000.0);
+  EXPECT_GT(t100.PercentZeroCounts(), t50.PercentZeroCounts());
+  EXPECT_GT(t50.PercentZeroCounts(), t25.PercentZeroCounts());
+  EXPECT_NEAR(t100.PercentZeroCounts(), 84.93, 10.0);
+  EXPECT_NEAR(t50.PercentZeroCounts(), 69.24, 12.0);
+  EXPECT_NEAR(t25.PercentZeroCounts(), 43.20, 15.0);
+}
+
+}  // namespace
+}  // namespace blowfish

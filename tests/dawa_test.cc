@@ -1,0 +1,168 @@
+// DAWA — the data-dependent baseline [14] and the inner mechanism of
+// the paper's "Trans + Dawa" Blowfish variants.
+
+#include <gtest/gtest.h>
+
+#include "mech/dawa.h"
+#include "mech/error.h"
+#include "mech/laplace.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Dawa, PartitionMergesUniformRegions) {
+  DawaMechanism mech;
+  // Noise-free cost model: a constant region should become few large
+  // buckets rather than singletons.
+  Vector flat(64, 10.0);
+  const std::vector<size_t> ends = mech.ChoosePartition(flat, 1.0);
+  EXPECT_LT(ends.size(), 10u);
+  EXPECT_EQ(ends.back(), 64u);
+}
+
+TEST(Dawa, PartitionSplitsAtSharpEdges) {
+  DawaMechanism mech;
+  Vector step(64, 0.0);
+  for (size_t i = 32; i < 64; ++i) step[i] = 1000.0;
+  const std::vector<size_t> ends = mech.ChoosePartition(step, 1.0);
+  // The boundary at 32 must be a bucket edge: merging across it would
+  // cost ~ 16 * 1000 in deviation versus ~1 for the split.
+  EXPECT_TRUE(std::find(ends.begin(), ends.end(), 32u) != ends.end());
+}
+
+TEST(Dawa, PartitionEndsAreValid) {
+  DawaMechanism mech;
+  Rng rng(1);
+  Vector y(100);
+  for (double& v : y) v = rng.Uniform(0, 50);
+  const std::vector<size_t> ends = mech.ChoosePartition(y, 0.5);
+  EXPECT_EQ(ends.back(), 100u);
+  for (size_t i = 1; i < ends.size(); ++i) EXPECT_LT(ends[i - 1], ends[i]);
+}
+
+TEST(Dawa, PreservesTotalInExpectation) {
+  DawaMechanism mech;
+  Vector x(128, 0.0);
+  for (size_t i = 0; i < 128; i += 16) x[i] = 100.0;
+  Rng rng(2);
+  double mean_total = 0.0;
+  const size_t trials = 500;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mech.Run(x, 1.0, &rng);
+    mean_total += Sum(est) / trials;
+  }
+  EXPECT_NEAR(mean_total, Sum(x), 40.0);
+}
+
+TEST(Dawa, BeatsLaplaceOnSparseDataAtSmallEpsilon) {
+  // The paper's Figures 8-9 message: DAWA wins on sparse datasets
+  // (like E, F, G) at small ε, where merging zero-runs dominates; at
+  // large ε the Laplace mechanism's per-cell noise is already below
+  // DAWA's approximation bias (Section 6 reports the same flip).
+  const size_t k = 1024;
+  const DomainShape domain({k});
+  Vector x(k, 0.0);
+  Rng data_rng(3);
+  for (size_t i = 0; i < 25; ++i) {
+    x[data_rng.UniformInt(0, k - 1)] = data_rng.Uniform(50, 500);
+  }
+  const RangeWorkload w = HistogramRanges(domain);
+  DawaMechanism dawa;
+  LaplaceMechanism laplace;
+  const double eps = 0.01;
+  const double dawa_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return dawa.Run(db, e, rng); },
+                   w, x, eps, 5, 10)
+          .mean;
+  const double laplace_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return laplace.Run(db, e, rng); },
+                   w, x, eps, 5, 10)
+          .mean;
+  EXPECT_LT(dawa_err, laplace_err);
+}
+
+TEST(Dawa, BudgetFractionIsConfigurable) {
+  DawaMechanism::Options options;
+  options.partition_budget_fraction = 0.5;
+  DawaMechanism mech(options);
+  Vector x(32, 1.0);
+  Rng rng(4);
+  const Vector est = mech.Run(x, 1.0, &rng);
+  EXPECT_EQ(est.size(), 32u);
+}
+
+TEST(Hilbert, OrderIsAPermutation) {
+  for (auto [rows, cols] : {std::pair<size_t, size_t>{4, 4},
+                            {8, 8},
+                            {5, 7},
+                            {25, 25},
+                            {1, 9}}) {
+    const std::vector<size_t> order = HilbertOrder(rows, cols);
+    ASSERT_EQ(order.size(), rows * cols);
+    std::vector<bool> seen(rows * cols, false);
+    for (size_t idx : order) {
+      ASSERT_LT(idx, rows * cols);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(Hilbert, ConsecutiveCellsAreAdjacent) {
+  // The Hilbert curve on a power-of-two square visits 4-adjacent cells.
+  const size_t n = 16;
+  const std::vector<size_t> order = HilbertOrder(n, n);
+  for (size_t p = 1; p < order.size(); ++p) {
+    const size_t a = order[p - 1], b = order[p];
+    const size_t ai = a / n, aj = a % n, bi = b / n, bj = b % n;
+    const size_t dist = (ai > bi ? ai - bi : bi - ai) +
+                        (aj > bj ? aj - bj : bj - aj);
+    EXPECT_EQ(dist, 1u) << "position " << p;
+  }
+}
+
+TEST(Hilbert2DAdapter, RoundTripsEstimates) {
+  const DomainShape domain({6, 9});
+  // Identity inner mechanism: adapter must return the input exactly.
+  class IdentityMech : public HistogramMechanism {
+   public:
+    Vector Run(const Vector& x, double, Rng*) const override { return x; }
+    std::string name() const override { return "id"; }
+  };
+  Hilbert2DAdapter adapter(domain, std::make_shared<IdentityMech>());
+  Vector x(domain.size());
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  Rng rng(5);
+  EXPECT_EQ(adapter.Run(x, 1.0, &rng), x);
+}
+
+TEST(Hilbert2DAdapter, DawaOnClusteredGrid) {
+  // 2D DAWA should beat 2D Laplace on spatially clustered sparse data
+  // (the Twitter-dataset setting).
+  const size_t k = 32;
+  const DomainShape domain({k, k});
+  Vector x(k * k, 0.0);
+  for (size_t i = 10; i < 14; ++i)
+    for (size_t j = 20; j < 24; ++j) x[i * k + j] = 200.0;
+  const RangeWorkload w = HistogramRanges(domain);
+  Hilbert2DAdapter dawa2d(domain, std::make_shared<DawaMechanism>());
+  LaplaceMechanism laplace;
+  const double eps = 0.01;
+  const double dawa_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return dawa2d.Run(db, e, rng); },
+                   w, x, eps, 5, 20)
+          .mean;
+  const double laplace_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return laplace.Run(db, e, rng); },
+                   w, x, eps, 5, 20)
+          .mean;
+  EXPECT_LT(dawa_err, laplace_err);
+}
+
+}  // namespace
+}  // namespace blowfish

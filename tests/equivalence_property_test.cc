@@ -1,0 +1,174 @@
+// Randomized property sweeps over the transformational-equivalence
+// machinery: random tree policies, random connected policies, and
+// random workloads must satisfy the paper's identities
+//
+//   (P1) exact reconstruction:  P_G x_G lifts back to x,
+//   (P2) answer preservation:   W x = W_G x_G + c(W, n),
+//   (P3) Lemma 4.7:             ∆_W(G) = ∆_{W_G},
+//   (P4) Lemma 4.9 (trees):     Blowfish neighbors <-> L1 distance 1,
+//   (P5) Lemma 4.5 accounting:  certified stretch bounds the path
+//                               length of every policy edge.
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.h"
+#include "core/subgraph_approx.h"
+#include "core/transform.h"
+#include "graph/algorithms.h"
+#include "rng/rng.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+Graph RandomTree(size_t k, Rng* rng) {
+  Graph g(k);
+  // Random attachment: vertex i links to a uniform earlier vertex.
+  for (size_t i = 1; i < k; ++i) {
+    g.AddEdge(i, static_cast<size_t>(rng->UniformInt(0, i - 1)));
+  }
+  return g;
+}
+
+Graph RandomConnectedGraph(size_t k, double extra_edge_prob, Rng* rng) {
+  Graph g = RandomTree(k, rng);
+  for (size_t u = 0; u < k; ++u) {
+    for (size_t v = u + 1; v < k; ++v) {
+      if (!g.HasEdge(u, v) && rng->Uniform() < extra_edge_prob) {
+        g.AddEdge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+SparseMatrix RandomWorkloadMatrix(size_t q, size_t k, Rng* rng) {
+  std::vector<Triplet> triplets;
+  for (size_t r = 0; r < q; ++r) {
+    for (size_t c = 0; c < k; ++c) {
+      if (rng->Uniform() < 0.4) {
+        triplets.push_back(
+            {r, c, static_cast<double>(rng->UniformInt(-3, 3))});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(q, k, std::move(triplets));
+}
+
+Vector RandomDatabase(size_t k, Rng* rng) {
+  Vector x(k);
+  for (double& v : x) v = static_cast<double>(rng->UniformInt(0, 30));
+  return x;
+}
+
+class EquivalencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalencePropertyTest, RandomTreePolicySatisfiesAllIdentities) {
+  Rng rng(GetParam());
+  const size_t k = 4 + static_cast<size_t>(rng.UniformInt(0, 12));
+  Policy policy{"random-tree", DomainShape({k}), RandomTree(k, &rng)};
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+  ASSERT_TRUE(t.is_tree());
+
+  // (P1) reconstruction.
+  const Vector x = RandomDatabase(k, &rng);
+  const Vector xg = t.TransformDatabase(x);
+  const Vector rebuilt = t.ReconstructHistogram(xg, t.ComponentTotals(x));
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(rebuilt[i], x[i], 1e-7);
+
+  // (P2) answer preservation for a random workload.
+  const SparseMatrix w = RandomWorkloadMatrix(6, k, &rng);
+  const SparseMatrix wg = t.TransformWorkload(w);
+  const Vector direct = w.MultiplyVector(x);
+  const Vector via = w.MultiplyVector(rebuilt);
+  for (size_t q = 0; q < direct.size(); ++q) {
+    EXPECT_NEAR(direct[q], via[q], 1e-6);
+  }
+  EXPECT_EQ(wg.cols(), t.num_edges());
+
+  // (P3) Lemma 4.7.
+  EXPECT_NEAR(PolicySpecificSensitivity(w, policy), wg.MaxColumnL1(), 1e-9);
+
+  // (P4) Lemma 4.9 on a sample of pairs.
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t u = static_cast<size_t>(rng.UniformInt(0, k - 1));
+    const size_t v = static_cast<size_t>(rng.UniformInt(0, k - 1));
+    if (u == v) continue;
+    Vector y = x, z = x;
+    z[u] -= 1.0;
+    z[v] += 1.0;
+    const double l1 =
+        NormL1(Sub(t.TransformDatabase(y), t.TransformDatabase(z)));
+    if (policy.graph.HasEdge(u, v)) {
+      EXPECT_NEAR(l1, 1.0, 1e-9);
+    } else {
+      EXPECT_GT(l1, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(EquivalencePropertyTest, RandomConnectedPolicyIdentities) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const size_t k = 5 + static_cast<size_t>(rng.UniformInt(0, 10));
+  Policy policy{"random-graph", DomainShape({k}),
+                RandomConnectedGraph(k, 0.25, &rng)};
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+
+  // (P1) reconstruction via the min-norm CG path.
+  const Vector x = RandomDatabase(k, &rng);
+  const Vector xg = t.TransformDatabase(x);
+  const Vector rebuilt = t.ReconstructHistogram(xg, t.ComponentTotals(x));
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(rebuilt[i], x[i], 1e-6);
+
+  // (P3) Lemma 4.7 holds for any connected policy.
+  const SparseMatrix w = RandomWorkloadMatrix(5, k, &rng);
+  EXPECT_NEAR(PolicySpecificSensitivity(w, policy),
+              t.TransformWorkload(w).MaxColumnL1(), 1e-9);
+
+  // (P5) spanning-tree stretch certificate is an upper bound on every
+  // edge's path length and is attained by some edge.
+  const Graph tree = BfsSpanningTree(policy.graph, 0);
+  const int64_t stretch = MaxEdgeStretch(policy.graph, tree);
+  ASSERT_GE(stretch, 1);
+  int64_t attained = 0;
+  for (const Graph::Edge& e : policy.graph.edges()) {
+    const int64_t d = Distance(tree, e.u, e.v);
+    ASSERT_GE(d, 1);
+    EXPECT_LE(d, stretch);
+    attained = std::max(attained, d);
+  }
+  EXPECT_EQ(attained, stretch);
+}
+
+TEST_P(EquivalencePropertyTest, RandomDisconnectedPolicyIdentities) {
+  Rng rng(GetParam() ^ 0x1234567);
+  // Two random components of random sizes.
+  const size_t k1 = 3 + static_cast<size_t>(rng.UniformInt(0, 5));
+  const size_t k2 = 3 + static_cast<size_t>(rng.UniformInt(0, 5));
+  const size_t k = k1 + k2;
+  Graph g(k);
+  {
+    const Graph a = RandomTree(k1, &rng);
+    for (const Graph::Edge& e : a.edges()) g.AddEdge(e.u, e.v);
+    const Graph b = RandomConnectedGraph(k2, 0.3, &rng);
+    for (const Graph::Edge& e : b.edges()) g.AddEdge(k1 + e.u, k1 + e.v);
+  }
+  Policy policy{"random-disconnected", DomainShape({k}), g};
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+  EXPECT_EQ(t.reduction().removed.size(), 2u);
+
+  const Vector x = RandomDatabase(k, &rng);
+  const Vector rebuilt = t.ReconstructHistogram(t.TransformDatabase(x),
+                                                t.ComponentTotals(x));
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(rebuilt[i], x[i], 1e-6);
+
+  const SparseMatrix w = RandomWorkloadMatrix(4, k, &rng);
+  EXPECT_NEAR(PolicySpecificSensitivity(w, policy),
+              t.TransformWorkload(w).MaxColumnL1(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalencePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "mech/error.h"
+#include "mech/hierarchical.h"
+#include "mech/laplace.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Hierarchical, LevelsOfBinaryTree) {
+  HierarchicalMechanism mech(2);
+  EXPECT_EQ(mech.NumLevels(1), 1u);
+  EXPECT_EQ(mech.NumLevels(2), 2u);
+  EXPECT_EQ(mech.NumLevels(8), 4u);
+  EXPECT_EQ(mech.NumLevels(9), 5u);
+}
+
+TEST(Hierarchical, ExactWithoutNoise) {
+  HierarchicalMechanism mech(2);
+  Vector x{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  Rng rng(1);
+  const Vector est = mech.Run(x, 1e9, &rng);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(est[i], x[i], 1e-4);
+}
+
+TEST(Hierarchical, UnbiasedUnderNoise) {
+  HierarchicalMechanism mech(2);
+  Vector x(16, 3.0);
+  Rng rng(2);
+  Vector mean(16, 0.0);
+  const size_t trials = 3000;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mech.Run(x, 1.0, &rng);
+    for (size_t i = 0; i < 16; ++i) mean[i] += est[i] / trials;
+  }
+  for (size_t i = 0; i < 16; ++i) EXPECT_NEAR(mean[i], 3.0, 1.0);
+}
+
+TEST(Hierarchical, BeatsLaplaceOnLongRanges) {
+  // The whole point of the tree: long ranges cost O(log³k) instead of
+  // O(length).
+  const size_t k = 256;
+  const DomainShape domain({k});
+  std::vector<RangeQuery> long_ranges;
+  for (size_t i = 0; i < 50; ++i) {
+    long_ranges.push_back({{i}, {k - 1 - i}});
+  }
+  const RangeWorkload w("long", domain, long_ranges);
+  Vector x(k, 1.0);
+  HierarchicalMechanism tree(2);
+  LaplaceMechanism flat;
+  const double eps = 1.0;
+  const double tree_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return tree.Run(db, e, rng); },
+                   w, x, eps, 10, 3)
+          .mean;
+  const double flat_err =
+      MeasureError([&](const Vector& db, double e,
+                       Rng* rng) { return flat.Run(db, e, rng); },
+                   w, x, eps, 10, 3)
+          .mean;
+  EXPECT_LT(tree_err, flat_err);
+}
+
+TEST(Hierarchical, BranchingFactorFourWorks) {
+  HierarchicalMechanism mech(4);
+  Vector x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Rng rng(4);
+  const Vector est = mech.Run(x, 1e9, &rng);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(est[i], x[i], 1e-4);
+}
+
+TEST(Hierarchical, NonPowerOfTwoDomain) {
+  HierarchicalMechanism mech(2);
+  Vector x(13, 2.0);
+  Rng rng(5);
+  const Vector est = mech.Run(x, 1e9, &rng);
+  ASSERT_EQ(est.size(), 13u);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(est[i], x[i], 1e-4);
+}
+
+}  // namespace
+}  // namespace blowfish

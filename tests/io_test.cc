@@ -1,0 +1,89 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+
+namespace blowfish {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, BareCounts) {
+  const std::string path = Path("bare.csv");
+  WriteFile(path, "# header comment\n1\n2.5\n\n3\n");
+  const Vector v = LoadHistogramCsv(path).ValueOrDie();
+  EXPECT_EQ(v, (Vector{1.0, 2.5, 3.0}));
+}
+
+TEST_F(IoTest, IndexedCountsWithGaps) {
+  const std::string path = Path("indexed.csv");
+  WriteFile(path, "0,5\n3,7\n1,2\n");
+  const Vector v = LoadHistogramCsv(path).ValueOrDie();
+  EXPECT_EQ(v, (Vector{5.0, 2.0, 0.0, 7.0}));
+}
+
+TEST_F(IoTest, IndexedWithExpectedSizePadsZeros) {
+  const std::string path = Path("indexed2.csv");
+  WriteFile(path, "2,9\n");
+  const Vector v = LoadHistogramCsv(path, 5).ValueOrDie();
+  EXPECT_EQ(v, (Vector{0.0, 0.0, 9.0, 0.0, 0.0}));
+}
+
+TEST_F(IoTest, DuplicateIndicesSum) {
+  const std::string path = Path("dups.csv");
+  WriteFile(path, "1,3\n1,4\n");
+  const Vector v = LoadHistogramCsv(path).ValueOrDie();
+  EXPECT_EQ(v, (Vector{0.0, 7.0}));
+}
+
+TEST_F(IoTest, ErrorsAreStatuses) {
+  EXPECT_FALSE(LoadHistogramCsv(Path("missing-file.csv")).ok());
+
+  const std::string bad = Path("bad.csv");
+  WriteFile(bad, "not-a-number\n");
+  EXPECT_FALSE(LoadHistogramCsv(bad).ok());
+
+  const std::string mixed = Path("mixed.csv");
+  WriteFile(mixed, "5\n1,2\n");
+  EXPECT_FALSE(LoadHistogramCsv(mixed).ok());
+
+  const std::string oob = Path("oob.csv");
+  WriteFile(oob, "9,1\n");
+  EXPECT_EQ(LoadHistogramCsv(oob, 4).status().code(),
+            StatusCode::kOutOfRange);
+
+  const std::string short_file = Path("short.csv");
+  WriteFile(short_file, "1\n2\n");
+  EXPECT_FALSE(LoadHistogramCsv(short_file, 3).ok());
+
+  const std::string empty = Path("empty.csv");
+  WriteFile(empty, "# nothing\n");
+  EXPECT_FALSE(LoadHistogramCsv(empty).ok());
+}
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  const std::string path = Path("roundtrip.csv");
+  const Vector v{1.5, 0.0, -2.25, 7.0};
+  SaveHistogramCsv(path, v).Check();
+  const Vector loaded = LoadHistogramCsv(path).ValueOrDie();
+  ASSERT_EQ(loaded.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(loaded[i], v[i], 1e-9);
+}
+
+TEST_F(IoTest, SaveToInvalidPathFails) {
+  EXPECT_FALSE(SaveHistogramCsv("/nonexistent-dir/x.csv", {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

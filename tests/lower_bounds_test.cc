@@ -1,0 +1,142 @@
+// Corollary A.2 (SVD lower bound) and the L^{1/2} G L^{1/2} scaling
+// trick, validated against direct singular-value computation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.h"
+#include "core/pg_matrix.h"
+#include "linalg/eigen_sym.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(LowerBounds, MultiplierFormula) {
+  // P(ε, δ) = 2 log(2/δ) / ε².
+  EXPECT_NEAR(SvdBoundMultiplier(1.0, 0.001), 2.0 * std::log(2000.0), 1e-9);
+  EXPECT_NEAR(SvdBoundMultiplier(2.0, 0.001),
+              0.5 * std::log(2000.0), 1e-9);
+}
+
+TEST(LowerBounds, Gram1DMatchesExplicitWorkload) {
+  const size_t k = 7;
+  const Matrix gram = RangeWorkloadGram1D(k);
+  const Matrix w = AllRanges1D(k).ToWorkload().matrix().ToDense();
+  EXPECT_LT(gram.MaxAbsDiff(w.GramColumns()), 1e-9);
+}
+
+TEST(LowerBounds, GramNdMatchesExplicitWorkload) {
+  const DomainShape domain({3, 4});
+  const Matrix gram = RangeWorkloadGramNd(domain);
+  const Matrix w = AllRangesNd(domain).ToWorkload().matrix().ToDense();
+  EXPECT_LT(gram.MaxAbsDiff(w.GramColumns()), 1e-9);
+}
+
+// The scaling trick must reproduce the singular values of the explicit
+// transformed workload W' P_G.
+TEST(LowerBounds, SingularSumMatchesExplicitTransform) {
+  const size_t k = 8;
+  const Policy policy = Theta1DPolicy(k, 2);
+  const Matrix gram = RangeWorkloadGram1D(k);
+  const SvdBound bound = SvdLowerBound(gram, policy, 1.0, 0.001).ValueOrDie();
+
+  // Explicit route: reduce, multiply, SVD.
+  const PolicyReduction red = ReducePolicyGraph(policy.graph);
+  const SparseMatrix w = AllRanges1D(k).ToWorkload().matrix();
+  const Matrix wg =
+      ReduceWorkloadMatrix(w, red).Multiply(BuildPgMatrix(red.graph)).ToDense();
+  const Vector sv = SingularValues(wg).ValueOrDie();
+  double sum = 0.0;
+  for (double s : sv) sum += s;
+  EXPECT_NEAR(bound.singular_value_sum, sum, 1e-6 * sum);
+  EXPECT_EQ(bound.num_edges, red.graph.num_edges());
+}
+
+TEST(LowerBounds, UnboundedPolicyEqualsPlainWorkloadSvd) {
+  // Star-⊥ policy: P_G = I, so the bound uses the workload's own
+  // singular values and n_G = k.
+  const size_t k = 6;
+  const Policy policy = UnboundedDpPolicy(k);
+  const Matrix gram = RangeWorkloadGram1D(k);
+  const SvdBound bound = SvdLowerBound(gram, policy, 1.0, 0.001).ValueOrDie();
+  const Vector sv =
+      SingularValues(AllRanges1D(k).ToWorkload().matrix().ToDense())
+          .ValueOrDie();
+  double sum = 0.0;
+  for (double s : sv) sum += s;
+  EXPECT_NEAR(bound.singular_value_sum, sum, 1e-6 * sum);
+  EXPECT_EQ(bound.num_edges, k);
+}
+
+// Figure 10a's qualitative content: at fixed domain size, larger θ
+// weakens the policy and its lower bound rises toward (and past)
+// unbounded DP's.
+TEST(LowerBounds, BoundIncreasesWithTheta) {
+  const size_t k = 32;
+  const Matrix gram = RangeWorkloadGram1D(k);
+  double prev = 0.0;
+  for (size_t theta : {1u, 2u, 4u, 8u}) {
+    const SvdBound b =
+        SvdLowerBound(gram, Theta1DPolicy(k, theta), 1.0, 0.001)
+            .ValueOrDie();
+    EXPECT_GT(b.bound, prev) << "theta=" << theta;
+    prev = b.bound;
+  }
+}
+
+// Figure 10a's headline: "minimum error under unbounded differential
+// privacy increases faster than the minimum error under Gθ_k" — the
+// line-policy bound is below the DP bound and the gap widens with k.
+TEST(LowerBounds, LinePolicyGapWidensWithDomainSize) {
+  Vector ratios;
+  for (size_t k : {16u, 64u}) {
+    const Matrix gram = RangeWorkloadGram1D(k);
+    const double line =
+        SvdLowerBound(gram, LinePolicy(k), 1.0, 0.001).ValueOrDie().bound;
+    const double dp = SvdLowerBound(gram, UnboundedDpPolicy(k), 1.0, 0.001)
+                          .ValueOrDie()
+                          .bound;
+    EXPECT_LT(line, dp) << "k=" << k;
+    ratios.push_back(line / dp);
+  }
+  EXPECT_LT(ratios[1], ratios[0]);  // DP bound grows faster
+}
+
+TEST(LowerBounds, TwoDimensionalGridPolicies) {
+  const DomainShape domain({5, 5});
+  const Matrix gram = RangeWorkloadGramNd(domain);
+  const double g1 =
+      SvdLowerBound(gram, GridPolicy(domain, 1), 1.0, 0.001).ValueOrDie().bound;
+  const double g2 =
+      SvdLowerBound(gram, GridPolicy(domain, 2), 1.0, 0.001).ValueOrDie().bound;
+  const double bounded =
+      SvdLowerBound(gram, BoundedDpPolicy(domain.size()), 1.0, 0.001)
+          .ValueOrDie()
+          .bound;
+  EXPECT_LT(g1, g2);
+  // Figure 10b: all θ values beat bounded differential privacy.
+  EXPECT_LT(g2, bounded);
+}
+
+TEST(LowerBounds, ScalesWithEpsilonAndDelta) {
+  // P(ε, δ) scaling: 1/ε² in ε, log(2/δ) in δ — the (ε, δ) regime of
+  // Corollary A.2.
+  const size_t k = 16;
+  const Matrix gram = RangeWorkloadGram1D(k);
+  const Policy policy = LinePolicy(k);
+  const double b1 = SvdLowerBound(gram, policy, 1.0, 0.001).ValueOrDie().bound;
+  const double b2 = SvdLowerBound(gram, policy, 2.0, 0.001).ValueOrDie().bound;
+  EXPECT_NEAR(b1 / b2, 4.0, 1e-9);
+  const double bd = SvdLowerBound(gram, policy, 1.0, 0.1).ValueOrDie().bound;
+  EXPECT_NEAR(b1 / bd, std::log(2000.0) / std::log(20.0), 1e-9);
+}
+
+TEST(LowerBounds, RejectsMismatchedGram) {
+  EXPECT_FALSE(
+      SvdLowerBound(Matrix::Identity(3), LinePolicy(4), 1.0, 0.001).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

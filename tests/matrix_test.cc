@@ -1,0 +1,91 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  const Matrix d = Matrix::Diagonal({2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyVectorAndTranspose) {
+  Matrix a{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}};
+  const Vector x{1.0, 1.0, 1.0};
+  EXPECT_EQ(a.MultiplyVector(x), (Vector{3.0, 3.0}));
+  EXPECT_EQ(a.TransposeMultiplyVector({1.0, 1.0}), (Vector{1.0, 3.0, 2.0}));
+  const Matrix at = a.Transpose();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 0), 2.0);
+}
+
+TEST(Matrix, GramMatricesMatchExplicitProducts) {
+  Rng rng(3);
+  Matrix a(4, 6);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 6; ++j) a(i, j) = rng.Normal();
+  const Matrix gc = a.GramColumns();
+  const Matrix gr = a.GramRows();
+  EXPECT_LT(gc.MaxAbsDiff(a.Transpose().Multiply(a)), 1e-12);
+  EXPECT_LT(gr.MaxAbsDiff(a.Multiply(a.Transpose())), 1e-12);
+}
+
+TEST(Matrix, ColumnL1AndSensitivity) {
+  // The L1 sensitivity of a workload is its max column L1 norm
+  // (Definition 2.3; Example 2.2: ∆I_k = 1, ∆C_k = k).
+  Matrix ident = Matrix::Identity(5);
+  EXPECT_DOUBLE_EQ(ident.MaxColumnL1(), 1.0);
+  Matrix cumulative(5, 5);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j <= i; ++j) cumulative(i, j) = 1.0;
+  EXPECT_DOUBLE_EQ(cumulative.MaxColumnL1(), 5.0);
+  EXPECT_DOUBLE_EQ(cumulative.ColumnL1(4), 1.0);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, AddSubScaleRowMaxAbsDiff) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{0.5, -1.0}};
+  EXPECT_DOUBLE_EQ(a.Add(b)(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.Sub(b)(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(a.Scale(-2.0)(0, 0), -2.0);
+  EXPECT_EQ(a.Row(0), (Vector{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 3.0);
+}
+
+TEST(MatrixDeath, DimensionChecks) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_DEATH(a.Multiply(b), "CHECK failed");
+  EXPECT_DEATH(a.MultiplyVector({1.0}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace blowfish

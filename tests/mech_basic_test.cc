@@ -1,0 +1,120 @@
+// Laplace mechanism, matrix mechanism, and the error-measurement
+// harness (Theorem 2.1, Equation 2, Definition 2.4).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mech/error.h"
+#include "mech/laplace.h"
+#include "mech/matrix_mechanism.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Laplace, UnbiasedAndVarianceMatchesTheory) {
+  // Theorem 2.1 per-query error: 2 ∆² / ε² with ∆ = 1.
+  LaplaceMechanism mech;
+  const double eps = 0.5;
+  const Vector x{10.0, 20.0, 30.0};
+  Rng rng(1);
+  double sq = 0.0;
+  const size_t trials = 30000;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mech.Run(x, eps, &rng);
+    for (size_t i = 0; i < x.size(); ++i) {
+      sq += (est[i] - x[i]) * (est[i] - x[i]);
+    }
+  }
+  const double per_query = sq / (trials * x.size());
+  EXPECT_NEAR(per_query, 2.0 / (eps * eps), 0.3);
+}
+
+TEST(Laplace, TotalSquaredErrorFormula) {
+  EXPECT_DOUBLE_EQ(LaplaceTotalSquaredError(10, 2.0, 0.5), 2.0 * 10 * 16.0);
+}
+
+TEST(MatrixMechanism, IdentityStrategyEqualsLaplace) {
+  // With A = W = I the mechanism is exactly x + Lap(1/ε).
+  const Matrix ident = Matrix::Identity(4);
+  const MatrixMechanism mm =
+      MatrixMechanism::Create(ident, ident).ValueOrDie();
+  EXPECT_DOUBLE_EQ(mm.strategy_sensitivity(), 1.0);
+  const double eps = 1.0;
+  EXPECT_NEAR(mm.ExpectedTotalSquaredError(eps), 2.0 * 4, 1e-12);
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  const Vector noise{0.5, -0.5, 1.0, 0.0};
+  const Vector out = mm.RunWithNoise(x, eps, noise);
+  EXPECT_EQ(out, (Vector{1.5, 1.5, 4.0, 4.0}));
+}
+
+TEST(MatrixMechanism, CumulativeViaIdentityStrategy) {
+  // Answering C_k via the identity strategy: W A+ = C_k, error
+  // 2 (1/ε)² ||C_k||_F² — much better than Laplace on C_k directly,
+  // whose sensitivity is k (the matrix-mechanism insight of [15]).
+  const size_t k = 8;
+  const Matrix c = CumulativeWorkload(k).matrix().ToDense();
+  const MatrixMechanism mm =
+      MatrixMechanism::Create(c, Matrix::Identity(k)).ValueOrDie();
+  const double eps = 1.0;
+  const double frob = c.FrobeniusNorm();
+  EXPECT_NEAR(mm.ExpectedTotalSquaredError(eps), 2.0 * frob * frob, 1e-9);
+  const double direct_laplace = LaplaceTotalSquaredError(k, k, eps);
+  EXPECT_LT(mm.ExpectedTotalSquaredError(eps), direct_laplace);
+}
+
+TEST(MatrixMechanism, RejectsUnanswerableWorkload) {
+  // Strategy spanning only the first coordinate cannot answer I_2.
+  Matrix a{{1.0, 0.0}};
+  EXPECT_FALSE(MatrixMechanism::Create(Matrix::Identity(2), a).ok());
+}
+
+TEST(MatrixMechanism, EmpiricalErrorMatchesAnalytic) {
+  const size_t k = 6;
+  const Matrix w = CumulativeWorkload(k).matrix().ToDense();
+  const MatrixMechanism mm =
+      MatrixMechanism::Create(w, Matrix::Identity(k)).ValueOrDie();
+  const double eps = 1.0;
+  Rng rng(77);
+  const Vector x{1, 2, 3, 4, 5, 6};
+  const Vector truth = w.MultiplyVector(x);
+  double total_sq = 0.0;
+  const size_t trials = 20000;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mm.Run(x, eps, &rng);
+    for (size_t i = 0; i < truth.size(); ++i) {
+      total_sq += (est[i] - truth[i]) * (est[i] - truth[i]);
+    }
+  }
+  EXPECT_NEAR(total_sq / trials, mm.ExpectedTotalSquaredError(eps),
+              0.06 * mm.ExpectedTotalSquaredError(eps));
+}
+
+TEST(MeasureError, ZeroForExactEstimator) {
+  const RangeWorkload w = AllRanges1D(8);
+  const Vector x{1, 2, 3, 4, 5, 6, 7, 8};
+  const ErrorStats stats = MeasureError(
+      [](const Vector& db, double, Rng*) { return db; }, w, x, 1.0, 3, 42);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_EQ(stats.trials, 3u);
+}
+
+TEST(MeasureError, LaplaceOnHistogramWorkload) {
+  // Per-query error of the Laplace mechanism on the identity workload
+  // should be about 2/ε².
+  const DomainShape domain({64});
+  const RangeWorkload w = HistogramRanges(domain);
+  Vector x(64, 5.0);
+  LaplaceMechanism mech;
+  const double eps = 1.0;
+  const ErrorStats stats = MeasureError(
+      [&](const Vector& db, double e, Rng* rng) {
+        return mech.Run(db, e, rng);
+      },
+      w, x, eps, 50, 7);
+  EXPECT_NEAR(stats.mean, 2.0, 0.5);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,266 @@
+// Blowfish mechanisms for tree-reducible policies: Algorithm 1 /
+// Theorem 5.2 (1D ranges under G¹_k with Θ(1/ε²) error independent of
+// domain size), the consistency variants (Section 5.4.2), and the Gθ_k
+// spanner mechanisms (Theorem 5.5).
+
+#include <gtest/gtest.h>
+
+#include "core/data_dependent.h"
+#include "core/mechanisms_1d.h"
+#include "mech/dawa.h"
+#include "mech/error.h"
+#include "mech/laplace.h"
+#include "mech/privelet.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+EstimatorFn AsEstimator(const BlowfishMechanism& mech) {
+  return [&mech](const Vector& x, double eps, Rng* rng) {
+    return mech.Run(x, eps, rng);
+  };
+}
+
+TEST(Algorithm1, UnbiasedHistogramRelease) {
+  const size_t k = 16;
+  const BlowfishMechanismPtr mech = MakeTransformedLaplace(k).ValueOrDie();
+  Vector x(k);
+  for (size_t i = 0; i < k; ++i) x[i] = static_cast<double>(i % 5);
+  Rng rng(1);
+  Vector mean(k, 0.0);
+  const size_t trials = 5000;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mech->Run(x, 1.0, &rng);
+    for (size_t i = 0; i < k; ++i) mean[i] += est[i] / trials;
+  }
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(mean[i], x[i], 0.6);
+}
+
+TEST(Algorithm1, PreservesDatabaseSizeExactly) {
+  // Under the bounded line policy n is public; the release must sum to
+  // n in every run, not just in expectation.
+  const size_t k = 32;
+  const BlowfishMechanismPtr mech = MakeTransformedLaplace(k).ValueOrDie();
+  Vector x(k, 3.0);
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_NEAR(Sum(mech->Run(x, 0.5, &rng)), Sum(x), 1e-6);
+  }
+}
+
+// Theorem 5.2: range-query error under G¹_k is Θ(1/ε²) per query,
+// *independent of k* — the headline win over Privelet's O(log³k/ε²).
+TEST(Algorithm1, RangeErrorIndependentOfDomainSize) {
+  Rng qrng(3);
+  Vector errors;
+  for (size_t k : {128u, 2048u}) {
+    const DomainShape domain({k});
+    const RangeWorkload w = RandomRanges(domain, 500, &qrng);
+    Vector x(k, 1.0);
+    const BlowfishMechanismPtr mech = MakeTransformedLaplace(k).ValueOrDie();
+    errors.push_back(MeasureError(AsEstimator(*mech), w, x, 1.0, 10, 5).mean);
+  }
+  // A 16x domain growth should leave the error within noise (ratio
+  // close to 1, certainly below 3).
+  EXPECT_LT(errors[1] / errors[0], 3.0);
+  EXPECT_GT(errors[1] / errors[0], 1.0 / 3.0);
+}
+
+TEST(Algorithm1, RangeErrorMatchesTheory) {
+  // Interior ranges cost two noisy prefix sums: ~2 * 2/ε² = 4/ε².
+  const size_t k = 512;
+  const DomainShape domain({k});
+  Rng qrng(4);
+  const RangeWorkload w = RandomRanges(domain, 800, &qrng);
+  Vector x(k, 2.0);
+  const double eps = 1.0;
+  const BlowfishMechanismPtr mech = MakeTransformedLaplace(k).ValueOrDie();
+  const double err = MeasureError(AsEstimator(*mech), w, x, eps, 20, 6).mean;
+  EXPECT_NEAR(err, 4.0 / (eps * eps), 1.5);
+}
+
+TEST(Algorithm1, BeatsPriveletAtEqualBudget) {
+  // The Section 6 comparison shape at any fixed ε.
+  const size_t k = 1024;
+  const DomainShape domain({k});
+  Rng qrng(5);
+  const RangeWorkload w = RandomRanges(domain, 300, &qrng);
+  Vector x(k, 1.0);
+  const BlowfishMechanismPtr blowfish = MakeTransformedLaplace(k).ValueOrDie();
+  PriveletMechanism privelet{domain};
+  const double eps = 0.1;
+  const double b_err =
+      MeasureError(AsEstimator(*blowfish), w, x, eps, 5, 7).mean;
+  const double p_err = MeasureError(
+                           [&](const Vector& db, double e, Rng* rng) {
+                             return privelet.Run(db, e, rng);
+                           },
+                           w, x, eps / 2.0, 5, 7)
+                           .mean;
+  EXPECT_LT(b_err, p_err);
+}
+
+TEST(Consistency, ImprovesOnSparseData) {
+  // Section 5.4.2: on sparse databases the prefix sums have few
+  // distinct values and the isotonic projection collapses the noise.
+  const size_t k = 1024;
+  Vector x(k, 0.0);
+  x[100] = 500.0;
+  x[800] = 300.0;
+  const DomainShape domain({k});
+  const RangeWorkload w = HistogramRanges(domain);
+  const BlowfishMechanismPtr plain = MakeTransformedLaplace(k).ValueOrDie();
+  const BlowfishMechanismPtr consistent =
+      MakeTransformedConsistent(k).ValueOrDie();
+  const double eps = 0.1;
+  const double err_plain =
+      MeasureError(AsEstimator(*plain), w, x, eps, 5, 8).mean;
+  const double err_cons =
+      MeasureError(AsEstimator(*consistent), w, x, eps, 5, 8).mean;
+  EXPECT_LT(err_cons, err_plain / 5.0);
+}
+
+TEST(Consistency, MonotoneGuardRejectsNonLinePolicies) {
+  // Hθ_k transforms are not monotone; the guard must fire.
+  TreeTransformMechanism::Options options;
+  options.enforce_monotone = true;
+  const LineSpanner spanner = BuildLineThetaSpanner(12, 3);
+  const Policy policy{"H3_12", DomainShape({12}), spanner.graph};
+  auto mech = TreeTransformMechanism::Create(
+                  policy, std::make_shared<LaplaceMechanism>(), options)
+                  .ValueOrDie();
+  Vector x(12, 0.0);
+  x[0] = 5.0;  // makes subtree masses non-monotone in edge order
+  x[3] = 1.0;
+  Rng rng(9);
+  EXPECT_DEATH(mech->Run(x, 1.0, &rng), "monotone");
+}
+
+TEST(TransformedDawa, BeatsTransformedLaplaceOnStepData) {
+  // The prefix sums of piecewise-constant data form long linear runs…
+  // but DAWA keys on piecewise-*constant* structure, which prefix sums
+  // of sparse data provide: long flat runs between spikes.
+  const size_t k = 2048;
+  Vector x(k, 0.0);
+  x[64] = 2000.0;
+  x[1500] = 1000.0;
+  const DomainShape domain({k});
+  Rng qrng(10);
+  const RangeWorkload w = RandomRanges(domain, 300, &qrng);
+  const BlowfishMechanismPtr laplace = MakeTransformedLaplace(k).ValueOrDie();
+  const BlowfishMechanismPtr dawa =
+      MakeTransformedDawa(k, /*with_consistency=*/false).ValueOrDie();
+  // Small ε: the regime where data dependence pays (Section 6).
+  const double eps = 0.1;
+  const double err_laplace =
+      MeasureError(AsEstimator(*laplace), w, x, eps, 5, 11).mean;
+  const double err_dawa =
+      MeasureError(AsEstimator(*dawa), w, x, eps, 5, 11).mean;
+  EXPECT_LT(err_dawa, err_laplace);
+}
+
+TEST(ThetaMechanism, GuaranteeStatesOriginalPolicy) {
+  const BlowfishMechanismPtr mech =
+      MakeThetaTransformedLaplace(64, 4).ValueOrDie();
+  const PrivacyGuarantee g = mech->Guarantee(0.5);
+  EXPECT_NE(g.neighbor_model.find("G^4_64"), std::string::npos);
+}
+
+TEST(ThetaMechanism, StretchIsThree) {
+  const Policy g = Theta1DPolicy(64, 4);
+  const SpannerCertificate cert = LineThetaSpannerFor(g, 4).ValueOrDie();
+  EXPECT_EQ(cert.stretch, 3);
+}
+
+// Theorem 5.5 shape: error under Gθ_k depends on θ, not on k.
+TEST(ThetaMechanism, ErrorIndependentOfDomainSize) {
+  Rng qrng(12);
+  Vector errors;
+  for (size_t k : {256u, 2048u}) {
+    const DomainShape domain({k});
+    const RangeWorkload w = RandomRanges(domain, 300, &qrng);
+    Vector x(k, 1.0);
+    const BlowfishMechanismPtr mech =
+        MakeThetaTransformedLaplace(k, 4).ValueOrDie();
+    errors.push_back(MeasureError(AsEstimator(*mech), w, x, 1.0, 8, 13).mean);
+  }
+  EXPECT_LT(errors[1] / errors[0], 3.0);
+}
+
+TEST(ThetaMechanism, GroupedPriveletRunsAndIsUnbiased) {
+  const size_t k = 64;
+  const BlowfishMechanismPtr mech =
+      MakeThetaGroupedPrivelet(k, 4).ValueOrDie();
+  Vector x(k, 2.0);
+  Rng rng(14);
+  Vector mean(k, 0.0);
+  const size_t trials = 2000;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est = mech->Run(x, 2.0, &rng);
+    for (size_t i = 0; i < k; ++i) mean[i] += est[i] / trials;
+  }
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(mean[i], 2.0, 1.0);
+}
+
+TEST(ThetaMechanism, BudgetDividedByStretch) {
+  // The spanner wrapper must run the inner mechanism at ε/3: measure
+  // the variance of a released count and compare against the expected
+  // tree-transform variance at ε/3 (for the θ-line, far from the ends,
+  // a histogram cell is a difference of two noisy edge counts).
+  const size_t k = 32;
+  const BlowfishMechanismPtr mech =
+      MakeThetaTransformedLaplace(k, 4).ValueOrDie();
+  Vector x(k, 1.0);
+  Rng rng(15);
+  const double eps = 3.0;  // inner runs at eps/3 = 1.0
+  const size_t cell = 9;   // a non-red interior vertex
+  double var = 0.0;
+  const size_t trials = 8000;
+  for (size_t t = 0; t < trials; ++t) {
+    const double v = mech->Run(x, eps, &rng)[cell];
+    var += (v - x[cell]) * (v - x[cell]);
+  }
+  var /= trials;
+  // A non-red vertex's count is a single edge weight: Var = 2(3/ε)²/9…
+  // with inner ε' = 1, Laplace(1/ε') on its edge: Var = 2.
+  EXPECT_NEAR(var, 2.0, 0.5);
+}
+
+class ThetaSweepTest : public ::testing::TestWithParam<size_t> {};
+
+// Theorem 5.5 shape: grouped-Privelet error grows with θ (as log³θ)
+// at fixed k; verified against the next-larger θ in the sweep.
+TEST_P(ThetaSweepTest, GroupedPriveletErrorOrderedByTheta) {
+  const size_t theta = GetParam();
+  const size_t k = 1024;
+  const DomainShape domain({k});
+  Rng qrng(91);
+  const RangeWorkload w = RandomRanges(domain, 400, &qrng);
+  Vector x(k, 1.0);
+  const auto measure = [&](size_t t) {
+    const BlowfishMechanismPtr mech =
+        MakeThetaGroupedPrivelet(k, t).ValueOrDie();
+    return MeasureError(
+               [&](const Vector& db, double e, Rng* rng) {
+                 return mech->Run(db, e, rng);
+               },
+               w, x, 1.0, 8, 17)
+        .mean;
+  };
+  EXPECT_LT(measure(theta), measure(theta * 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ThetaSweepTest, ::testing::Values(2u, 4u),
+                         [](const auto& param_info) {
+                           return "theta" + std::to_string(param_info.param);
+                         });
+
+TEST(TreeTransform, RejectsNonTreePolicies) {
+  auto result = TreeTransformMechanism::Create(
+      Theta1DPolicy(8, 2), std::make_shared<LaplaceMechanism>());
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace blowfish

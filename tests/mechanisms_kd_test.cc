@@ -1,0 +1,124 @@
+// The Theorem 5.6 slab strategy for Gθ_{k²}.
+
+#include <gtest/gtest.h>
+
+#include "core/mechanisms_kd.h"
+#include "mech/privelet.h"
+#include "rng/rng.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(GridTheta, RejectsThetaOne) {
+  EXPECT_FALSE(GridThetaRangeMechanism::Create(8, 1).ok());
+}
+
+TEST(GridTheta, CreateCertifiesSmallStretch) {
+  auto mech = GridThetaRangeMechanism::Create(16, 4).ValueOrDie();
+  EXPECT_GE(mech->stretch(), 1);
+  EXPECT_LE(mech->stretch(), 8);
+  EXPECT_EQ(mech->block(), 2u);
+}
+
+TEST(GridTheta, NoiseFreeAnswersAreExact) {
+  const size_t k = 12;
+  auto mech = GridThetaRangeMechanism::Create(k, 4).ValueOrDie();
+  const DomainShape domain({k, k});
+  Rng rng(1);
+  Vector x(domain.size());
+  for (double& v : x) v = static_cast<double>(rng.UniformInt(0, 9));
+  const RangeWorkload w = RandomRanges(domain, 100, &rng);
+  const Vector truth = w.Answer(x);
+  const Vector answers = mech->AnswerRanges(w, x, 1e9, &rng);
+  ASSERT_EQ(answers.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(answers[i], truth[i], 1e-3) << "query " << i;
+  }
+}
+
+TEST(GridTheta, UnbiasedUnderNoise) {
+  const size_t k = 8;
+  auto mech = GridThetaRangeMechanism::Create(k, 2).ValueOrDie();
+  const DomainShape domain({k, k});
+  Vector x(domain.size(), 3.0);
+  // A handful of fixed queries.
+  std::vector<RangeQuery> queries{{{1, 1}, {5, 6}},
+                                  {{0, 0}, {7, 7}},
+                                  {{2, 3}, {2, 3}},
+                                  {{4, 0}, {6, 7}}};
+  const RangeWorkload w("probe", domain, queries);
+  const Vector truth = w.Answer(x);
+  Rng rng(2);
+  const Vector xg = mech->PrecomputeTransformed(x);
+  Vector mean(truth.size(), 0.0);
+  const size_t trials = 1500;
+  for (size_t t = 0; t < trials; ++t) {
+    const Vector est =
+        mech->AnswerRangesOnTransformed(w, xg, Sum(x), 2.0, &rng);
+    for (size_t i = 0; i < est.size(); ++i) mean[i] += est[i] / trials;
+  }
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(mean[i], truth[i], std::max(3.0, 0.05 * truth[i]));
+  }
+}
+
+namespace {
+
+// Mean per-query squared error of the slab mechanism / Privelet pair
+// on a uniform database.
+std::pair<double, double> CompareAgainstPrivelet(size_t k, size_t theta,
+                                                 double eps) {
+  auto mech = GridThetaRangeMechanism::Create(k, theta).ValueOrDie();
+  const DomainShape domain({k, k});
+  Rng qrng(3);
+  const RangeWorkload w = RandomRanges(domain, 200, &qrng);
+  Vector x(domain.size(), 1.0);
+  const Vector truth = w.Answer(x);
+  const Vector xg = mech->PrecomputeTransformed(x);
+  double blowfish_err = 0.0;
+  const size_t trials = 5;
+  for (size_t t = 0; t < trials; ++t) {
+    Rng rng(100 + t);
+    const Vector est =
+        mech->AnswerRangesOnTransformed(w, xg, Sum(x), eps, &rng);
+    blowfish_err += MeanSquaredError(truth, est) / trials;
+  }
+  PriveletMechanism privelet{domain};
+  double privelet_err = 0.0;
+  for (size_t t = 0; t < trials; ++t) {
+    Rng rng(200 + t);
+    const Vector est = privelet.Run(x, eps / 2.0, &rng);
+    privelet_err += MeanSquaredError(truth, w.Answer(est)) / trials;
+  }
+  return {blowfish_err, privelet_err};
+}
+
+}  // namespace
+
+TEST(GridTheta, BeatsPriveletForSmallTheta) {
+  // θ=2 (block 1): the spanner is the unit grid with stretch 2, and
+  // the per-line strategy beats ε/2 Privelet already at k=64.
+  const auto [blowfish_err, privelet_err] = CompareAgainstPrivelet(64, 2, 0.1);
+  EXPECT_LT(blowfish_err, privelet_err);
+}
+
+TEST(GridTheta, RelativeErrorImprovesWithDomainSize) {
+  // Theorem 5.6's asymptotics: O(d³ log³θ log^{3(d-1)}k) vs Privelet's
+  // O(log^{3d}k) — at fixed θ the ratio Blowfish/DP must fall as k
+  // grows ("better than Privelet when d·logθ is small compared to
+  // log k", Section 5.3.2 discussion).
+  const auto [b32, p32] = CompareAgainstPrivelet(32, 4, 0.1);
+  const auto [b64, p64] = CompareAgainstPrivelet(64, 4, 0.1);
+  EXPECT_LT(b64 / p64, b32 / p32);
+}
+
+TEST(GridTheta, GuaranteeMentionsStretchAndPolicy) {
+  auto mech = GridThetaRangeMechanism::Create(8, 2).ValueOrDie();
+  const PrivacyGuarantee g = mech->Guarantee(1.0);
+  EXPECT_NE(g.neighbor_model.find("G^2_{8x8}"), std::string::npos);
+  EXPECT_NE(g.neighbor_model.find("stretch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blowfish

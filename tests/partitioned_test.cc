@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mech/laplace.h"
+#include "mech/partitioned.h"
+#include "mech/privelet.h"
+
+namespace blowfish {
+namespace {
+
+HistogramMechanismPtr LaplaceFactory(size_t) {
+  return std::make_shared<LaplaceMechanism>();
+}
+
+TEST(Partitioned, CoversDomainAndPreservesShape) {
+  PartitionedMechanism mech({3, 7, 10}, LaplaceFactory);
+  Vector x(10, 5.0);
+  Rng rng(1);
+  const Vector est = mech.Run(x, 1e9, &rng);
+  ASSERT_EQ(est.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_NEAR(est[i], 5.0, 1e-5);
+}
+
+TEST(Partitioned, GroupsAreIndependentInstances) {
+  // A Privelet group of size 4 pads to 4; groups of distinct sizes get
+  // distinct instances and distinct sensitivities.
+  PartitionedMechanism mech(
+      {4, 12},
+      [](size_t size) -> HistogramMechanismPtr {
+        return std::make_shared<PriveletMechanism>(DomainShape({size}));
+      },
+      "PerGroupPrivelet");
+  EXPECT_EQ(mech.name(), "PerGroupPrivelet");
+  Vector x(12);
+  for (size_t i = 0; i < 12; ++i) x[i] = static_cast<double>(i);
+  Rng rng(2);
+  const Vector est = mech.Run(x, 1e9, &rng);
+  for (size_t i = 0; i < 12; ++i) EXPECT_NEAR(est[i], x[i], 1e-4);
+}
+
+TEST(Partitioned, ScatteredGroupsRoundTrip) {
+  const std::vector<std::vector<size_t>> groups{{0, 2, 4}, {1, 3}};
+  Vector x{10.0, 20.0, 30.0, 40.0, 50.0};
+  Rng rng(3);
+  const Vector est = PartitionedMechanism::RunScattered(
+      groups, LaplaceFactory, x, 1e9, &rng);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(est[i], x[i], 1e-5);
+}
+
+TEST(PartitionedDeath, RejectsIncompleteCover) {
+  PartitionedMechanism mech({3}, LaplaceFactory);
+  Vector x(10, 1.0);
+  Rng rng(4);
+  EXPECT_DEATH(mech.Run(x, 1.0, &rng), "CHECK failed");
+  EXPECT_DEATH(PartitionedMechanism::RunScattered({{0, 1}}, LaplaceFactory,
+                                                  x, 1.0, &rng),
+               "cover");
+}
+
+TEST(PartitionedDeath, RejectsOverlappingScatteredGroups) {
+  Vector x(3, 1.0);
+  Rng rng(5);
+  EXPECT_DEATH(PartitionedMechanism::RunScattered(
+                   {{0, 1}, {1, 2}}, LaplaceFactory, x, 1.0, &rng),
+               "disjoint");
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,84 @@
+// Policy-aware mechanism selection.
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "graph/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Planner, LinePolicyGetsTreeTransformWithConsistency) {
+  PlanRequest req{LinePolicy(16), /*prefer_data_dependent=*/false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "tree-transform");
+  EXPECT_NE(plan.rationale.find("isotonic"), std::string::npos);
+  ASSERT_NE(plan.mechanism, nullptr);
+  // The mechanism actually runs.
+  Vector x(16, 1.0);
+  Rng rng(1);
+  EXPECT_EQ(plan.mechanism->Run(x, 1.0, &rng).size(), 16u);
+}
+
+TEST(Planner, Theta1DGetsSpanner) {
+  PlanRequest req{Theta1DPolicy(32, 4), false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "spanner-tree");
+  EXPECT_EQ(plan.stretch, 3);
+  ASSERT_NE(plan.mechanism, nullptr);
+}
+
+TEST(Planner, UnitGridGetsMatrixMechanism) {
+  PlanRequest req{GridPolicy(DomainShape({6, 6}), 1), false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "grid-matrix");
+  ASSERT_NE(plan.mechanism, nullptr);
+}
+
+TEST(Planner, GridThetaRoutedToRangeMechanism) {
+  PlanRequest req{GridPolicy(DomainShape({8, 8}), 4), false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "grid-theta-range");
+  EXPECT_EQ(plan.mechanism, nullptr);
+}
+
+TEST(Planner, CycleFallsBackToSpanningTree) {
+  PlanRequest req{Policy{"cycle", DomainShape({10}), CycleGraph(10)}, false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "spanning-tree-fallback");
+  // Section 4.3: dropping one cycle edge stretches it to n-1.
+  EXPECT_EQ(plan.stretch, 9);
+  ASSERT_NE(plan.mechanism, nullptr);
+}
+
+TEST(Planner, UnboundedDpPolicyIsATree) {
+  // Star-⊥ is a tree through ⊥: tree transform with P_G = I.
+  PlanRequest req{UnboundedDpPolicy(8), false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_EQ(plan.kind, "tree-transform");
+}
+
+TEST(Planner, DataDependentPreferenceSelectsDawa) {
+  PlanRequest req{LinePolicy(32), /*prefer_data_dependent=*/true};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  EXPECT_NE(plan.mechanism->name().find("DAWA"), std::string::npos);
+}
+
+TEST(Planner, EmptyPolicyRejected) {
+  PlanRequest req{Policy{"empty", DomainShape({4}), Graph(4)}, false};
+  EXPECT_FALSE(PlanMechanism(std::move(req)).ok());
+}
+
+TEST(Planner, SensitiveAttributePolicyReducesToTree) {
+  // Each component is a clique; cliques are not trees, so this goes
+  // through the fallback or tree path depending on component size.
+  const DomainShape domain({2, 3});
+  PlanRequest req{SensitiveAttributePolicy(domain, {0}), false};
+  const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
+  // Components are single edges (attribute 0 has 2 values): reduced
+  // graph is a forest joined at ⊥ -> tree transform.
+  EXPECT_EQ(plan.kind, "tree-transform");
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,84 @@
+// Policy factories and their structural invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+#include "graph/algorithms.h"
+
+namespace blowfish {
+namespace {
+
+TEST(Policy, UnboundedDpIsStarToBottom) {
+  const Policy p = UnboundedDpPolicy(5);
+  EXPECT_EQ(p.name, "unbounded-DP");
+  EXPECT_EQ(p.graph.num_edges(), 5u);
+  EXPECT_EQ(p.graph.num_bottom_edges(), 5u);
+  EXPECT_EQ(p.domain_size(), 5u);
+}
+
+TEST(Policy, BoundedDpIsComplete) {
+  const Policy p = BoundedDpPolicy(6);
+  EXPECT_EQ(p.graph.num_edges(), 15u);
+  EXPECT_FALSE(p.graph.has_bottom());
+}
+
+TEST(Policy, LineIsPath) {
+  const Policy p = LinePolicy(7);
+  EXPECT_EQ(p.name, "G^1_7");
+  EXPECT_EQ(p.graph.num_edges(), 6u);
+  EXPECT_TRUE(IsTree(p.graph));
+  EXPECT_EQ(Distance(p.graph, 0, 6), 6);
+}
+
+TEST(Policy, Theta1DEdgeCount) {
+  const Policy p = Theta1DPolicy(10, 3);
+  EXPECT_EQ(p.name, "G^3_10");
+  // k-1 + k-2 + k-3 edges.
+  EXPECT_EQ(p.graph.num_edges(), 9u + 8u + 7u);
+}
+
+TEST(Policy, GridPolicyNaming) {
+  const Policy p = GridPolicy(DomainShape({4, 6}), 2);
+  EXPECT_EQ(p.name, "G^2_{4x6}");
+  EXPECT_EQ(p.domain.num_dims(), 2u);
+  // Every edge within L1 distance 2.
+  for (const Graph::Edge& e : p.graph.edges()) {
+    EXPECT_LE(p.domain.L1Distance(e.u, e.v), 2u);
+  }
+}
+
+TEST(Policy, GridThetaOneMatchesLatticeDistances) {
+  const Policy p = GridPolicy(DomainShape({3, 3}), 1);
+  // dist_G equals L1 grid distance (Equation 1's metric semantics).
+  for (size_t u = 0; u < 9; ++u) {
+    for (size_t v = 0; v < 9; ++v) {
+      EXPECT_EQ(Distance(p.graph, u, v),
+                static_cast<int64_t>(p.domain.L1Distance(u, v)));
+    }
+  }
+}
+
+TEST(Policy, SensitiveAttributeComponents) {
+  // Domain (3 ages) x (2 diagnoses); diagnosis sensitive -> 3
+  // components, each a K2.
+  const DomainShape domain({3, 2});
+  const Policy p = SensitiveAttributePolicy(domain, {1});
+  size_t components = 0;
+  ConnectedComponents(p.graph, &components);
+  EXPECT_EQ(components, 3u);
+  EXPECT_EQ(p.graph.num_edges(), 3u);
+}
+
+TEST(Policy, GridDistancesScaleWithTheta) {
+  // Equation (1): moving a tuple from u to v changes output odds by at
+  // most exp(eps * ceil(d(u,v)/θ)) — dist_G is the ceil term.
+  const DomainShape domain({6, 6});
+  const Policy p2 = GridPolicy(domain, 2);
+  const size_t a = domain.Flatten({0, 0});
+  const size_t b = domain.Flatten({5, 5});
+  // L1 distance 10, θ=2 -> graph distance 5.
+  EXPECT_EQ(Distance(p2.graph, a, b), 5);
+}
+
+}  // namespace
+}  // namespace blowfish

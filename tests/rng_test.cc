@@ -1,0 +1,86 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace blowfish {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformIntRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, LaplaceMomentsMatchTheory) {
+  // Laplace(b) has mean 0 and variance 2 b^2 (Theorem 2.1's noise).
+  Rng rng(123);
+  const double scale = 2.5;
+  const size_t n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = rng.Laplace(scale);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 2.0 * scale * scale, 0.4);
+}
+
+TEST(Rng, LaplaceVectorSize) {
+  Rng rng(5);
+  EXPECT_EQ(rng.LaplaceVector(17, 1.0).size(), 17u);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(99);
+  std::vector<double> weights{0.0, 3.0, 1.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0u);
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent's next draws.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Uniform() != child.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngDeath, NonPositiveScaleRejected) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.Laplace(0.0), "CHECK failed");
+  EXPECT_DEATH(rng.Exponential(-1.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,117 @@
+#include "linalg/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace blowfish {
+namespace {
+
+Matrix RandomDense(size_t rows, size_t cols, double density, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j)
+      if (rng->Uniform() < density) m(i, j) = rng->Normal();
+  return m;
+}
+
+TEST(Sparse, TripletsSumDuplicatesAndDropZeros) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 3.0}, {1, 0, 5.0}, {1, 0, -5.0}});
+  EXPECT_EQ(m.nnz(), 2u);
+  const Matrix d = m.ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 0.0);
+}
+
+TEST(Sparse, MultiplyVectorMatchesDense) {
+  Rng rng(17);
+  const Matrix dense = RandomDense(7, 9, 0.4, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  Vector x(9);
+  for (double& v : x) v = rng.Normal();
+  const Vector ys = sparse.MultiplyVector(x);
+  const Vector yd = dense.MultiplyVector(x);
+  for (size_t i = 0; i < 7; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Sparse, TransposeMultiplyVectorMatchesDense) {
+  Rng rng(18);
+  const Matrix dense = RandomDense(6, 4, 0.5, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  Vector x(6);
+  for (double& v : x) v = rng.Normal();
+  const Vector ys = sparse.TransposeMultiplyVector(x);
+  const Vector yd = dense.TransposeMultiplyVector(x);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(Sparse, SparseSparseProductMatchesDense) {
+  Rng rng(19);
+  const Matrix a = RandomDense(5, 8, 0.35, &rng);
+  const Matrix b = RandomDense(8, 6, 0.35, &rng);
+  const Matrix prod = SparseMatrix::FromDense(a)
+                          .Multiply(SparseMatrix::FromDense(b))
+                          .ToDense();
+  EXPECT_LT(prod.MaxAbsDiff(a.Multiply(b)), 1e-12);
+}
+
+TEST(Sparse, TransposeRoundTrip) {
+  Rng rng(20);
+  const Matrix a = RandomDense(5, 3, 0.5, &rng);
+  const SparseMatrix s = SparseMatrix::FromDense(a);
+  EXPECT_LT(s.Transpose().Transpose().ToDense().MaxAbsDiff(a), 1e-15);
+  EXPECT_LT(s.Transpose().ToDense().MaxAbsDiff(a.Transpose()), 1e-15);
+}
+
+TEST(Sparse, ColumnL1Norms) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 2, {{0, 0, 1.0}, {1, 0, -2.0}, {2, 1, 0.5}});
+  const Vector norms = m.ColumnL1Norms();
+  EXPECT_DOUBLE_EQ(norms[0], 3.0);
+  EXPECT_DOUBLE_EQ(norms[1], 0.5);
+  EXPECT_DOUBLE_EQ(m.MaxColumnL1(), 3.0);
+}
+
+TEST(Sparse, VStackConcatenatesRows) {
+  SparseMatrix a = SparseMatrix::FromTriplets(1, 3, {{0, 0, 1.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(2, 3, {{0, 2, 2.0}, {1, 1, 3.0}});
+  SparseMatrix c = a.VStack(b);
+  EXPECT_EQ(c.rows(), 3u);
+  const Matrix d = c.ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(d(2, 1), 3.0);
+}
+
+TEST(Sparse, RowViewAndRowDot) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 4, {{0, 1, 2.0}, {0, 3, -1.0}, {1, 0, 5.0}});
+  const SparseMatrix::RowView row = m.Row(0);
+  ASSERT_EQ(row.nnz, 2u);
+  EXPECT_EQ(row.cols[0], 1u);
+  EXPECT_DOUBLE_EQ(row.values[1], -1.0);
+  EXPECT_DOUBLE_EQ(m.RowDot(0, {1.0, 1.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(Sparse, AbsDiffSum) {
+  SparseMatrix a = SparseMatrix::FromTriplets(1, 3, {{0, 0, 1.0}, {0, 2, 2.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(1, 3, {{0, 0, 1.0}, {0, 1, 4.0}});
+  EXPECT_DOUBLE_EQ(a.AbsDiffSum(b), 6.0);
+  EXPECT_DOUBLE_EQ(a.AbsDiffSum(a), 0.0);
+}
+
+TEST(Sparse, IdentityBehaves) {
+  const SparseMatrix i = SparseMatrix::Identity(4);
+  const Vector x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(i.MultiplyVector(x), x);
+}
+
+TEST(SparseDeath, OutOfRangeTriplet) {
+  EXPECT_DEATH(SparseMatrix::FromTriplets(1, 1, {{0, 1, 1.0}}),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace blowfish

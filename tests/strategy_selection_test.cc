@@ -1,0 +1,119 @@
+// Strategy selection for the matrix mechanism, including the paper's
+// headline effect: the policy transform changes the optimal strategy.
+
+#include <gtest/gtest.h>
+
+#include "core/lower_bounds.h"
+#include "core/strategy_selection.h"
+#include "core/transform.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+TEST(StrategyBuilders, HierarchicalShape) {
+  const Matrix t = BuildHierarchicalStrategy(8, 2);
+  // 8 leaves + 4 + 2 + 1 = 15 nodes.
+  EXPECT_EQ(t.rows(), 15u);
+  EXPECT_EQ(t.cols(), 8u);
+  // Max column L1 = number of levels = 4.
+  EXPECT_DOUBLE_EQ(t.MaxColumnL1(), 4.0);
+}
+
+TEST(StrategyBuilders, HierarchicalNonPowerDomain) {
+  const Matrix t = BuildHierarchicalStrategy(11, 3);
+  EXPECT_EQ(t.cols(), 11u);
+  // Root row sums everything.
+  const Vector ones(11, 1.0);
+  const Vector sums = t.MultiplyVector(ones);
+  bool found_root = false;
+  for (double s : sums) {
+    if (s == 11.0) found_root = true;
+  }
+  EXPECT_TRUE(found_root);
+}
+
+TEST(StrategyBuilders, WaveletSensitivityBalanced) {
+  const Matrix h = BuildWaveletStrategy(16).ValueOrDie();
+  EXPECT_EQ(h.rows(), 16u);
+  // Privelet weighting: every column carries L1 mass h+1 = 5.
+  for (size_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(h.ColumnL1(c), 5.0, 1e-9) << "col " << c;
+  }
+  EXPECT_FALSE(BuildWaveletStrategy(12).ok());
+}
+
+TEST(StrategySelection, IdentityWorkloadPicksIdentity) {
+  const Matrix w = Matrix::Identity(16);
+  const StrategyChoice choice = SelectStrategy(w, 1.0).ValueOrDie();
+  EXPECT_EQ(choice.name, "identity");
+  // Identity on identity: 2 * 16 / eps^2.
+  EXPECT_NEAR(choice.expected_total_squared_error, 32.0, 1e-9);
+}
+
+TEST(StrategySelection, RangeWorkloadPicksTreeStrategyAtLargeK) {
+  // Total error over all k(k+1)/2 ranges: identity costs Θ(k³), trees
+  // Θ(k² log³k) — the crossover sits near k = 512 with these constants
+  // (Li et al.'s observation; verified here via the closed-form Gram).
+  const Matrix g = RangeWorkloadGram1D(512);
+  const StrategyChoice choice = SelectStrategyFromGram(g, 1.0).ValueOrDie();
+  EXPECT_NE(choice.name, "identity");
+  double identity_err = 0.0;
+  for (const StrategyEvaluation& e : choice.evaluations) {
+    if (e.name == "identity") identity_err = e.expected_total_squared_error;
+  }
+  EXPECT_GT(identity_err, 0.0);
+  EXPECT_LT(choice.expected_total_squared_error, identity_err);
+}
+
+TEST(StrategySelection, GramAndDenseRoutesAgree) {
+  const Matrix w = AllRanges1D(32).ToWorkload().matrix().ToDense();
+  const StrategyChoice dense = SelectStrategy(w, 1.0).ValueOrDie();
+  const StrategyChoice gram =
+      SelectStrategyFromGram(RangeWorkloadGram1D(32), 1.0).ValueOrDie();
+  EXPECT_EQ(dense.name, gram.name);
+  EXPECT_NEAR(dense.expected_total_squared_error,
+              gram.expected_total_squared_error,
+              1e-6 * gram.expected_total_squared_error);
+}
+
+TEST(StrategySelection, TransformFlipsTheOptimum) {
+  // The Section 5.2.1 observation, numerically: under plain DP the
+  // all-ranges workload wants a tree strategy (at k=512), but its
+  // G¹_k transform is 2-sparse per query and the identity strategy
+  // wins — at EVERY size.
+  const size_t k = 512;
+  const Matrix gram = RangeWorkloadGram1D(k);
+
+  const StrategyChoice dp = SelectStrategyFromGram(gram, 1.0).ValueOrDie();
+  EXPECT_NE(dp.name, "identity");
+
+  const StrategyChoice blowfish =
+      SelectStrategyForPolicyFromGram(gram, LinePolicy(k), 1.0).ValueOrDie();
+  EXPECT_EQ(blowfish.name, "identity");
+  // And the Blowfish instance is much cheaper overall.
+  EXPECT_LT(blowfish.expected_total_squared_error,
+            dp.expected_total_squared_error);
+}
+
+TEST(StrategySelection, PolicyVariantMatchesManualTransform) {
+  const size_t k = 16;
+  const SparseMatrix w = CumulativeWorkload(k).matrix();
+  const Policy policy = Theta1DPolicy(k, 2);
+  const StrategyChoice via_policy =
+      SelectStrategyForPolicy(w, policy, 0.5).ValueOrDie();
+  // Manual: transform then select.
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+  const StrategyChoice manual =
+      SelectStrategy(t.TransformWorkload(w).ToDense(), 0.5).ValueOrDie();
+  EXPECT_EQ(via_policy.name, manual.name);
+  EXPECT_NEAR(via_policy.expected_total_squared_error,
+              manual.expected_total_squared_error, 1e-9);
+}
+
+TEST(StrategySelection, RejectsEmptyWorkload) {
+  EXPECT_FALSE(SelectStrategy(Matrix(), 1.0).ok());
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,152 @@
+// Theorem 4.1 — transformational equivalence for the matrix mechanism:
+// with the same Laplace draws, answering W on x via strategy A under
+// the Blowfish policy equals answering W_G on x_G via A_G = A P_G
+// under plain DP, and the two error expressions coincide.
+
+#include <gtest/gtest.h>
+
+#include "core/pg_matrix.h"
+#include "core/policy.h"
+#include "core/sensitivity.h"
+#include "core/transform.h"
+#include "linalg/pinv.h"
+#include "mech/matrix_mechanism.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+struct Theorem41Case {
+  std::string label;
+  Policy policy;
+  size_t k;
+};
+
+class Theorem41Test : public ::testing::TestWithParam<Theorem41Case> {};
+
+TEST_P(Theorem41Test, SameNoiseSameAnswersSameError) {
+  const Policy& policy = GetParam().policy;
+  const size_t k = GetParam().k;
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+
+  // Workload: cumulative histogram; strategy: identity over the
+  // *reduced* domain (a strategy in the original domain maps through
+  // the same reduction).
+  const Workload w = CumulativeWorkload(k);
+  const SparseMatrix w_red_sparse =
+      ReduceWorkloadMatrix(w.matrix(), t.reduction());
+  const Matrix w_red = w_red_sparse.ToDense();
+  const Matrix a = Matrix::Identity(w_red.cols());
+
+  // Blowfish side: sensitivity of the strategy under the policy
+  // (Definition 4.1), noise through W A+.
+  const Matrix pg = t.pg().ToDense();
+  const Matrix a_g = a.Multiply(pg);
+  const Matrix wg = w_red.Multiply(pg);
+
+  // Lemma 4.7 for the strategy: ∆_A(G) = ∆_{A_G}.
+  const double delta_a_blowfish = a_g.MaxColumnL1();
+
+  const MatrixMechanism blowfish_mm =
+      MatrixMechanism::Create(w_red, a).ValueOrDie();
+  const MatrixMechanism dp_mm = MatrixMechanism::Create(wg, a_g).ValueOrDie();
+
+  // The DP-side sensitivity must equal the Blowfish-side policy
+  // sensitivity by construction.
+  EXPECT_NEAR(dp_mm.strategy_sensitivity(), delta_a_blowfish, 1e-12);
+
+  // Same noise vector => identical answers (the proof of Theorem 4.1:
+  // W_G A_G+ = W A+).
+  Rng rng(31);
+  Vector x(k);
+  for (double& v : x) v = static_cast<double>(rng.UniformInt(0, 10));
+  const Vector x_red = ReduceDatabase(x, t.reduction());
+  const Vector xg = t.TransformDatabase(x);
+  // True answers agree: W' x' = W_G x_G.
+  {
+    const Vector lhs = w_red.MultiplyVector(x_red);
+    const Vector rhs = wg.MultiplyVector(xg);
+    for (size_t i = 0; i < lhs.size(); ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-6);
+  }
+  const Vector noise = rng.LaplaceVector(a.rows(), 1.0);
+  // Scale both runs by the *same* sensitivity (the theorem's premise
+  // ∆_A(G) = ∆_{A_G}); use the DP-side scale for both.
+  const double eps = 1.3;
+  Vector lhs = w_red.MultiplyVector(x_red);
+  {
+    const Matrix w_apinv = blowfish_mm.reconstruction();
+    const Vector propagated = w_apinv.MultiplyVector(
+        Scale(noise, dp_mm.strategy_sensitivity() / eps));
+    lhs = Add(lhs, propagated);
+  }
+  const Vector rhs = dp_mm.RunWithNoise(xg, eps, noise);
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_NEAR(lhs[i], rhs[i], 1e-6) << GetParam().label << " q=" << i;
+  }
+
+  // Error expressions coincide.
+  EXPECT_NEAR(dp_mm.ExpectedTotalSquaredError(eps),
+              2.0 * std::pow(dp_mm.strategy_sensitivity() / eps, 2.0) *
+                  std::pow(blowfish_mm.reconstruction().FrobeniusNorm(), 2.0),
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, Theorem41Test,
+    ::testing::Values(
+        Theorem41Case{"line", LinePolicy(7), 7},
+        Theorem41Case{"theta", Theta1DPolicy(8, 3), 8},
+        Theorem41Case{"grid", GridPolicy(DomainShape({3, 3}), 1), 9},
+        Theorem41Case{"cycle", Policy{"cyc", DomainShape({6}), CycleGraph(6)},
+                      6},
+        Theorem41Case{"bounded", BoundedDpPolicy(5), 5}),
+    [](const auto& param_info) { return param_info.param.label; });
+
+// Lemma 4.7 as a standalone property over several workloads/policies.
+TEST(Lemma47, SensitivityEqualityAcrossWorkloads) {
+  for (size_t k : {5u, 8u}) {
+    for (const Policy& policy :
+         {LinePolicy(k), Theta1DPolicy(k, 2), BoundedDpPolicy(k)}) {
+      const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+      for (const Workload& w :
+           {IdentityWorkload(k), CumulativeWorkload(k),
+            AllRanges1D(k).ToWorkload()}) {
+        const double direct = PolicySpecificSensitivity(w.matrix(), policy);
+        const double via_transform = t.PolicySensitivity(w.matrix());
+        EXPECT_NEAR(direct, via_transform, 1e-9)
+            << policy.name << " / " << w.name();
+      }
+    }
+  }
+}
+
+// Lemma 4.9 / Claim 4.2 brute force: on a tree policy, databases are
+// Blowfish neighbors iff their transforms are at L1 distance 1.
+TEST(Lemma49, TreeNeighborMappingBruteForce) {
+  const size_t k = 6;
+  const Policy policy = LinePolicy(k);
+  const PolicyTransform t = PolicyTransform::Create(policy).ValueOrDie();
+  ASSERT_TRUE(t.is_tree());
+  Vector base(k, 1.0);
+  for (size_t u = 0; u < k; ++u) {
+    for (size_t v = 0; v < k; ++v) {
+      if (u == v) continue;
+      Vector y = base, z = base;
+      z[u] -= 1.0;
+      z[v] += 1.0;
+      const Vector yg = t.TransformDatabase(y);
+      const Vector zg = t.TransformDatabase(z);
+      const double l1 = NormL1(Sub(yg, zg));
+      const bool neighbors = policy.graph.HasEdge(u, v);
+      if (neighbors) {
+        EXPECT_NEAR(l1, 1.0, 1e-9) << u << "->" << v;
+      } else {
+        EXPECT_GT(l1, 1.0 + 1e-9) << u << "->" << v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace blowfish

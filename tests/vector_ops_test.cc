@@ -1,0 +1,56 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace blowfish {
+namespace {
+
+TEST(VectorOps, AddSubScale) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -1.0, 0.5};
+  EXPECT_EQ(Add(a, b), (Vector{5.0, 1.0, 3.5}));
+  EXPECT_EQ(Sub(a, b), (Vector{-3.0, 3.0, 2.5}));
+  EXPECT_EQ(Scale(a, 2.0), (Vector{2.0, 4.0, 6.0}));
+}
+
+TEST(VectorOps, AxpyAccumulates) {
+  Vector a{1.0, 1.0};
+  Axpy(&a, 3.0, {2.0, -1.0});
+  EXPECT_EQ(a, (Vector{7.0, -2.0}));
+}
+
+TEST(VectorOps, DotAndNorms) {
+  const Vector a{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(NormL1(a), 7.0);
+  EXPECT_DOUBLE_EQ(NormL2(a), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(a), 4.0);
+}
+
+TEST(VectorOps, SumMeanZeros) {
+  const Vector a{0.0, 2.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(a), 6.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 1.5);
+  EXPECT_EQ(CountZeros(a), 2u);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(VectorOps, PrefixSumsRoundTrip) {
+  const Vector x{3.0, 0.0, 2.0, 5.0};
+  const Vector p = PrefixSums(x);
+  EXPECT_EQ(p, (Vector{3.0, 3.0, 5.0, 10.0}));
+  EXPECT_EQ(AdjacentDifferences(p), x);
+}
+
+TEST(VectorOps, MeanSquaredError) {
+  EXPECT_DOUBLE_EQ(MeanSquaredError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError({0.0, 0.0}, {3.0, 4.0}), 12.5);
+}
+
+TEST(VectorOpsDeath, SizeMismatchChecks) {
+  EXPECT_DEATH(Add({1.0}, {1.0, 2.0}), "CHECK failed");
+  EXPECT_DEATH(Dot({1.0}, {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace blowfish
