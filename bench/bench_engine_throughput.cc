@@ -1,0 +1,118 @@
+// BENCH_ENGINE: serving-layer throughput. Measures queries/second
+// through QueryEngine::Submit for each planner family, separating the
+// cold path (first submit pays planner + transform + spanner/matrix
+// construction) from the warm path (plan-cache hit; only the release
+// itself). Also reports multi-threaded warm throughput — the
+// shared_mutex registry/cache should let independent sessions scale.
+//
+// Output format:
+//   policy            cold one-shot (ms) | warm qps 1 thread | 4 threads
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/query_engine.h"
+#include "workload/builders.h"
+
+using namespace blowfish;
+
+namespace {
+
+Vector Ramp(size_t n) {
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % 11);
+  return x;
+}
+
+struct Subject {
+  const char* label;
+  const char* policy_name;
+  Policy policy;
+  size_t domain;
+};
+
+double WarmQps(QueryEngine* engine, const Subject& subject, size_t threads,
+               size_t submits_per_thread) {
+  std::vector<std::thread> workers;
+  Stopwatch watch;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const std::string session = std::string(subject.policy_name) + "-x" +
+                                  std::to_string(threads) + "-w" +
+                                  std::to_string(t);
+      engine->OpenSession(session, 1e9).Check();
+      QueryRequest request;
+      request.session = session;
+      request.policy = subject.policy_name;
+      request.workload = IdentityWorkload(subject.domain);
+      request.epsilon = 0.1;
+      for (size_t i = 0; i < submits_per_thread; ++i) {
+        engine->Submit(request).ValueOrDie();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return static_cast<double>(threads * submits_per_thread) /
+         watch.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const size_t warm_submits = bench::FullMode() ? 2000 : 200;
+
+  std::vector<Subject> subjects;
+  subjects.push_back({"line G^1_1024 (tree)", "line", LinePolicy(1024), 1024});
+  subjects.push_back({"theta G^4_1024 (spanner)", "theta",
+                      Theta1DPolicy(1024, 4), 1024});
+  subjects.push_back({"grid 16x16 (matrix)", "grid",
+                      GridPolicy(DomainShape({16, 16}), 1), 256});
+  subjects.push_back({"grid 16x16 th=4 (slab)", "slab",
+                      GridPolicy(DomainShape({16, 16}), 4), 256});
+  subjects.push_back({"unbounded DP 1024", "dp", UnboundedDpPolicy(1024),
+                      1024});
+
+  bench::PrintHeader(
+      "BENCH_ENGINE engine throughput (identity workload, eps=0.1, " +
+          std::to_string(warm_submits) + " warm submits/thread)",
+      {"cold ms", "warm qps x1", "warm qps x4"});
+
+  for (Subject& subject : subjects) {
+    QueryEngine engine;
+    engine
+        .RegisterPolicy(subject.policy_name, subject.policy,
+                        Ramp(subject.domain), 1e9)
+        .Check();
+    engine.OpenSession("cold", 1e9).Check();
+
+    QueryRequest request;
+    request.session = "cold";
+    request.policy = subject.policy_name;
+    request.workload = IdentityWorkload(subject.domain);
+    request.epsilon = 0.1;
+
+    Stopwatch watch;
+    const QueryResult cold = engine.Submit(request).ValueOrDie();
+    const double cold_ms = watch.ElapsedMillis();
+    if (cold.plan_cache_hit) {
+      std::fprintf(stderr, "unexpected cache hit on cold submit\n");
+      return 1;
+    }
+
+    const double qps1 = WarmQps(&engine, subject, 1, warm_submits);
+    const double qps4 = WarmQps(&engine, subject, 4, warm_submits);
+    bench::PrintRow(subject.label, {bench::Fmt(cold_ms), bench::Fmt(qps1),
+                                    bench::Fmt(qps4)});
+
+    const PlanCache::Stats stats = engine.plan_cache_stats();
+    if (stats.misses != 1) {
+      std::fprintf(stderr, "expected exactly one plan per policy, saw %llu\n",
+                   static_cast<unsigned long long>(stats.misses));
+      return 1;
+    }
+  }
+  return 0;
+}

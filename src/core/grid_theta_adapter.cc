@@ -1,0 +1,25 @@
+#include "core/grid_theta_adapter.h"
+
+#include "common/check.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+
+Result<std::unique_ptr<GridThetaHistogramAdapter>>
+GridThetaHistogramAdapter::Create(size_t k, size_t theta) {
+  Result<std::unique_ptr<GridThetaRangeMechanism>> inner =
+      GridThetaRangeMechanism::Create(k, theta);
+  if (!inner.ok()) return inner.status();
+  RangeWorkload cells = HistogramRanges(DomainShape({k, k}));
+  return std::unique_ptr<GridThetaHistogramAdapter>(
+      new GridThetaHistogramAdapter(std::move(inner).ValueOrDie(),
+                                    std::move(cells)));
+}
+
+Vector GridThetaHistogramAdapter::Run(const Vector& x, double epsilon,
+                                      Rng* rng) const {
+  BF_CHECK_EQ(x.size(), cells_.domain().size());
+  return inner_->AnswerRanges(cells_, x, epsilon, rng);
+}
+
+}  // namespace blowfish

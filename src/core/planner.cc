@@ -1,6 +1,7 @@
 #include "core/planner.h"
 
 #include "common/check.h"
+#include "core/grid_theta_adapter.h"
 #include "core/mechanisms_1d.h"
 #include "core/mechanisms_2d.h"
 #include "core/subgraph_approx.h"
@@ -147,14 +148,26 @@ Result<Plan> PlanMechanism(PlanRequest request) {
     return plan;
   }
 
-  // 4) 2D θ>=2: slab strategy lives behind a per-query interface.
+  // 4) 2D θ>=2: slab strategy, wrapped so the histogram-release
+  // protocol holds. Non-square or non-divisible grids (where the slab
+  // tiling does not apply) fall through to the spanning-tree fallback.
   if (const size_t theta = DetectGridTheta(request.policy); theta > 0) {
-    Plan plan;
-    plan.kind = "grid-theta-range";
-    plan.rationale =
-        "2D distance-threshold policy with θ=" + std::to_string(theta) +
-        "; use GridThetaRangeMechanism (Theorem 5.6 slab strategy)";
-    return plan;
+    const DomainShape& domain = request.policy.domain;
+    if (domain.dim(0) == domain.dim(1)) {
+      Result<std::unique_ptr<GridThetaHistogramAdapter>> adapter =
+          GridThetaHistogramAdapter::Create(domain.dim(0), theta);
+      if (adapter.ok()) {
+        Plan plan;
+        plan.kind = "grid-theta-range";
+        plan.stretch = adapter.ValueOrDie()->stretch();
+        plan.rationale =
+            "2D distance-threshold policy with θ=" + std::to_string(theta) +
+            "; GridThetaRangeMechanism (Theorem 5.6 slab strategy) behind "
+            "the histogram adapter";
+        plan.mechanism = std::move(adapter).ValueOrDie();
+        return plan;
+      }
+    }
   }
 
   // 5) Fallback: BFS spanning forest (a tree per component; the Case

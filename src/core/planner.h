@@ -47,10 +47,12 @@ struct Plan {
   int64_t stretch = 1;    ///< 1 unless a spanner was needed
 };
 
-/// Chooses and instantiates a mechanism for the request. For 2D θ>=2
-/// threshold policies this returns kind "grid-theta-range" with a null
-/// `mechanism` — use GridThetaRangeMechanism directly (its
-/// reconstruction is per-query, not a histogram release).
+/// Chooses and instantiates a mechanism for the request. Every
+/// successful plan carries a non-null `mechanism`; 2D θ>=2 threshold
+/// policies return kind "grid-theta-range" backed by the
+/// GridThetaHistogramAdapter (callers with explicit range workloads
+/// over large domains may still prefer GridThetaRangeMechanism's
+/// per-query reconstruction directly).
 Result<Plan> PlanMechanism(PlanRequest request);
 
 }  // namespace blowfish

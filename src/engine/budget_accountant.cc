@@ -1,0 +1,113 @@
+#include "engine/budget_accountant.h"
+
+#include <utility>
+
+namespace blowfish {
+
+Status BudgetAccountant::OpenLedger(const std::string& id,
+                                    double total_epsilon) {
+  if (total_epsilon <= 0.0) {
+    return Status::InvalidArgument("ledger '" + id +
+                                   "' needs a positive budget");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ledgers_.emplace(id, PrivacyBudget(total_epsilon)).second) {
+    return Status(StatusCode::kAlreadyExists,
+                  "ledger '" + id + "' is already open");
+  }
+  return Status::OK();
+}
+
+Status BudgetAccountant::CloseLedger(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ledgers_.erase(id) == 0) {
+    return Status::NotFound("ledger '" + id + "' is not open");
+  }
+  return Status::OK();
+}
+
+size_t BudgetAccountant::CloseLedgersWithPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = ledgers_.begin(); it != ledgers_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = ledgers_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+bool BudgetAccountant::HasLedger(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ledgers_.count(id) > 0;
+}
+
+Status BudgetAccountant::Charge(const std::vector<std::string>& ids,
+                                double epsilon, const std::string& label) {
+  if (ids.empty()) {
+    return Status::InvalidArgument("charge needs at least one ledger");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("charge must be positive: " + label);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate everything before committing anything. A repeated id
+  // composes sequentially within the charge, so a ledger named n
+  // times must afford n*epsilon.
+  std::vector<std::pair<PrivacyBudget*, size_t>> staged;
+  staged.reserve(ids.size());
+  for (const std::string& id : ids) {
+    auto it = ledgers_.find(id);
+    if (it == ledgers_.end()) {
+      return Status::NotFound("ledger '" + id + "' is not open");
+    }
+    size_t count = 1;
+    for (auto& [ledger, times] : staged) {
+      if (ledger == &it->second) count = ++times;
+    }
+    if (count == 1) staged.emplace_back(&it->second, 1);
+    if (!it->second.CanSpend(static_cast<double>(count) * epsilon)) {
+      return Status::OutOfRange(
+          "ledger '" + id + "': budget exceeded by '" + label + "': spent " +
+          std::to_string(it->second.spent()) + " + " +
+          std::to_string(static_cast<double>(count) * epsilon) + " > " +
+          std::to_string(it->second.total()));
+    }
+  }
+  for (auto& [ledger, times] : staged) {
+    for (size_t i = 0; i < times; ++i) ledger->Spend(epsilon, label).Check();
+  }
+  return Status::OK();
+}
+
+Result<double> BudgetAccountant::Remaining(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(id);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger '" + id + "' is not open");
+  }
+  return it->second.remaining();
+}
+
+Result<double> BudgetAccountant::Spent(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(id);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger '" + id + "' is not open");
+  }
+  return it->second.spent();
+}
+
+Result<std::string> BudgetAccountant::Audit(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ledgers_.find(id);
+  if (it == ledgers_.end()) {
+    return Status::NotFound("ledger '" + id + "' is not open");
+  }
+  return it->second.ToString();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,70 @@
+// Multi-ledger budget accounting for the serving layer. Builds on
+// PrivacyBudget (mech/budget.h), which gives one auditable
+// sequential-composition ledger; the accountant keys many of them by
+// string id and adds the property a concurrent engine needs: an
+// all-or-nothing Charge() across several ledgers at once.
+//
+// A release in the engine draws from two ledgers simultaneously — the
+// per-policy cap (the data owner's total ε across every session) and
+// the per-session grant. Charging them one at a time would let a
+// failure on the second ledger strand a phantom spend on the first;
+// Charge() instead validates the spend on copies and commits only if
+// every ledger accepts, under one lock, so concurrent submits can
+// never jointly overspend a budget that each alone would respect.
+
+#ifndef BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
+#define BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "mech/budget.h"
+
+namespace blowfish {
+
+/// \brief Thread-safe registry of named PrivacyBudget ledgers with
+/// atomic multi-ledger spends.
+class BudgetAccountant {
+ public:
+  /// Creates a ledger; kAlreadyExists if the id is taken,
+  /// kInvalidArgument if the budget is not positive.
+  Status OpenLedger(const std::string& id, double total_epsilon);
+
+  /// Removes a ledger (its audit trail is discarded); kNotFound if
+  /// absent.
+  Status CloseLedger(const std::string& id);
+
+  /// Removes every ledger whose id starts with `prefix` (versioned
+  /// policy ledgers on unregister). Returns the number closed.
+  size_t CloseLedgersWithPrefix(const std::string& prefix);
+
+  bool HasLedger(const std::string& id) const;
+
+  /// Atomically spends `epsilon` from every ledger in `ids`
+  /// (sequential composition on each). Either all ledgers record the
+  /// spend or none does; over-budget requests fail with kOutOfRange
+  /// and missing ledgers with kNotFound, in both cases without side
+  /// effects.
+  Status Charge(const std::vector<std::string>& ids, double epsilon,
+                const std::string& label);
+
+  /// Remaining ε; kNotFound if absent.
+  Result<double> Remaining(const std::string& id) const;
+
+  /// Total spent ε; kNotFound if absent.
+  Result<double> Spent(const std::string& id) const;
+
+  /// The ledger's human-readable audit trail; kNotFound if absent.
+  Result<std::string> Audit(const std::string& id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PrivacyBudget> ledgers_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_

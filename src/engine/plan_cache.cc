@@ -1,0 +1,71 @@
+#include "engine/plan_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace blowfish {
+
+namespace {
+// ASCII unit separator; the registry rejects names containing it, so
+// keys cannot collide across the (name, version, options) fields.
+constexpr char kSep = '\x1f';
+}  // namespace
+
+std::string PlanCache::MakeKey(const std::string& policy_name,
+                               uint64_t version,
+                               bool prefer_data_dependent) {
+  return policy_name + kSep + std::to_string(version) + kSep +
+         (prefer_data_dependent ? "dd" : "di");
+}
+
+std::shared_ptr<const Plan> PlanCache::Lookup(const std::string& key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const Plan> PlanCache::Insert(
+    const std::string& key, std::shared_ptr<const Plan> plan) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(key, std::move(plan));
+  (void)inserted;  // a racing insert already published an equal plan
+  return it->second;
+}
+
+size_t PlanCache::Invalidate(const std::string& policy_name) {
+  const std::string prefix = policy_name + kSep;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void PlanCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  entries_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.entries = entries_.size();
+  return stats;
+}
+
+}  // namespace blowfish

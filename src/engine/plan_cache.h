@@ -1,0 +1,70 @@
+// Shared plan cache. Planning is the expensive part of serving a
+// Blowfish query — PolicyTransform::Create runs a reduction plus a
+// conjugate-gradient factorization, spanner construction certifies
+// stretch on a representative grid, and the θ-grid strategy builds
+// per-slab Privelet systems. None of that depends on the query or the
+// data values, only on (policy, planner options), so plans are cached
+// and shared: a cache entry is a shared_ptr<const Plan> whose
+// mechanism is immutable and whose Run() is const and re-entrant
+// (randomness comes from the caller's Rng), making one plan safe for
+// any number of concurrent submits.
+//
+// Keys embed the registry entry's version, so Replace()d policies
+// never serve stale plans even before Invalidate() runs.
+
+#ifndef BLOWFISH_ENGINE_PLAN_CACHE_H_
+#define BLOWFISH_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/planner.h"
+
+namespace blowfish {
+
+/// \brief Thread-safe (policy, options) -> Plan cache with hit/miss
+/// accounting.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+  };
+
+  /// Cache key for a registry entry at a given version and planner
+  /// option set.
+  static std::string MakeKey(const std::string& policy_name,
+                             uint64_t version, bool prefer_data_dependent);
+
+  /// Returns the cached plan or nullptr (counts a hit or a miss).
+  std::shared_ptr<const Plan> Lookup(const std::string& key);
+
+  /// Publishes a plan under `key`. Racing inserts for the same key are
+  /// benign: the first one wins and later callers use it.
+  std::shared_ptr<const Plan> Insert(const std::string& key,
+                                     std::shared_ptr<const Plan> plan);
+
+  /// Drops every entry belonging to `policy_name` (all versions and
+  /// option sets). Returns the number of entries removed.
+  size_t Invalidate(const std::string& policy_name);
+
+  /// Drops everything.
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Plan>> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_PLAN_CACHE_H_

@@ -1,0 +1,126 @@
+#include "engine/policy_registry.h"
+
+#include <mutex>
+#include <utility>
+
+#include "graph/algorithms.h"
+
+namespace blowfish {
+
+namespace {
+
+Status Validate(const std::string& name, const Policy& policy,
+                const Vector& data, double epsilon_cap) {
+  if (name.empty()) {
+    return Status::InvalidArgument("policy name must be non-empty");
+  }
+  if (name.find('\x1f') != std::string::npos) {
+    // Reserved as the plan-cache key separator.
+    return Status::InvalidArgument("policy name contains '\\x1f'");
+  }
+  if (data.size() != policy.domain_size()) {
+    return Status::InvalidArgument(
+        "data size " + std::to_string(data.size()) +
+        " does not match policy domain size " +
+        std::to_string(policy.domain_size()));
+  }
+  if (epsilon_cap <= 0.0) {
+    return Status::InvalidArgument("epsilon cap must be positive");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<RegisteredPolicy> MakeEntry(const std::string& name,
+                                            Policy policy, Vector data,
+                                            double epsilon_cap,
+                                            uint64_t version) {
+  auto entry = std::make_shared<RegisteredPolicy>();
+  entry->name = name;
+  entry->metadata = ComputePolicyMetadata(policy);
+  entry->policy = std::move(policy);
+  entry->data = std::move(data);
+  entry->epsilon_cap = epsilon_cap;
+  entry->version = version;
+  return entry;
+}
+
+}  // namespace
+
+PolicyMetadata ComputePolicyMetadata(const Policy& policy) {
+  PolicyMetadata meta;
+  meta.domain_size = policy.domain_size();
+  meta.num_dims = policy.domain.num_dims();
+  meta.num_edges = policy.graph.num_edges();
+  meta.has_bottom = policy.graph.has_bottom();
+  ConnectedComponents(policy.graph, &meta.num_components);
+  for (size_t v = 0; v < policy.graph.num_vertices(); ++v) {
+    meta.max_degree = std::max(meta.max_degree, policy.graph.Degree(v));
+  }
+  meta.is_tree = IsTree(policy.graph);
+  return meta;
+}
+
+Status PolicyRegistry::Register(const std::string& name, Policy policy,
+                                Vector data, double epsilon_cap,
+                                std::optional<uint64_t> version) {
+  BF_RETURN_NOT_OK(Validate(name, policy, data, epsilon_cap));
+  std::shared_ptr<RegisteredPolicy> entry =
+      MakeEntry(name, std::move(policy), std::move(data), epsilon_cap,
+                ClaimVersion(version));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    return Status(StatusCode::kAlreadyExists,
+                  "policy '" + name + "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status PolicyRegistry::Replace(const std::string& name, Policy policy,
+                               Vector data, double epsilon_cap,
+                               std::optional<uint64_t> version) {
+  BF_RETURN_NOT_OK(Validate(name, policy, data, epsilon_cap));
+  // Metadata is computed outside the lock; only the swap is exclusive.
+  std::shared_ptr<RegisteredPolicy> entry =
+      MakeEntry(name, std::move(policy), std::move(data), epsilon_cap,
+                ClaimVersion(version));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("policy '" + name + "' is not registered");
+  }
+  it->second = std::move(entry);
+  return Status::OK();
+}
+
+Status PolicyRegistry::Unregister(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("policy '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const RegisteredPolicy>> PolicyRegistry::Get(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("policy '" + name + "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> PolicyRegistry::Names() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+size_t PolicyRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace blowfish

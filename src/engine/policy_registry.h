@@ -1,0 +1,119 @@
+// Named-policy registry: the serving layer's catalog. Each entry binds
+// a Blowfish policy to the private histogram it protects, the total
+// privacy budget the data owner allows across *all* releases on that
+// data, and cheap precomputed policy-graph metadata (connectivity,
+// degree, shape) that the engine and operators consult without
+// touching the graph again.
+//
+// Entries are immutable once published: Replace() swaps in a new
+// shared_ptr and bumps the version (the plan cache keys on it), so
+// readers holding the old snapshot are never invalidated mid-query.
+// Reads take a shared lock; the registry is safe under concurrent
+// Register/Get/Replace.
+
+#ifndef BLOWFISH_ENGINE_POLICY_REGISTRY_H_
+#define BLOWFISH_ENGINE_POLICY_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/policy.h"
+#include "linalg/vector_ops.h"
+
+namespace blowfish {
+
+/// \brief Structural facts about a policy graph, computed once at
+/// registration.
+struct PolicyMetadata {
+  size_t domain_size = 0;
+  size_t num_dims = 0;
+  size_t num_edges = 0;
+  bool has_bottom = false;
+  size_t num_components = 0;  ///< ⊥ participates in connectivity
+  size_t max_degree = 0;
+  bool is_tree = false;  ///< the Theorem 4.3 regime
+};
+
+/// \brief One published policy: graph + protected data + budget cap.
+struct RegisteredPolicy {
+  std::string name;
+  Policy policy;
+  Vector data;         ///< the private histogram served under `policy`
+  double epsilon_cap;  ///< total ε permitted across all releases
+  PolicyMetadata metadata;
+  /// Unique across the registry's lifetime (monotonic counter, never
+  /// reused even through Unregister+Register under the same name), so
+  /// (name, version) keys — plan cache, budget ledgers — can never
+  /// alias a different entry.
+  uint64_t version = 0;
+};
+
+/// \brief Thread-safe name -> RegisteredPolicy map with copy-free
+/// snapshot reads.
+class PolicyRegistry {
+ public:
+  /// Hands out a version number that will never be used by anyone
+  /// else. Callers that key external resources (budget ledgers) by
+  /// (name, version) reserve first, set the resources up, then pass
+  /// the reservation to Register/Replace — so by the time readers can
+  /// see the version, its resources already exist.
+  uint64_t ReserveVersion() { return next_version_.fetch_add(1); }
+
+  /// Publishes a new entry under `version` (reserved internally when
+  /// omitted). Fails with kAlreadyExists if `name` is taken and
+  /// kInvalidArgument if `data` does not match the domain or
+  /// `epsilon_cap` is not positive.
+  Status Register(const std::string& name, Policy policy, Vector data,
+                  double epsilon_cap,
+                  std::optional<uint64_t> version = std::nullopt);
+
+  /// Atomically swaps the entry for `name` (new data and/or policy)
+  /// under a fresh version. Fails with kNotFound if absent.
+  Status Replace(const std::string& name, Policy policy, Vector data,
+                 double epsilon_cap,
+                 std::optional<uint64_t> version = std::nullopt);
+
+  /// Removes the entry; kNotFound if absent.
+  Status Unregister(const std::string& name);
+
+  /// Snapshot of the entry; kNotFound if absent. The snapshot stays
+  /// valid (and immutable) even if the entry is replaced afterwards.
+  Result<std::shared_ptr<const RegisteredPolicy>> Get(
+      const std::string& name) const;
+
+  /// Registered names, unordered.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  /// Uses the reservation if given (advancing the counter past it so
+  /// it can never be handed out again); reserves otherwise.
+  uint64_t ClaimVersion(std::optional<uint64_t> version) {
+    if (!version.has_value()) return ReserveVersion();
+    uint64_t expected = next_version_.load();
+    while (expected <= *version &&
+           !next_version_.compare_exchange_weak(expected, *version + 1)) {
+    }
+    return *version;
+  }
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const RegisteredPolicy>>
+      entries_;
+  std::atomic<uint64_t> next_version_{0};
+};
+
+/// Computes the metadata block for a policy (graph scans only; no
+/// transform or planning work).
+PolicyMetadata ComputePolicyMetadata(const Policy& policy);
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_POLICY_REGISTRY_H_

@@ -1,0 +1,223 @@
+#include "engine/query_engine.h"
+
+#include <random>
+#include <utility>
+
+namespace blowfish {
+
+namespace {
+// SplitMix64-style odd multiplier: consecutive submit indices map to
+// well-separated mt19937_64 seeds.
+constexpr uint64_t kStreamStep = 0x9E3779B97F4A7C15ull;
+
+uint64_t EntropySeed() {
+  std::random_device device;
+  return (static_cast<uint64_t>(device()) << 32) ^ device();
+}
+}  // namespace
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(options),
+      seed_(options.seed.has_value() ? *options.seed : EntropySeed()) {}
+
+std::string QueryEngine::SessionLedger(const std::string& session_id) {
+  return "session/" + session_id;
+}
+
+// Ledger ids are versioned so a submit always charges the cap of the
+// exact data snapshot it releases. '\x1f' cannot appear in registered
+// names, so the prefix uniquely identifies one name (names may
+// contain '/').
+std::string QueryEngine::PolicyLedger(const std::string& name,
+                                      uint64_t version) {
+  return PolicyLedgerPrefix(name) + std::to_string(version);
+}
+
+std::string QueryEngine::PolicyLedgerPrefix(const std::string& name) {
+  return "policy/" + name + '\x1f';
+}
+
+Status QueryEngine::RegisterPolicy(const std::string& name, Policy policy,
+                                   Vector data, double epsilon_cap) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  // The ledger must exist before any submit can see the version, so:
+  // reserve the version, open its ledger, then publish.
+  const uint64_t version = registry_.ReserveVersion();
+  BF_RETURN_NOT_OK(
+      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap));
+  const Status registered = registry_.Register(
+      name, std::move(policy), std::move(data), epsilon_cap, version);
+  if (!registered.ok()) {
+    accountant_.CloseLedger(PolicyLedger(name, version)).Check();
+    return registered;
+  }
+  if (options_.warm_plan_cache) {
+    Result<std::shared_ptr<const RegisteredPolicy>> entry =
+        registry_.Get(name);
+    if (entry.ok()) {
+      bool hit = false;
+      // Best effort: an unplannable policy still registers, and the
+      // submit path reports the planning error.
+      (void)GetOrPlan(*entry.ValueOrDie(), /*prefer_data_dependent=*/false,
+                      &hit);
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::ReplacePolicy(const std::string& name, Policy policy,
+                                  Vector data, double epsilon_cap) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  // Fresh data, fresh cap, fresh ledger id — opened before the swap
+  // publishes the version, so no submit ever charges a missing
+  // ledger. The superseded version's ledger stays open so in-flight
+  // submits drain against *its* cap.
+  const uint64_t version = registry_.ReserveVersion();
+  BF_RETURN_NOT_OK(
+      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap));
+  const Status replaced = registry_.Replace(
+      name, std::move(policy), std::move(data), epsilon_cap, version);
+  if (!replaced.ok()) {
+    accountant_.CloseLedger(PolicyLedger(name, version)).Check();
+    return replaced;
+  }
+  plan_cache_.Invalidate(name);
+  return Status::OK();
+}
+
+Status QueryEngine::UnregisterPolicy(const std::string& name) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  BF_RETURN_NOT_OK(registry_.Unregister(name));
+  plan_cache_.Invalidate(name);
+  accountant_.CloseLedgersWithPrefix(PolicyLedgerPrefix(name));
+  return Status::OK();
+}
+
+Status QueryEngine::OpenSession(const std::string& session_id,
+                                double epsilon_budget) {
+  if (session_id.empty()) {
+    return Status::InvalidArgument("session id must be non-empty");
+  }
+  return accountant_.OpenLedger(SessionLedger(session_id), epsilon_budget);
+}
+
+Status QueryEngine::CloseSession(const std::string& session_id) {
+  return accountant_.CloseLedger(SessionLedger(session_id));
+}
+
+Result<std::shared_ptr<const Plan>> QueryEngine::GetOrPlan(
+    const RegisteredPolicy& entry, bool prefer_data_dependent,
+    bool* cache_hit) {
+  const std::string key = PlanCache::MakeKey(entry.name, entry.version,
+                                             prefer_data_dependent);
+  if (std::shared_ptr<const Plan> cached = plan_cache_.Lookup(key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+  Result<Plan> planned =
+      PlanMechanism(PlanRequest{entry.policy, prefer_data_dependent});
+  if (!planned.ok()) return planned.status();
+  return plan_cache_.Insert(
+      key, std::make_shared<const Plan>(std::move(planned).ValueOrDie()));
+}
+
+Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
+  if (request.epsilon <= 0.0) {
+    return Status::InvalidArgument("submit needs a positive epsilon");
+  }
+  if (request.workload.num_queries() == 0) {
+    return Status::InvalidArgument("submit needs a non-empty workload");
+  }
+  if (!accountant_.HasLedger(SessionLedger(request.session))) {
+    return Status::NotFound("session '" + request.session +
+                            "' is not open");
+  }
+  Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+      registry_.Get(request.policy);
+  if (!lookup.ok()) return lookup.status();
+  const std::shared_ptr<const RegisteredPolicy> entry =
+      std::move(lookup).ValueOrDie();
+
+  if (request.workload.domain_size() != entry->policy.domain_size()) {
+    return Status::InvalidArgument(
+        "workload '" + request.workload.name() + "' spans " +
+        std::to_string(request.workload.domain_size()) +
+        " cells but policy '" + entry->name + "' has domain size " +
+        std::to_string(entry->policy.domain_size()));
+  }
+
+  // Plan first (data-independent, costs no budget), charge second, and
+  // only then draw noise: a refused query releases nothing.
+  bool cache_hit = false;
+  Result<std::shared_ptr<const Plan>> plan_result =
+      GetOrPlan(*entry, request.prefer_data_dependent, &cache_hit);
+  if (!plan_result.ok()) return plan_result.status();
+  const std::shared_ptr<const Plan> plan =
+      std::move(plan_result).ValueOrDie();
+
+  BF_RETURN_NOT_OK(accountant_.Charge(
+      {SessionLedger(request.session),
+       PolicyLedger(entry->name, entry->version)},
+      request.epsilon,
+      "workload '" + request.workload.name() + "' on policy '" +
+          entry->name + "' via " + plan->kind));
+
+  // Private random stream per submit; immutable plan, caller-side rng.
+  const uint64_t stream = submit_counter_.fetch_add(1) + 1;
+  Rng rng(seed_ ^ (kStreamStep * stream));
+  const Vector estimate =
+      plan->mechanism->Run(entry->data, request.epsilon, &rng);
+
+  QueryResult result;
+  result.answers = request.workload.Answer(estimate);
+  result.plan_kind = plan->kind;
+  result.plan_cache_hit = cache_hit;
+  result.guarantee = plan->mechanism->Guarantee(request.epsilon);
+  Result<double> session_left =
+      accountant_.Remaining(SessionLedger(request.session));
+  Result<double> policy_left =
+      accountant_.Remaining(PolicyLedger(entry->name, entry->version));
+  result.session_remaining = session_left.ok() ? *session_left : 0.0;
+  result.policy_remaining = policy_left.ok() ? *policy_left : 0.0;
+  return result;
+}
+
+std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<Result<QueryResult>> results;
+  results.reserve(batch.size());
+  for (const QueryRequest& request : batch) {
+    results.push_back(Submit(request));
+  }
+  return results;
+}
+
+Result<PolicyMetadata> QueryEngine::GetPolicyMetadata(
+    const std::string& name) const {
+  Result<std::shared_ptr<const RegisteredPolicy>> entry =
+      registry_.Get(name);
+  if (!entry.ok()) return entry.status();
+  return entry.ValueOrDie()->metadata;
+}
+
+Result<double> QueryEngine::SessionRemaining(
+    const std::string& session_id) const {
+  return accountant_.Remaining(SessionLedger(session_id));
+}
+
+Result<double> QueryEngine::PolicyRemaining(const std::string& name) const {
+  // The current version's cap; superseded versions only drain.
+  Result<std::shared_ptr<const RegisteredPolicy>> entry =
+      registry_.Get(name);
+  if (!entry.ok()) return entry.status();
+  return accountant_.Remaining(
+      PolicyLedger(name, entry.ValueOrDie()->version));
+}
+
+Result<std::string> QueryEngine::SessionAudit(
+    const std::string& session_id) const {
+  return accountant_.Audit(SessionLedger(session_id));
+}
+
+}  // namespace blowfish

@@ -1,0 +1,156 @@
+// The policy-aware query engine: the serving layer above the planner.
+//
+//   PolicyRegistry   named policies + the data they protect + ε caps
+//   PlanCache        (policy, options) -> shared plan; planner /
+//                    spanner / matrix work runs once per policy
+//   BudgetAccountant per-policy and per-session ε ledgers, charged
+//                    atomically before any noise is drawn
+//   QueryEngine      Submit(): look up policy -> get-or-plan ->
+//                    charge budget -> run mechanism -> answer W x̂
+//
+// Privacy semantics. Every submit is one sequential-composition step:
+// it spends its ε on the policy's global cap (the data owner's bound
+// across *all* sessions, DPolicy-style release accounting) and on the
+// caller's session grant. A submit whose ε no ledger can afford fails
+// with kOutOfRange *before* the mechanism runs, so refused queries
+// leak nothing. Answers are post-processing of the mechanism's
+// histogram release x̂ and are free: one release answers the whole
+// workload matrix.
+//
+// Concurrency. The registry and plan cache are guarded by
+// shared_mutexes (read-mostly), the accountant serializes charges, and
+// mechanisms are immutable after planning with caller-provided
+// randomness — each submit derives a private Rng stream from the
+// engine seed and a submit counter, so concurrent submits are
+// reproducible-in-aggregate and never share generator state.
+
+#ifndef BLOWFISH_ENGINE_QUERY_ENGINE_H_
+#define BLOWFISH_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/budget_accountant.h"
+#include "engine/plan_cache.h"
+#include "engine/policy_registry.h"
+#include "workload/workload.h"
+
+namespace blowfish {
+
+struct EngineOptions {
+  /// Root seed for the engine's per-submit random streams. Leave
+  /// unset in deployments: a predictable seed lets an adversary
+  /// regenerate the noise and undo the privacy guarantee, so the
+  /// default draws fresh entropy (std::random_device) per engine. Set
+  /// it only for reproducible tests and benchmarks.
+  std::optional<uint64_t> seed;
+  /// Plan at registration time so the first submit is already warm.
+  bool warm_plan_cache = false;
+};
+
+/// \brief One query: a linear workload against a registered policy,
+/// spending `epsilon` from the session's and the policy's budgets.
+struct QueryRequest {
+  std::string session;
+  std::string policy;
+  Workload workload;
+  double epsilon = 0.0;
+  /// Planner option: prefer data-dependent estimation (DAWA).
+  bool prefer_data_dependent = false;
+};
+
+/// \brief A successful release.
+struct QueryResult {
+  Vector answers;             ///< W x̂, one entry per workload query
+  std::string plan_kind;      ///< strategy family the planner chose
+  bool plan_cache_hit = false;
+  PrivacyGuarantee guarantee;  ///< stated for this release's ε
+  double session_remaining = 0.0;
+  double policy_remaining = 0.0;
+};
+
+/// \brief Concurrent facade over registry + cache + accountant.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = EngineOptions());
+
+  /// Publishes `policy` and the histogram it protects; `epsilon_cap`
+  /// bounds total spend across all sessions for the life of the entry.
+  Status RegisterPolicy(const std::string& name, Policy policy, Vector data,
+                        double epsilon_cap);
+
+  /// Swaps data/policy under an existing name: cached plans are
+  /// invalidated and the new entry gets its own fresh ε ledger (new
+  /// data is a fresh privacy resource). Budget ledgers are keyed by
+  /// (name, version), so in-flight submits that snapshotted the old
+  /// entry drain against the *old* data's cap — a replace can never
+  /// let the new data's cap absorb old-data releases or vice versa.
+  /// Superseded ledgers stay open until the name is unregistered.
+  Status ReplacePolicy(const std::string& name, Policy policy, Vector data,
+                       double epsilon_cap);
+
+  /// Unpublishes a policy and closes its budget ledgers. New submits
+  /// get kNotFound; an in-flight submit holding a snapshot keeps its
+  /// (immutable) policy and data, but fails with kNotFound if it has
+  /// not yet charged the budget when the ledgers close — it never
+  /// releases unaccounted noise.
+  Status UnregisterPolicy(const std::string& name);
+
+  /// Opens a session entitled to spend `epsilon_budget` in total.
+  Status OpenSession(const std::string& session_id, double epsilon_budget);
+
+  /// Closes a session; later submits on it get kNotFound.
+  Status CloseSession(const std::string& session_id);
+
+  /// Executes one request. Errors: kNotFound (unknown session or
+  /// policy), kInvalidArgument (workload/domain mismatch, bad ε),
+  /// kOutOfRange (session or policy budget exhausted — charged before
+  /// any noise is drawn, so a refusal releases nothing).
+  Result<QueryResult> Submit(const QueryRequest& request);
+
+  /// Executes a batch in order; entry i is the outcome of request i.
+  /// A failed entry does not stop the rest of the batch.
+  std::vector<Result<QueryResult>> SubmitBatch(
+      const std::vector<QueryRequest>& batch);
+
+  /// Registry metadata snapshot; kNotFound if absent.
+  Result<PolicyMetadata> GetPolicyMetadata(const std::string& name) const;
+
+  Result<double> SessionRemaining(const std::string& session_id) const;
+  Result<double> PolicyRemaining(const std::string& name) const;
+  /// Human-readable per-session spend ledger.
+  Result<std::string> SessionAudit(const std::string& session_id) const;
+
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
+  size_t num_policies() const { return registry_.size(); }
+  std::vector<std::string> Names() const { return registry_.Names(); }
+
+ private:
+  Result<std::shared_ptr<const Plan>> GetOrPlan(
+      const RegisteredPolicy& entry, bool prefer_data_dependent,
+      bool* cache_hit);
+
+  static std::string SessionLedger(const std::string& session_id);
+  static std::string PolicyLedger(const std::string& name, uint64_t version);
+  static std::string PolicyLedgerPrefix(const std::string& name);
+
+  EngineOptions options_;
+  uint64_t seed_;  ///< resolved from options_.seed or entropy
+  PolicyRegistry registry_;
+  PlanCache plan_cache_;
+  BudgetAccountant accountant_;
+  std::atomic<uint64_t> submit_counter_{0};
+  /// Serializes policy lifecycle ops (register/replace/unregister) so
+  /// their registry + ledger steps compose atomically against each
+  /// other. Submits never take this lock.
+  std::mutex admin_mu_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_QUERY_ENGINE_H_

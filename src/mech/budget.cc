@@ -16,11 +16,15 @@ PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
   BF_CHECK_GT(total_epsilon, 0.0);
 }
 
+bool PrivacyBudget::CanSpend(double epsilon) const {
+  return epsilon > 0.0 && spent_ + epsilon <= total_ * (1.0 + kSlack) + kSlack;
+}
+
 Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
   if (epsilon <= 0.0) {
     return Status::InvalidArgument("spend must be positive: " + label);
   }
-  if (spent_ + epsilon > total_ * (1.0 + kSlack) + kSlack) {
+  if (!CanSpend(epsilon)) {
     return Status::InvalidArgument(
         "budget exceeded by '" + label + "': spent " +
         std::to_string(spent_) + " + " + std::to_string(epsilon) + " > " +

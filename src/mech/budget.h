@@ -25,6 +25,12 @@ class PrivacyBudget {
  public:
   explicit PrivacyBudget(double total_epsilon);
 
+  /// True if a sequential spend of `epsilon` would be accepted. The
+  /// single authority on the slack arithmetic; Spend() commits exactly
+  /// when this holds. Callers coordinating several ledgers (the
+  /// engine's BudgetAccountant) probe with this before committing.
+  bool CanSpend(double epsilon) const;
+
   /// Records a sequential spend; fails without side effects if it
   /// would exceed the total.
   Status Spend(double epsilon, const std::string& label);

@@ -1,0 +1,312 @@
+// The serving layer: registry lifecycle, plan-cache behaviour, and
+// budget enforcement through the QueryEngine facade.
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+Vector Ramp(size_t n) {
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % 7);
+  return x;
+}
+
+TEST(PolicyRegistry, MetadataPrecomputedAtRegistration) {
+  PolicyRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("line", LinePolicy(16), Ramp(16), 1.0).ok());
+  ASSERT_TRUE(registry
+                  .Register("grid", GridPolicy(DomainShape({4, 4}), 1),
+                            Ramp(16), 1.0)
+                  .ok());
+
+  const auto line = registry.Get("line").ValueOrDie();
+  EXPECT_EQ(line->metadata.domain_size, 16u);
+  EXPECT_EQ(line->metadata.num_edges, 15u);
+  EXPECT_TRUE(line->metadata.is_tree);
+  EXPECT_EQ(line->metadata.num_components, 1u);
+  EXPECT_FALSE(line->metadata.has_bottom);
+
+  const auto grid = registry.Get("grid").ValueOrDie();
+  EXPECT_EQ(grid->metadata.num_dims, 2u);
+  EXPECT_FALSE(grid->metadata.is_tree);
+  EXPECT_EQ(grid->metadata.num_components, 1u);
+  EXPECT_EQ(grid->metadata.max_degree, 4u);
+}
+
+TEST(PolicyRegistry, LifecycleAndValidation) {
+  PolicyRegistry registry;
+  ASSERT_TRUE(
+      registry.Register("p", LinePolicy(8), Ramp(8), 2.0).ok());
+  // Duplicate name.
+  EXPECT_EQ(registry.Register("p", LinePolicy(8), Ramp(8), 2.0).code(),
+            StatusCode::kAlreadyExists);
+  // Data / domain mismatch and bad cap.
+  EXPECT_EQ(registry.Register("q", LinePolicy(8), Ramp(9), 2.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Register("q", LinePolicy(8), Ramp(8), 0.0).code(),
+            StatusCode::kInvalidArgument);
+  // The plan-cache key separator is reserved.
+  EXPECT_EQ(
+      registry.Register(std::string("a\x1f") + "b", LinePolicy(8), Ramp(8), 1.0)
+          .code(),
+      StatusCode::kInvalidArgument);
+
+  // Replace installs a strictly newer version; old snapshots stay
+  // valid. Versions are never reused, even across failed attempts.
+  const auto before = registry.Get("p").ValueOrDie();
+  ASSERT_TRUE(registry.Replace("p", LinePolicy(8), Ramp(8), 3.0).ok());
+  const auto after = registry.Get("p").ValueOrDie();
+  EXPECT_GT(after->version, before->version);
+  EXPECT_EQ(before->epsilon_cap, 2.0);
+  EXPECT_EQ(after->epsilon_cap, 3.0);
+
+  ASSERT_TRUE(registry.Unregister("p").ok());
+  EXPECT_EQ(registry.Get("p").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.Unregister("p").code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(BudgetAccountant, AtomicMultiLedgerCharge) {
+  BudgetAccountant accountant;
+  ASSERT_TRUE(accountant.OpenLedger("a", 1.0).ok());
+  ASSERT_TRUE(accountant.OpenLedger("b", 0.5).ok());
+
+  ASSERT_TRUE(accountant.Charge({"a", "b"}, 0.4, "joint").ok());
+  EXPECT_NEAR(*accountant.Remaining("a"), 0.6, 1e-12);
+  EXPECT_NEAR(*accountant.Remaining("b"), 0.1, 1e-12);
+
+  // 'a' could afford 0.2 but 'b' cannot: neither ledger may move.
+  const Status refused = accountant.Charge({"a", "b"}, 0.2, "joint");
+  EXPECT_EQ(refused.code(), StatusCode::kOutOfRange);
+  EXPECT_NEAR(*accountant.Remaining("a"), 0.6, 1e-12);
+  EXPECT_NEAR(*accountant.Remaining("b"), 0.1, 1e-12);
+
+  // Unknown ledger refuses without side effects too.
+  EXPECT_EQ(accountant.Charge({"a", "ghost"}, 0.1, "x").code(),
+            StatusCode::kNotFound);
+  EXPECT_NEAR(*accountant.Remaining("a"), 0.6, 1e-12);
+
+  // A repeated id composes sequentially within one charge.
+  EXPECT_EQ(accountant.Charge({"a", "a"}, 0.4, "double").code(),
+            StatusCode::kOutOfRange);
+  ASSERT_TRUE(accountant.Charge({"a", "a"}, 0.3, "double").ok());
+  EXPECT_NEAR(*accountant.Remaining("a"), 0.0, 1e-9);
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  // Three distinct policy families: line (tree transform), θ=1 grid
+  // (per-line Privelet matrix mechanism), unbounded DP (star to ⊥).
+  void SetUp() override {
+    ASSERT_TRUE(
+        engine_.RegisterPolicy("salaries", LinePolicy(16), Ramp(16), 100.0)
+            .ok());
+    ASSERT_TRUE(engine_
+                    .RegisterPolicy("locations",
+                                    GridPolicy(DomainShape({4, 4}), 1),
+                                    Ramp(16), 100.0)
+                    .ok());
+    ASSERT_TRUE(engine_
+                    .RegisterPolicy("classic-dp", UnboundedDpPolicy(16),
+                                    Ramp(16), 100.0)
+                    .ok());
+  }
+
+  QueryRequest Request(const std::string& session,
+                       const std::string& policy, double epsilon) const {
+    QueryRequest request;
+    request.session = session;
+    request.policy = policy;
+    request.workload = IdentityWorkload(16);
+    request.epsilon = epsilon;
+    return request;
+  }
+
+  QueryEngine engine_;
+};
+
+TEST_F(QueryEngineTest, SubmitEndToEndAcrossPolicyFamilies) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+
+  const QueryResult salaries =
+      engine_.Submit(Request("alice", "salaries", 1.0)).ValueOrDie();
+  EXPECT_EQ(salaries.answers.size(), 16u);
+  EXPECT_EQ(salaries.plan_kind, "tree-transform");
+  EXPECT_NEAR(salaries.session_remaining, 9.0, 1e-9);
+  EXPECT_NE(salaries.guarantee.neighbor_model.find("Blowfish"),
+            std::string::npos);
+
+  const QueryResult locations =
+      engine_.Submit(Request("alice", "locations", 1.0)).ValueOrDie();
+  EXPECT_EQ(locations.plan_kind, "grid-matrix");
+
+  const QueryResult classic =
+      engine_.Submit(Request("alice", "classic-dp", 1.0)).ValueOrDie();
+  EXPECT_EQ(classic.plan_kind, "tree-transform");
+  EXPECT_NEAR(classic.session_remaining, 7.0, 1e-9);
+}
+
+TEST_F(QueryEngineTest, PlanCacheHitsOnRepeatsAndSharesAcrossSessions) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  ASSERT_TRUE(engine_.OpenSession("bob", 10.0).ok());
+
+  const QueryResult first =
+      engine_.Submit(Request("alice", "salaries", 0.5)).ValueOrDie();
+  EXPECT_FALSE(first.plan_cache_hit);
+  const QueryResult second =
+      engine_.Submit(Request("alice", "salaries", 0.5)).ValueOrDie();
+  EXPECT_TRUE(second.plan_cache_hit);
+  // Plans are keyed by policy, not session.
+  const QueryResult cross =
+      engine_.Submit(Request("bob", "salaries", 0.5)).ValueOrDie();
+  EXPECT_TRUE(cross.plan_cache_hit);
+
+  // Planner options are part of the key.
+  QueryRequest dd = Request("bob", "salaries", 0.5);
+  dd.prefer_data_dependent = true;
+  EXPECT_FALSE(engine_.Submit(dd).ValueOrDie().plan_cache_hit);
+
+  const PlanCache::Stats stats = engine_.plan_cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST_F(QueryEngineTest, ReplaceInvalidatesCachedPlansAndRestartsCap) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 50.0).ok());
+  EXPECT_FALSE(engine_.Submit(Request("alice", "salaries", 1.0))
+                   .ValueOrDie()
+                   .plan_cache_hit);
+  EXPECT_TRUE(engine_.Submit(Request("alice", "salaries", 1.0))
+                  .ValueOrDie()
+                  .plan_cache_hit);
+
+  ASSERT_TRUE(
+      engine_.ReplacePolicy("salaries", LinePolicy(16), Ramp(16), 7.0).ok());
+  EXPECT_EQ(engine_.plan_cache_stats().entries, 0u);
+  const QueryResult after =
+      engine_.Submit(Request("alice", "salaries", 1.0)).ValueOrDie();
+  EXPECT_FALSE(after.plan_cache_hit);
+  // New data, fresh cap ledger.
+  EXPECT_NEAR(after.policy_remaining, 6.0, 1e-9);
+
+  ASSERT_TRUE(engine_.UnregisterPolicy("salaries").ok());
+  EXPECT_EQ(engine_.Submit(Request("alice", "salaries", 1.0)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryEngineTest, WarmCacheOptionPlansAtRegistration) {
+  QueryEngine warm(EngineOptions{/*seed=*/1, /*warm_plan_cache=*/true});
+  ASSERT_TRUE(
+      warm.RegisterPolicy("p", LinePolicy(16), Ramp(16), 10.0).ok());
+  ASSERT_TRUE(warm.OpenSession("s", 10.0).ok());
+  EXPECT_TRUE(warm.Submit(Request("s", "p", 1.0)).ValueOrDie().plan_cache_hit);
+}
+
+TEST_F(QueryEngineTest, SessionBudgetExhaustionRefusesBeforeRelease) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 1.0).ok());
+  ASSERT_TRUE(engine_.Submit(Request("alice", "salaries", 0.6)).ok());
+
+  const Result<QueryResult> refused =
+      engine_.Submit(Request("alice", "salaries", 0.6));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(refused.status().message().find("session/alice"),
+            std::string::npos);
+  // The refusal left both ledgers untouched.
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 0.4, 1e-9);
+  EXPECT_NEAR(*engine_.PolicyRemaining("salaries"), 99.4, 1e-9);
+
+  // A smaller query still fits.
+  EXPECT_TRUE(engine_.Submit(Request("alice", "salaries", 0.4)).ok());
+  EXPECT_EQ(
+      engine_.Submit(Request("alice", "salaries", 0.01)).status().code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryEngineTest, PolicyCapIsSharedAcrossSessions) {
+  ASSERT_TRUE(engine_.RegisterPolicy("scarce", LinePolicy(16), Ramp(16), 1.0)
+                  .ok());
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  ASSERT_TRUE(engine_.OpenSession("bob", 10.0).ok());
+
+  ASSERT_TRUE(engine_.Submit(Request("alice", "scarce", 0.7)).ok());
+  // Bob's session has plenty left, but the data owner's cap does not.
+  const Result<QueryResult> refused =
+      engine_.Submit(Request("bob", "scarce", 0.5));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(refused.status().message().find("policy/scarce"),
+            std::string::npos);
+  // Bob's session ledger must not record the refused spend.
+  EXPECT_NEAR(*engine_.SessionRemaining("bob"), 10.0, 1e-9);
+  EXPECT_TRUE(engine_.Submit(Request("bob", "scarce", 0.3)).ok());
+}
+
+TEST_F(QueryEngineTest, RequestValidation) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  EXPECT_EQ(engine_.Submit(Request("ghost", "salaries", 1.0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Submit(Request("alice", "ghost", 1.0)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.Submit(Request("alice", "salaries", 0.0)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest mismatched = Request("alice", "salaries", 1.0);
+  mismatched.workload = IdentityWorkload(8);
+  EXPECT_EQ(engine_.Submit(mismatched).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest empty = Request("alice", "salaries", 1.0);
+  empty.workload = Workload();
+  EXPECT_EQ(engine_.Submit(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(engine_.OpenSession("alice", 1.0).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(engine_.CloseSession("alice").ok());
+  EXPECT_EQ(engine_.Submit(Request("alice", "salaries", 1.0)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryEngineTest, BatchKeepsGoingPastFailures) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 1.0).ok());
+  const std::vector<QueryRequest> batch = {
+      Request("alice", "salaries", 0.5),
+      Request("alice", "ghost", 0.1),
+      Request("alice", "locations", 2.0),  // over session budget
+      Request("alice", "classic-dp", 0.5),
+  };
+  const std::vector<Result<QueryResult>> results = engine_.SubmitBatch(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(results[2].status().code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(results[3].ok());
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 0.0, 1e-9);
+}
+
+TEST_F(QueryEngineTest, AuditTrailNamesWorkloadPolicyAndPlan) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  ASSERT_TRUE(engine_.Submit(Request("alice", "salaries", 1.0)).ok());
+  const std::string audit = engine_.SessionAudit("alice").ValueOrDie();
+  EXPECT_NE(audit.find("I_16"), std::string::npos);
+  EXPECT_NE(audit.find("salaries"), std::string::npos);
+  EXPECT_NE(audit.find("tree-transform"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, MetadataAccessor) {
+  const PolicyMetadata meta =
+      engine_.GetPolicyMetadata("classic-dp").ValueOrDie();
+  EXPECT_TRUE(meta.has_bottom);
+  EXPECT_TRUE(meta.is_tree);
+  EXPECT_EQ(engine_.num_policies(), 3u);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -39,7 +39,13 @@ TEST(Planner, GridThetaRoutedToRangeMechanism) {
   PlanRequest req{GridPolicy(DomainShape({8, 8}), 4), false};
   const Plan plan = PlanMechanism(std::move(req)).ValueOrDie();
   EXPECT_EQ(plan.kind, "grid-theta-range");
-  EXPECT_EQ(plan.mechanism, nullptr);
+  // The slab strategy is wrapped in the histogram adapter, so the
+  // uniform release protocol holds here too.
+  ASSERT_NE(plan.mechanism, nullptr);
+  EXPECT_GE(plan.stretch, 1);
+  Vector x(64, 2.0);
+  Rng rng(3);
+  EXPECT_EQ(plan.mechanism->Run(x, 1.0, &rng).size(), 64u);
 }
 
 TEST(Planner, CycleFallsBackToSpanningTree) {
