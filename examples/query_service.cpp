@@ -24,16 +24,28 @@ Vector CheckinCounts() {
   return x;
 }
 
+Vector Ramp256() {
+  Vector x(256, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 17);
+  return x;
+}
+
 void Report(const char* who, const Result<QueryResult>& outcome) {
   if (!outcome.ok()) {
     std::printf("  %-8s -> %s\n", who, outcome.status().ToString().c_str());
     return;
   }
   const QueryResult& r = *outcome;
-  std::printf("  %-8s -> %zu answers via %-16s %s, session eps left %.2f\n",
+  char left[32];
+  if (r.session_remaining.has_value()) {
+    std::snprintf(left, sizeof(left), "%.2f", *r.session_remaining);
+  } else {
+    std::snprintf(left, sizeof(left), "n/a (ledger closed)");
+  }
+  std::printf("  %-8s -> %zu answers via %-16s %s%s, session eps left %s\n",
               who, r.answers.size(), r.plan_kind.c_str(),
               r.plan_cache_hit ? "(cached plan)" : "(planned now)",
-              r.session_remaining);
+              r.range_fast_path ? " [range fast path]" : "", left);
 }
 
 }  // namespace
@@ -53,6 +65,12 @@ int main() {
       .Check();
   engine
       .RegisterPolicy("control", UnboundedDpPolicy(16), SalaryCounts(), 5.0)
+      .Check();
+  // A θ=4 grid policy: range queries on it take the engine's slab
+  // fast path (per-query reconstruction, no full-histogram release).
+  engine
+      .RegisterPolicy("mobility", GridPolicy(DomainShape({16, 16}), 4),
+                      Ramp256(), 5.0)
       .Check();
 
   for (const std::string& name : engine.Names()) {
@@ -86,7 +104,25 @@ int main() {
   request.workload = CumulativeWorkload(16);
   Report("bob", engine.Submit(request));
 
-  std::printf("\nround 3 — budgets are hard limits:\n");
+  std::printf("\nround 3 — range workloads dispatch to the cheapest path:\n");
+  // On the θ=4 grid, explicit ranges bypass the full-histogram
+  // release; on the line policy the same ranges are answered from the
+  // histogram release via a summed-area table.
+  QueryRequest ranges;
+  ranges.session = "alice";
+  ranges.policy = "mobility";
+  ranges.ranges = RangeWorkload(
+      "quadrants", DomainShape({16, 16}),
+      {{{0, 0}, {7, 7}}, {{0, 8}, {7, 15}}, {{8, 0}, {15, 7}},
+       {{8, 8}, {15, 15}}});
+  ranges.epsilon = 0.5;
+  Report("alice", engine.Submit(ranges));
+  ranges.policy = "salaries";
+  ranges.ranges = RangeWorkload("halves", DomainShape({16}),
+                                {{{0}, {7}}, {{8}, {15}}});
+  Report("alice", engine.Submit(ranges));
+
+  std::printf("\nround 4 — budgets are hard limits:\n");
   // Bob has 0.5 - 0.25 - 0.25 = 0 left; the engine refuses cleanly.
   Report("bob", engine.Submit(request));
 

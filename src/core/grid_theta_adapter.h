@@ -51,13 +51,18 @@ class GridThetaHistogramAdapter : public BlowfishMechanism {
 
   /// Direct access for range workloads (per-query reconstruction).
   const GridThetaRangeMechanism& inner() const { return *inner_; }
+  /// Shared handle to the same mechanism, for plans that dispatch
+  /// range workloads past the adapter (the engine's fast path).
+  std::shared_ptr<const GridThetaRangeMechanism> inner_ptr() const {
+    return inner_;
+  }
 
  private:
   GridThetaHistogramAdapter(std::unique_ptr<GridThetaRangeMechanism> inner,
                             RangeWorkload cells)
       : inner_(std::move(inner)), cells_(std::move(cells)) {}
 
-  std::unique_ptr<GridThetaRangeMechanism> inner_;
+  std::shared_ptr<const GridThetaRangeMechanism> inner_;
   RangeWorkload cells_;  ///< all k² unit ranges, flattened-domain order
 };
 

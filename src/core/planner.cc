@@ -160,10 +160,12 @@ Result<Plan> PlanMechanism(PlanRequest request) {
         Plan plan;
         plan.kind = "grid-theta-range";
         plan.stretch = adapter.ValueOrDie()->stretch();
+        plan.range_mechanism = adapter.ValueOrDie()->inner_ptr();
         plan.rationale =
             "2D distance-threshold policy with θ=" + std::to_string(theta) +
             "; GridThetaRangeMechanism (Theorem 5.6 slab strategy) behind "
-            "the histogram adapter";
+            "the histogram adapter; explicit range workloads bypass the "
+            "adapter via per-query reconstruction";
         plan.mechanism = std::move(adapter).ValueOrDie();
         return plan;
       }

@@ -31,6 +31,8 @@
 
 namespace blowfish {
 
+class GridThetaRangeMechanism;
+
 /// \brief What the caller wants answered.
 struct PlanRequest {
   Policy policy;
@@ -45,6 +47,12 @@ struct Plan {
   std::string kind;       ///< strategy family (see header comment)
   std::string rationale;  ///< human-readable justification
   int64_t stretch = 1;    ///< 1 unless a spanner was needed
+  /// Non-null exactly for kind "grid-theta-range": the slab mechanism
+  /// behind the histogram adapter, which answers explicit range
+  /// workloads by per-query reconstruction — O(q · edges) instead of
+  /// the adapter's O(k² · edges) full-histogram release. Shared with
+  /// `mechanism` (the adapter), so it lives as long as the plan.
+  std::shared_ptr<const GridThetaRangeMechanism> range_mechanism;
 };
 
 /// Chooses and instantiates a mechanism for the request. Every

@@ -1,6 +1,8 @@
 #include "engine/plan_cache.h"
 
+#include <exception>
 #include <mutex>
+#include <string>
 #include <utility>
 
 namespace blowfish {
@@ -16,19 +18,6 @@ std::string PlanCache::MakeKey(const std::string& policy_name,
                                bool prefer_data_dependent) {
   return policy_name + kSep + std::to_string(version) + kSep +
          (prefer_data_dependent ? "dd" : "di");
-}
-
-std::shared_ptr<const Plan> PlanCache::Lookup(const std::string& key) {
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-  }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  return nullptr;
 }
 
 std::shared_ptr<const Plan> PlanCache::Insert(
@@ -54,9 +43,88 @@ size_t PlanCache::Invalidate(const std::string& policy_name) {
   return removed;
 }
 
+Result<std::shared_ptr<const Plan>> PlanCache::GetOrCompute(
+    const std::string& key, const std::function<Result<Plan>()>& factory,
+    bool* cache_hit) {
+  // Counters are bumped exactly once per call, only after the call's
+  // role is known — never "miss now, correct later", which would race
+  // a concurrent Clear() into underflow.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      *cache_hit = true;
+      return it->second;
+    }
+  }
+  // Join or open the in-flight planning.
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // A leader may have published between the shared probe and here.
+    if (auto it = entries_.find(key); it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      *cache_hit = true;
+      return it->second;
+    }
+    auto [it, inserted] = inflight_.emplace(key, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<Flight>();
+      leader = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Follower: served by the leader's planning — a hit.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    flight = it->second;
+  }
+  if (!leader) {
+    *cache_hit = true;
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    return flight->plan;
+  }
+  *cache_hit = false;
+  // The leader must always complete the flight — a factory that threw
+  // (e.g. bad_alloc planning a large domain) would otherwise strand
+  // every waiter on a `done` that never comes.
+  Result<Plan> planned = [&]() -> Result<Plan> {
+    try {
+      return factory();
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("planner threw: ") + e.what());
+    }
+  }();
+  std::shared_ptr<const Plan> plan;
+  if (planned.ok()) {
+    plan = Insert(key, std::make_shared<const Plan>(
+                           std::move(planned).ValueOrDie()));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    inflight_.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = planned.status();
+    flight->plan = plan;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (!planned.ok()) return planned.status();
+  return plan;
+}
+
 void PlanCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
+  // Reset accounting with the entries: post-Clear stats must describe
+  // the repopulated cache, not hit rates against dropped plans.
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 PlanCache::Stats PlanCache::stats() const {

@@ -16,8 +16,11 @@
 #define BLOWFISH_ENGINE_PLAN_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -41,26 +44,47 @@ class PlanCache {
   static std::string MakeKey(const std::string& policy_name,
                              uint64_t version, bool prefer_data_dependent);
 
-  /// Returns the cached plan or nullptr (counts a hit or a miss).
-  std::shared_ptr<const Plan> Lookup(const std::string& key);
-
-  /// Publishes a plan under `key`. Racing inserts for the same key are
-  /// benign: the first one wins and later callers use it.
-  std::shared_ptr<const Plan> Insert(const std::string& key,
-                                     std::shared_ptr<const Plan> plan);
+  /// Single-flight get-or-plan: returns the cached plan, or runs
+  /// `factory` exactly once per key no matter how many callers miss
+  /// concurrently — the first one plans (spanner certification is the
+  /// measured ~8 ms cold cost), the rest block and share its result,
+  /// success or failure. A failed planning is not cached; the next
+  /// caller retries. `*cache_hit` is false only for the caller that
+  /// actually ran `factory` (followers count as hits: they were served
+  /// without planning), matching the hits+misses == lookups invariant.
+  Result<std::shared_ptr<const Plan>> GetOrCompute(
+      const std::string& key, const std::function<Result<Plan>()>& factory,
+      bool* cache_hit);
 
   /// Drops every entry belonging to `policy_name` (all versions and
   /// option sets). Returns the number of entries removed.
   size_t Invalidate(const std::string& policy_name);
 
-  /// Drops everything.
+  /// Drops everything, including the hit/miss counters — stats after a
+  /// Clear() describe only the repopulated cache, never rates against
+  /// entries that no longer exist.
   void Clear();
 
   Stats stats() const;
 
  private:
+  /// Publishes a plan under `key` (the key's single-flight leader is
+  /// the only caller, so the emplace never races another insert).
+  std::shared_ptr<const Plan> Insert(const std::string& key,
+                                     std::shared_ptr<const Plan> plan);
+
+  /// One in-progress planning; followers wait on `cv`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status = Status::OK();
+    std::shared_ptr<const Plan> plan;
+  };
+
   mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const Plan>> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
 };

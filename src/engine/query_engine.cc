@@ -3,6 +3,8 @@
 #include <random>
 #include <utility>
 
+#include "core/mechanisms_kd.h"
+
 namespace blowfish {
 
 namespace {
@@ -82,6 +84,7 @@ Status QueryEngine::ReplacePolicy(const std::string& name, Policy policy,
     return replaced;
   }
   plan_cache_.Invalidate(name);
+  DropTransformed(name);
   return Status::OK();
 }
 
@@ -89,8 +92,74 @@ Status QueryEngine::UnregisterPolicy(const std::string& name) {
   std::lock_guard<std::mutex> admin(admin_mu_);
   BF_RETURN_NOT_OK(registry_.Unregister(name));
   plan_cache_.Invalidate(name);
+  DropTransformed(name);
   accountant_.CloseLedgersWithPrefix(PolicyLedgerPrefix(name));
   return Status::OK();
+}
+
+void QueryEngine::DropTransformed(const std::string& name) {
+  const std::string prefix = PolicyLedgerPrefix(name);
+  std::unique_lock<std::shared_mutex> lock(transformed_mu_);
+  for (auto it = transformed_.begin(); it != transformed_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = transformed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::shared_ptr<const QueryEngine::TransformedData>
+QueryEngine::GetOrTransform(const RegisteredPolicy& entry,
+                            const GridThetaRangeMechanism& mech) {
+  const std::string key = PolicyLedger(entry.name, entry.version);
+  {
+    std::shared_lock<std::shared_mutex> lock(transformed_mu_);
+    auto it = transformed_.find(key);
+    if (it != transformed_.end()) return it->second;
+  }
+  // Per-key single-flight: a cold-policy herd must not run the CG
+  // solve once per submitter, and a cold policy must not block
+  // first-touch submits on *other* policies, so the gate is keyed,
+  // not engine-global. Warm submits never reach this point.
+  std::shared_ptr<std::mutex> gate;
+  {
+    std::unique_lock<std::shared_mutex> lock(transformed_mu_);
+    if (auto it = transformed_.find(key); it != transformed_.end()) {
+      return it->second;
+    }
+    std::shared_ptr<std::mutex>& slot = transform_gates_[key];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    gate = slot;
+  }
+  std::lock_guard<std::mutex> flight(*gate);
+  {
+    std::shared_lock<std::shared_mutex> lock(transformed_mu_);
+    auto it = transformed_.find(key);
+    if (it != transformed_.end()) return it->second;
+  }
+  auto data = std::make_shared<TransformedData>();
+  data->xg = mech.PrecomputeTransformed(entry.data);
+  data->n = Sum(entry.data);
+  std::unique_lock<std::shared_mutex> lock(transformed_mu_);
+  transform_gates_.erase(key);
+  // Cache only while this snapshot is still the registry's current
+  // version: a submit that lost a Replace/Unregister race must not
+  // re-insert an entry DropTransformed just erased (nothing would
+  // ever read or evict it until the next lifecycle op on the name).
+  // The check shares transformed_mu_ with DropTransformed, and the
+  // lifecycle ops bump the registry version *before* dropping, so a
+  // version that passes here cannot have been dropped already —
+  // either the drop ran first (and this check fails) or it is still
+  // pending and will erase this insert.
+  Result<std::shared_ptr<const RegisteredPolicy>> current =
+      registry_.Get(entry.name);
+  if (!current.ok() || current.ValueOrDie()->version != entry.version) {
+    return data;
+  }
+  auto [it, inserted] = transformed_.emplace(key, std::move(data));
+  (void)inserted;
+  return it->second;
 }
 
 Status QueryEngine::OpenSession(const std::string& session_id,
@@ -110,25 +179,45 @@ Result<std::shared_ptr<const Plan>> QueryEngine::GetOrPlan(
     bool* cache_hit) {
   const std::string key = PlanCache::MakeKey(entry.name, entry.version,
                                              prefer_data_dependent);
-  if (std::shared_ptr<const Plan> cached = plan_cache_.Lookup(key)) {
-    *cache_hit = true;
-    return cached;
+  // Single-flight: concurrent misses on one key run the planner once.
+  Result<std::shared_ptr<const Plan>> plan = plan_cache_.GetOrCompute(
+      key,
+      [&] {
+        return PlanMechanism(PlanRequest{entry.policy, prefer_data_dependent});
+      },
+      cache_hit);
+  if (plan.ok() && !*cache_hit) {
+    // This cold planning may have lost a Replace/Unregister race: the
+    // lifecycle op bumps the registry version before invalidating, so
+    // if the snapshot is no longer current our insert may have landed
+    // after the sweep and nothing else would ever evict it. The
+    // submit still proceeds with the plan it holds (the versioned
+    // budget charge decides its fate); only the cache entry goes.
+    Result<std::shared_ptr<const RegisteredPolicy>> current =
+        registry_.Get(entry.name);
+    if (!current.ok() || current.ValueOrDie()->version != entry.version) {
+      plan_cache_.Invalidate(entry.name);
+    }
   }
-  *cache_hit = false;
-  Result<Plan> planned =
-      PlanMechanism(PlanRequest{entry.policy, prefer_data_dependent});
-  if (!planned.ok()) return planned.status();
-  return plan_cache_.Insert(
-      key, std::make_shared<const Plan>(std::move(planned).ValueOrDie()));
+  return plan;
 }
 
 Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
   if (request.epsilon <= 0.0) {
     return Status::InvalidArgument("submit needs a positive epsilon");
   }
-  if (request.workload.num_queries() == 0) {
+  const bool has_ranges = request.ranges.has_value();
+  if (has_ranges && request.workload.num_queries() > 0) {
+    return Status::InvalidArgument(
+        "submit carries both a dense and a range workload; set exactly one");
+  }
+  const size_t num_queries = has_ranges ? request.ranges->num_queries()
+                                        : request.workload.num_queries();
+  if (num_queries == 0) {
     return Status::InvalidArgument("submit needs a non-empty workload");
   }
+  const std::string& workload_name =
+      has_ranges ? request.ranges->name() : request.workload.name();
   if (!accountant_.HasLedger(SessionLedger(request.session))) {
     return Status::NotFound("session '" + request.session +
                             "' is not open");
@@ -139,11 +228,14 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
   const std::shared_ptr<const RegisteredPolicy> entry =
       std::move(lookup).ValueOrDie();
 
-  if (request.workload.domain_size() != entry->policy.domain_size()) {
+  const size_t workload_domain = has_ranges
+                                     ? request.ranges->domain().size()
+                                     : request.workload.domain_size();
+  if (workload_domain != entry->policy.domain_size()) {
     return Status::InvalidArgument(
-        "workload '" + request.workload.name() + "' spans " +
-        std::to_string(request.workload.domain_size()) +
-        " cells but policy '" + entry->name + "' has domain size " +
+        "workload '" + workload_name + "' spans " +
+        std::to_string(workload_domain) + " cells but policy '" +
+        entry->name + "' has domain size " +
         std::to_string(entry->policy.domain_size()));
   }
 
@@ -160,26 +252,49 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
       {SessionLedger(request.session),
        PolicyLedger(entry->name, entry->version)},
       request.epsilon,
-      "workload '" + request.workload.name() + "' on policy '" +
-          entry->name + "' via " + plan->kind));
+      "workload '" + workload_name + "' on policy '" + entry->name +
+          "' via " + plan->kind));
 
   // Private random stream per submit; immutable plan, caller-side rng.
   const uint64_t stream = submit_counter_.fetch_add(1) + 1;
   Rng rng(seed_ ^ (kStreamStep * stream));
-  const Vector estimate =
-      plan->mechanism->Run(entry->data, request.epsilon, &rng);
 
   QueryResult result;
-  result.answers = request.workload.Answer(estimate);
+  // The fast path reconstructs in the policy's own grid geometry, so
+  // the request's domain must match the policy's shape exactly, not
+  // just its flattened size.
+  if (has_ranges && plan->range_mechanism != nullptr &&
+      request.ranges->domain().dims() == entry->policy.domain.dims()) {
+    // Fast path: noise is drawn once for this submit's slab releases
+    // and only the queried ranges are reconstructed — O(q·edges),
+    // versus the adapter's O(k²·edges) full-histogram detour. The
+    // noise-free data transform is shared across submits.
+    const std::shared_ptr<const TransformedData> transformed =
+        GetOrTransform(*entry, *plan->range_mechanism);
+    result.answers = plan->range_mechanism->AnswerRangesOnTransformed(
+        *request.ranges, transformed->xg, transformed->n, request.epsilon,
+        &rng);
+    result.range_fast_path = true;
+    result.guarantee = plan->range_mechanism->Guarantee(request.epsilon);
+  } else {
+    const Vector estimate =
+        plan->mechanism->Run(entry->data, request.epsilon, &rng);
+    // Range workloads on histogram-release plans are answered from x̂
+    // with a summed-area table; W is never materialized.
+    result.answers = has_ranges ? request.ranges->Answer(estimate)
+                                : request.workload.Answer(estimate);
+    result.guarantee = plan->mechanism->Guarantee(request.epsilon);
+  }
   result.plan_kind = plan->kind;
   result.plan_cache_hit = cache_hit;
-  result.guarantee = plan->mechanism->Guarantee(request.epsilon);
   Result<double> session_left =
       accountant_.Remaining(SessionLedger(request.session));
   Result<double> policy_left =
       accountant_.Remaining(PolicyLedger(entry->name, entry->version));
-  result.session_remaining = session_left.ok() ? *session_left : 0.0;
-  result.policy_remaining = policy_left.ok() ? *policy_left : 0.0;
+  // A closed ledger (session closed / policy unregistered mid-flight)
+  // is reported as nullopt, never as an exhausted 0.0.
+  if (session_left.ok()) result.session_remaining = *session_left;
+  if (policy_left.ok()) result.policy_remaining = *policy_left;
   return result;
 }
 

@@ -6,16 +6,24 @@
 //   BudgetAccountant per-policy and per-session ε ledgers, charged
 //                    atomically before any noise is drawn
 //   QueryEngine      Submit(): look up policy -> get-or-plan ->
-//                    charge budget -> run mechanism -> answer W x̂
+//                    charge budget -> dispatch to the cheapest
+//                    execution path the plan supports
+//
+// Execution dispatch. A dense workload is answered as W x̂ from the
+// plan's full-histogram release. An implicit range workload on a θ>=2
+// grid policy instead routes to GridThetaRangeMechanism's per-query
+// slab reconstruction (noise drawn once per submit, only the queried
+// ranges rebuilt — O(q·edges) instead of O(k²·edges)); on any other
+// policy it is answered from the histogram release via a summed-area
+// table. Both paths charge the same ε and state the same guarantee.
 //
 // Privacy semantics. Every submit is one sequential-composition step:
 // it spends its ε on the policy's global cap (the data owner's bound
 // across *all* sessions, DPolicy-style release accounting) and on the
 // caller's session grant. A submit whose ε no ledger can afford fails
 // with kOutOfRange *before* the mechanism runs, so refused queries
-// leak nothing. Answers are post-processing of the mechanism's
-// histogram release x̂ and are free: one release answers the whole
-// workload matrix.
+// leak nothing. Answers are post-processing of the submit's noisy
+// releases and are free: one release answers the whole workload.
 //
 // Concurrency. The registry and plan cache are guarded by
 // shared_mutexes (read-mostly), the accountant serializes charges, and
@@ -32,7 +40,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/budget_accountant.h"
@@ -55,10 +65,20 @@ struct EngineOptions {
 
 /// \brief One query: a linear workload against a registered policy,
 /// spending `epsilon` from the session's and the policy's budgets.
+///
+/// The workload is carried either densely (`workload`, an explicit
+/// q×k matrix) or implicitly (`ranges`, axis-aligned range queries) —
+/// exactly one of the two. Range requests against a θ>=2 grid policy
+/// take the engine's fast path: per-query slab reconstruction instead
+/// of a full k×k histogram release, with identical privacy semantics
+/// and budget charges. Range requests against any other policy are
+/// answered from the policy's histogram release via a summed-area
+/// table — the dense matrix is never materialized either way.
 struct QueryRequest {
   std::string session;
   std::string policy;
   Workload workload;
+  std::optional<RangeWorkload> ranges;
   double epsilon = 0.0;
   /// Planner option: prefer data-dependent estimation (DAWA).
   bool prefer_data_dependent = false;
@@ -66,12 +86,19 @@ struct QueryRequest {
 
 /// \brief A successful release.
 struct QueryResult {
-  Vector answers;             ///< W x̂, one entry per workload query
+  Vector answers;             ///< one entry per workload query
   std::string plan_kind;      ///< strategy family the planner chose
   bool plan_cache_hit = false;
+  /// True when the answers came from per-query range reconstruction
+  /// (θ>=2 grid fast path) rather than a full-histogram release.
+  bool range_fast_path = false;
   PrivacyGuarantee guarantee;  ///< stated for this release's ε
-  double session_remaining = 0.0;
-  double policy_remaining = 0.0;
+  /// Post-charge ledger balances. nullopt means the ledger was closed
+  /// concurrently (session closed / policy unregistered between the
+  /// charge and this read) — NOT that the budget is exhausted; an
+  /// exhausted ledger reports 0.0.
+  std::optional<double> session_remaining;
+  std::optional<double> policy_remaining;
 };
 
 /// \brief Concurrent facade over registry + cache + accountant.
@@ -108,9 +135,10 @@ class QueryEngine {
   Status CloseSession(const std::string& session_id);
 
   /// Executes one request. Errors: kNotFound (unknown session or
-  /// policy), kInvalidArgument (workload/domain mismatch, bad ε),
-  /// kOutOfRange (session or policy budget exhausted — charged before
-  /// any noise is drawn, so a refusal releases nothing).
+  /// policy), kInvalidArgument (workload/domain mismatch, bad ε, both
+  /// or neither workload representation set), kOutOfRange (session or
+  /// policy budget exhausted — charged before any noise is drawn, so
+  /// a refusal releases nothing).
   Result<QueryResult> Submit(const QueryRequest& request);
 
   /// Executes a batch in order; entry i is the outcome of request i.
@@ -131,9 +159,24 @@ class QueryEngine {
   std::vector<std::string> Names() const { return registry_.Names(); }
 
  private:
+  /// Noise-free per-(policy, version) transform of the protected data
+  /// into the spanner's edge domain, shared by every range-fast-path
+  /// submit against that snapshot (the transform solves a graph CG
+  /// system — far too slow to redo per query).
+  struct TransformedData {
+    Vector xg;      ///< P_H^{-1} x′ over the spanner edge domain
+    double n = 0.0; ///< public database size Σx
+  };
+
   Result<std::shared_ptr<const Plan>> GetOrPlan(
       const RegisteredPolicy& entry, bool prefer_data_dependent,
       bool* cache_hit);
+
+  std::shared_ptr<const TransformedData> GetOrTransform(
+      const RegisteredPolicy& entry, const GridThetaRangeMechanism& mech);
+
+  /// Evicts every cached transform for `name` (all versions).
+  void DropTransformed(const std::string& name);
 
   static std::string SessionLedger(const std::string& session_id);
   static std::string PolicyLedger(const std::string& name, uint64_t version);
@@ -144,6 +187,15 @@ class QueryEngine {
   PolicyRegistry registry_;
   PlanCache plan_cache_;
   BudgetAccountant accountant_;
+  /// (name + '\x1f' + version) -> transformed data; entries for a name
+  /// are dropped on Replace/Unregister alongside its plans. The gates
+  /// map holds one per-key mutex per in-progress cold transform
+  /// (single-flight without blocking other policies' first touches).
+  mutable std::shared_mutex transformed_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const TransformedData>>
+      transformed_;
+  std::unordered_map<std::string, std::shared_ptr<std::mutex>>
+      transform_gates_;
   std::atomic<uint64_t> submit_counter_{0};
   /// Serializes policy lifecycle ops (register/replace/unregister) so
   /// their registry + ledger steps compose atomically against each

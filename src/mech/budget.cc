@@ -1,23 +1,29 @@
 #include "mech/budget.h"
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace blowfish {
 
-namespace {
-// Tolerance for floating-point budget arithmetic (splits like ε/3
-// accumulate rounding).
-constexpr double kSlack = 1e-9;
-}  // namespace
-
 PrivacyBudget::PrivacyBudget(double total_epsilon) : total_(total_epsilon) {
   BF_CHECK_GT(total_epsilon, 0.0);
 }
 
 bool PrivacyBudget::CanSpend(double epsilon) const {
-  return epsilon > 0.0 && spent_ + epsilon <= total_ * (1.0 + kSlack) + kSlack;
+  if (epsilon <= 0.0) return false;
+  // Tolerance for floating-point budget arithmetic: splits like ε/3
+  // accumulate one ulp-scale rounding per committed spend, so the
+  // slack is a few ulps of the running sum per ledger entry. It must
+  // NOT scale multiplicatively with the cap alone (a 1e9 cap with a
+  // relative 1e-9 slack would admit ~1 full unit of ε past the
+  // bound); ulp-proportional slack stays negligible at every scale.
+  const double scale = std::max(total_, spent_ + epsilon);
+  const double slack = 4.0 * static_cast<double>(ledger_.size() + 1) *
+                       std::numeric_limits<double>::epsilon() * scale;
+  return spent_ + epsilon <= total_ + slack;
 }
 
 Status PrivacyBudget::Spend(double epsilon, const std::string& label) {

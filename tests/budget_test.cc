@@ -39,6 +39,25 @@ TEST(Budget, ParallelCountsOnce) {
   EXPECT_NE(budget.ToString().find("parallel x126"), std::string::npos);
 }
 
+TEST(Budget, LargeTotalsDoNotScaleTheSlack) {
+  // Regression: the old bound total*(1+1e-9)+1e-9 admitted ~1 full
+  // unit of ε past a 1e9 cap. The tolerance must stay at rounding
+  // scale no matter how large the cap is.
+  PrivacyBudget budget(1e9);
+  EXPECT_TRUE(budget.Spend(1e9, "everything").ok());
+  EXPECT_FALSE(budget.CanSpend(0.9));
+  EXPECT_FALSE(budget.Spend(0.9, "smuggled past the cap").ok());
+  EXPECT_FALSE(budget.CanSpend(1e-3));
+  EXPECT_EQ(budget.ledger().size(), 1u);
+
+  // Exact splits still fill a large cap despite rounding.
+  PrivacyBudget split(1e9);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(split.Spend(1e9 / 3.0, "third").ok()) << i;
+  }
+  EXPECT_FALSE(split.CanSpend(1.0));
+}
+
 TEST(Budget, InvalidSpendsRejected) {
   PrivacyBudget budget(1.0);
   EXPECT_FALSE(budget.Spend(0.0, "zero").ok());

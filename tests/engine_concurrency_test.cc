@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -199,6 +200,109 @@ TEST(EngineConcurrency, SubmitsRaceRegistryChurn) {
   // The stable policy's plan survived the churn; every replaced
   // version planned at most once per option set.
   EXPECT_GT(engine.plan_cache_stats().hits, 0u);
+}
+
+TEST(EngineConcurrency, ColdPlanCacheMissesSingleFlight) {
+  // All threads miss the same key at once; exactly one may pay the
+  // planner cost, the rest must block and share its plan.
+  constexpr size_t kThreads = 8;
+  PlanCache cache;
+  std::atomic<size_t> invocations{0};
+  std::atomic<size_t> failures{0};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      bool hit = false;
+      const Result<std::shared_ptr<const Plan>> plan = cache.GetOrCompute(
+          "key",
+          [&]() -> Result<Plan> {
+            invocations.fetch_add(1);
+            // Hold the flight open long enough that every other
+            // thread arrives while planning is in progress.
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            Plan p;
+            p.kind = "slow-plan";
+            return p;
+          },
+          &hit);
+      if (!plan.ok() || (*plan)->kind != "slow-plan") failures.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(invocations.load(), 1u) << "thundering herd ran the planner "
+                                    << invocations.load() << " times";
+  EXPECT_EQ(failures.load(), 0u);
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+}
+
+TEST(EngineConcurrency, FailedPlanIsSharedButNotCached) {
+  PlanCache cache;
+  std::atomic<size_t> invocations{0};
+  bool hit = false;
+  const auto failing = [&]() -> Result<Plan> {
+    invocations.fetch_add(1);
+    return Status::InvalidArgument("unplannable");
+  };
+  EXPECT_EQ(cache.GetOrCompute("k", failing, &hit).status().code(),
+            StatusCode::kInvalidArgument);
+  // The failure was not cached; the next caller retries the planner.
+  EXPECT_EQ(cache.GetOrCompute("k", failing, &hit).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(invocations.load(), 2u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(EngineConcurrency, ConcurrentCloseReportsClosedNotExhausted) {
+  // A submit that charges successfully and then loses its ledgers to a
+  // concurrent UnregisterPolicy must report `policy_remaining` as
+  // nullopt ("ledger closed"), never as 0.0 ("exhausted") — the cap
+  // here is huge, so any reported value must stay huge.
+  constexpr size_t kRounds = 25;
+  constexpr double kCap = 1e6;
+
+  for (size_t round = 0; round < kRounds; ++round) {
+    QueryEngine engine;
+    ASSERT_TRUE(
+        engine.RegisterPolicy("fleeting", LinePolicy(8), Ramp(8), kCap).ok());
+    ASSERT_TRUE(engine.OpenSession("s", kCap).ok());
+
+    std::atomic<bool> start{false};
+    std::atomic<size_t> bad_reports{0};
+    std::thread submitter([&] {
+      QueryRequest request;
+      request.session = "s";
+      request.policy = "fleeting";
+      request.workload = IdentityWorkload(8);
+      request.epsilon = 0.001;
+      while (!start.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        const Result<QueryResult> result = engine.Submit(request);
+        if (!result.ok()) break;  // policy gone: expected after the race
+        const QueryResult& r = result.ValueOrDie();
+        // Session stays open the whole time: always a (huge) value.
+        if (!r.session_remaining.has_value() ||
+            *r.session_remaining < kCap / 2) {
+          bad_reports.fetch_add(1);
+        }
+        // Policy ledger may close mid-flight: nullopt is the only
+        // legal way to say so; a present value must still be huge.
+        if (r.policy_remaining.has_value() &&
+            *r.policy_remaining < kCap / 2) {
+          bad_reports.fetch_add(1);
+        }
+      }
+    });
+    start.store(true);
+    std::this_thread::yield();
+    ASSERT_TRUE(engine.UnregisterPolicy("fleeting").ok());
+    submitter.join();
+    ASSERT_EQ(bad_reports.load(), 0u) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -98,6 +98,39 @@ TEST(BudgetAccountant, AtomicMultiLedgerCharge) {
   EXPECT_NEAR(*accountant.Remaining("a"), 0.0, 1e-9);
 }
 
+TEST(PlanCacheStats, ClearResetsCountersWithEntries) {
+  PlanCache cache;
+  auto factory = [] {
+    Plan plan;
+    plan.kind = "test";
+    return Result<Plan>(std::move(plan));
+  };
+  bool hit = false;
+  ASSERT_TRUE(cache.GetOrCompute("k", factory, &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.GetOrCompute("k", factory, &hit).ok());
+  EXPECT_TRUE(hit);
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // Clear drops the counters with the entries: stats must never
+  // report hit rates against plans that no longer exist.
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  ASSERT_TRUE(cache.GetOrCompute("k", factory, &hit).ok());
+  EXPECT_FALSE(hit);
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
 class QueryEngineTest : public ::testing::Test {
  protected:
   // Three distinct policy families: line (tree transform), θ=1 grid
@@ -137,7 +170,7 @@ TEST_F(QueryEngineTest, SubmitEndToEndAcrossPolicyFamilies) {
       engine_.Submit(Request("alice", "salaries", 1.0)).ValueOrDie();
   EXPECT_EQ(salaries.answers.size(), 16u);
   EXPECT_EQ(salaries.plan_kind, "tree-transform");
-  EXPECT_NEAR(salaries.session_remaining, 9.0, 1e-9);
+  EXPECT_NEAR(salaries.session_remaining.value(), 9.0, 1e-9);
   EXPECT_NE(salaries.guarantee.neighbor_model.find("Blowfish"),
             std::string::npos);
 
@@ -148,7 +181,7 @@ TEST_F(QueryEngineTest, SubmitEndToEndAcrossPolicyFamilies) {
   const QueryResult classic =
       engine_.Submit(Request("alice", "classic-dp", 1.0)).ValueOrDie();
   EXPECT_EQ(classic.plan_kind, "tree-transform");
-  EXPECT_NEAR(classic.session_remaining, 7.0, 1e-9);
+  EXPECT_NEAR(classic.session_remaining.value(), 7.0, 1e-9);
 }
 
 TEST_F(QueryEngineTest, PlanCacheHitsOnRepeatsAndSharesAcrossSessions) {
@@ -193,7 +226,7 @@ TEST_F(QueryEngineTest, ReplaceInvalidatesCachedPlansAndRestartsCap) {
       engine_.Submit(Request("alice", "salaries", 1.0)).ValueOrDie();
   EXPECT_FALSE(after.plan_cache_hit);
   // New data, fresh cap ledger.
-  EXPECT_NEAR(after.policy_remaining, 6.0, 1e-9);
+  EXPECT_NEAR(after.policy_remaining.value(), 6.0, 1e-9);
 
   ASSERT_TRUE(engine_.UnregisterPolicy("salaries").ok());
   EXPECT_EQ(engine_.Submit(Request("alice", "salaries", 1.0)).status().code(),
@@ -272,6 +305,96 @@ TEST_F(QueryEngineTest, RequestValidation) {
   ASSERT_TRUE(engine_.CloseSession("alice").ok());
   EXPECT_EQ(engine_.Submit(Request("alice", "salaries", 1.0)).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST_F(QueryEngineTest, RangeWorkloadsDispatchToTheFastPathOnThetaGrids) {
+  // θ=4 over 8x8: the planner picks grid-theta-range, and an explicit
+  // range request must bypass the full-histogram adapter.
+  ASSERT_TRUE(engine_
+                  .RegisterPolicy("slab", GridPolicy(DomainShape({8, 8}), 4),
+                                  Ramp(64), 100.0)
+                  .ok());
+  ASSERT_TRUE(engine_.OpenSession("carol", 10.0).ok());
+
+  QueryRequest request;
+  request.session = "carol";
+  request.policy = "slab";
+  request.ranges = RangeWorkload("q", DomainShape({8, 8}),
+                                 {{{0, 0}, {3, 3}}, {{2, 1}, {7, 6}}});
+  request.epsilon = 1.0;
+  const QueryResult fast = engine_.Submit(request).ValueOrDie();
+  EXPECT_EQ(fast.plan_kind, "grid-theta-range");
+  EXPECT_TRUE(fast.range_fast_path);
+  EXPECT_EQ(fast.answers.size(), 2u);
+  EXPECT_NEAR(fast.session_remaining.value(), 9.0, 1e-9);
+
+  // A dense workload on the same policy takes the histogram path.
+  QueryRequest dense;
+  dense.session = "carol";
+  dense.policy = "slab";
+  dense.workload = IdentityWorkload(64);
+  dense.epsilon = 1.0;
+  const QueryResult hist = engine_.Submit(dense).ValueOrDie();
+  EXPECT_EQ(hist.plan_kind, "grid-theta-range");
+  EXPECT_FALSE(hist.range_fast_path);
+  EXPECT_TRUE(hist.plan_cache_hit);  // one plan serves both paths
+}
+
+TEST_F(QueryEngineTest, RangeWorkloadsFallBackToHistogramElsewhere) {
+  ASSERT_TRUE(engine_.OpenSession("carol", 10.0).ok());
+
+  // Ranges on a tree policy: answered from x̂ via summed-area table.
+  QueryRequest request;
+  request.session = "carol";
+  request.policy = "salaries";
+  request.ranges =
+      RangeWorkload("halves", DomainShape({16}), {{{0}, {7}}, {{8}, {15}}});
+  request.epsilon = 1.0;
+  const QueryResult result = engine_.Submit(request).ValueOrDie();
+  EXPECT_EQ(result.plan_kind, "tree-transform");
+  EXPECT_FALSE(result.range_fast_path);
+  EXPECT_EQ(result.answers.size(), 2u);
+  // The two halves partition the domain, and reconstruction pins the
+  // histogram estimate's total to the public n = Σ Ramp(16) = 43.
+  EXPECT_NEAR(result.answers[0] + result.answers[1], 43.0, 1e-6);
+
+  // A request naming both representations is ambiguous.
+  QueryRequest both;
+  both.session = "carol";
+  both.policy = "salaries";
+  both.workload = IdentityWorkload(16);
+  both.ranges = RangeWorkload("r", DomainShape({16}), {{{0}, {15}}});
+  both.epsilon = 1.0;
+  EXPECT_EQ(engine_.Submit(both).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Range domain size must match the policy domain.
+  QueryRequest mismatched;
+  mismatched.session = "carol";
+  mismatched.policy = "salaries";
+  mismatched.ranges = RangeWorkload("r", DomainShape({8}), {{{0}, {7}}});
+  mismatched.epsilon = 1.0;
+  EXPECT_EQ(engine_.Submit(mismatched).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryEngineTest, MisshapenRangeDomainSkipsTheFastPath) {
+  // Same flattened size as the 8x8 slab policy but 1D geometry: the
+  // engine must not hand it to the 2D slab reconstruction.
+  ASSERT_TRUE(engine_
+                  .RegisterPolicy("slab", GridPolicy(DomainShape({8, 8}), 4),
+                                  Ramp(64), 100.0)
+                  .ok());
+  ASSERT_TRUE(engine_.OpenSession("carol", 10.0).ok());
+  QueryRequest request;
+  request.session = "carol";
+  request.policy = "slab";
+  request.ranges = RangeWorkload("flat", DomainShape({64}), {{{0}, {63}}});
+  request.epsilon = 1.0;
+  const QueryResult result = engine_.Submit(request).ValueOrDie();
+  EXPECT_EQ(result.plan_kind, "grid-theta-range");
+  EXPECT_FALSE(result.range_fast_path);
+  EXPECT_EQ(result.answers.size(), 1u);
 }
 
 TEST_F(QueryEngineTest, BatchKeepsGoingPastFailures) {
