@@ -81,7 +81,7 @@ int main() {
   }
 
   // Two analysts with individual grants.
-  engine.OpenSession("alice", 2.0).Check();
+  engine.OpenSession("alice", 2.5).Check();
   engine.OpenSession("bob", 0.5).Check();
 
   std::printf("\nround 1 — plans are built on first contact:\n");
@@ -122,7 +122,35 @@ int main() {
                                 {{{0}, {7}}, {{8}, {15}}});
   Report("alice", engine.Submit(ranges));
 
-  std::printf("\nround 4 — budgets are hard limits:\n");
+  std::printf("\nround 4 — handle fast path and grouped batches:\n");
+  // A dashboard resolves its handles once, then submits with zero
+  // string construction or map hashing per query; the batch's four
+  // same-(session, policy) requests share one plan lookup and one
+  // atomic budget charge.
+  const LedgerHandle alice = engine.ResolveSession("alice").ValueOrDie();
+  const PolicyHandle mobility = engine.ResolvePolicy("mobility").ValueOrDie();
+  std::vector<QueryRequest> dashboard(4);
+  const char* quadrant_names[] = {"nw", "ne", "sw", "se"};
+  const size_t corners[][2] = {{0, 0}, {0, 8}, {8, 0}, {8, 8}};
+  for (size_t i = 0; i < 4; ++i) {
+    dashboard[i].session_handle = alice;
+    dashboard[i].policy_handle = mobility;
+    dashboard[i].ranges = RangeWorkload(
+        quadrant_names[i], DomainShape({16, 16}),
+        {{{corners[i][0], corners[i][1]},
+          {corners[i][0] + 7, corners[i][1] + 7}}});
+    dashboard[i].epsilon = 0.25;
+  }
+  // The four quadrants partition the domain, so the analyst declares
+  // them disjoint: parallel composition charges max(eps) = 0.25 once
+  // instead of sum = 1.0.
+  BatchOptions disjoint;
+  disjoint.disjoint_domains = true;
+  for (const auto& outcome : engine.SubmitBatch(dashboard, disjoint)) {
+    Report("alice", outcome);
+  }
+
+  std::printf("\nround 5 — budgets are hard limits:\n");
   // Bob has 0.5 - 0.25 - 0.25 = 0 left; the engine refuses cleanly.
   Report("bob", engine.Submit(request));
 

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/check.h"
 #include "linalg/vector_ops.h"
 #include "mech/mechanism.h"
 #include "rng/rng.h"
@@ -30,6 +31,39 @@ class BlowfishMechanism {
   virtual std::string name() const = 0;
 
   virtual PrivacyGuarantee Guarantee(double epsilon) const = 0;
+
+  /// \brief Opaque noise-free precomputation of a (mechanism,
+  /// database) pair — the part of Run() that does not depend on ε or
+  /// randomness (database transforms, component totals). Instances are
+  /// immutable and safe to share across concurrent releases.
+  struct ReleasePrecompute {
+    virtual ~ReleasePrecompute() = default;
+  };
+
+  /// Splits Run() into a cacheable noise-free phase and a per-release
+  /// noisy phase. Returns null when the mechanism has no such split;
+  /// otherwise RunPrecomputed(*PrecomputeRelease(x), eps, rng) draws
+  /// the same noise and returns bit-identical answers to
+  /// Run(x, eps, rng). Callers (the serving layer) cache the
+  /// precompute per (policy, data) snapshot — for the general-graph
+  /// transforms this hoists a conjugate-gradient solve out of every
+  /// warm release.
+  virtual std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
+      const Vector& x) const {
+    (void)x;
+    return nullptr;
+  }
+
+  /// Noisy phase continuing from PrecomputeRelease's result. Only
+  /// called with a precompute this mechanism produced.
+  virtual Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
+                                Rng* rng) const {
+    (void)pre;
+    (void)epsilon;
+    (void)rng;
+    BF_CHECK_MSG(false, "mechanism does not support precomputed releases");
+    return Vector();
+  }
 };
 
 using BlowfishMechanismPtr = std::unique_ptr<BlowfishMechanism>;

@@ -19,7 +19,25 @@ GridThetaHistogramAdapter::Create(size_t k, size_t theta) {
 Vector GridThetaHistogramAdapter::Run(const Vector& x, double epsilon,
                                       Rng* rng) const {
   BF_CHECK_EQ(x.size(), cells_.domain().size());
-  return inner_->AnswerRanges(cells_, x, epsilon, rng);
+  return inner_->ReleaseHistogramOnTransformed(
+      inner_->PrecomputeTransformed(x), Sum(x), epsilon, rng);
+}
+
+std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+GridThetaHistogramAdapter::PrecomputeRelease(const Vector& x) const {
+  BF_CHECK_EQ(x.size(), cells_.domain().size());
+  auto pre = std::make_shared<SlabPrecompute>();
+  pre->xg = inner_->PrecomputeTransformed(x);
+  pre->n = Sum(x);
+  return pre;
+}
+
+Vector GridThetaHistogramAdapter::RunPrecomputed(const ReleasePrecompute& pre,
+                                                 double epsilon,
+                                                 Rng* rng) const {
+  const auto& slab_pre = static_cast<const SlabPrecompute&>(pre);
+  return inner_->ReleaseHistogramOnTransformed(slab_pre.xg, slab_pre.n,
+                                               epsilon, rng);
 }
 
 }  // namespace blowfish

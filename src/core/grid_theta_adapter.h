@@ -57,6 +57,20 @@ class GridThetaHistogramAdapter : public BlowfishMechanism {
     return inner_;
   }
 
+  /// Noise-free half of a slab release: the spanner-edge-domain
+  /// transform (a conjugate-gradient solve) and the public database
+  /// size. Public so the engine's range fast path can answer explicit
+  /// range workloads from the same cached blob the dense path uses.
+  struct SlabPrecompute : ReleasePrecompute {
+    Vector xg;
+    double n = 0.0;
+  };
+
+  std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
+      const Vector& x) const override;
+  Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
+                        Rng* rng) const override;
+
  private:
   GridThetaHistogramAdapter(std::unique_ptr<GridThetaRangeMechanism> inner,
                             RangeWorkload cells)

@@ -43,25 +43,56 @@ Result<std::unique_ptr<TreeTransformMechanism>> TreeTransformMechanism::Create(
   return Create(std::move(policy), std::move(inner), Options());
 }
 
+namespace {
+/// Noise-free half of a tree-transform release: the transformed
+/// database and the (public) component totals.
+struct TreePrecompute : BlowfishMechanism::ReleasePrecompute {
+  Vector xg;
+  Vector component_totals;
+};
+}  // namespace
+
 Vector TreeTransformMechanism::Run(const Vector& x, double epsilon,
                                    Rng* rng) const {
-  BF_CHECK_GT(epsilon, 0.0);
-  const Vector xg = transform_.TransformDatabase(x);
+  TreePrecompute pre;
+  pre.xg = transform_.TransformDatabase(x);
+  pre.component_totals = transform_.ComponentTotals(x);
   if (options_.enforce_monotone) {
     // The projection is only the paper's consistency step if the true
     // transformed database satisfies the constraint.
-    BF_CHECK_MSG(std::is_sorted(xg.begin(), xg.end()),
+    BF_CHECK_MSG(std::is_sorted(pre.xg.begin(), pre.xg.end()),
                  "enforce_monotone requires a monotone transformed database "
                  "(line-policy prefix sums)");
   }
-  Vector xg_noisy = inner_->Run(xg, epsilon, rng);
+  return RunPrecomputed(pre, epsilon, rng);
+}
+
+std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+TreeTransformMechanism::PrecomputeRelease(const Vector& x) const {
+  auto pre = std::make_shared<TreePrecompute>();
+  pre->xg = transform_.TransformDatabase(x);
+  pre->component_totals = transform_.ComponentTotals(x);
+  if (options_.enforce_monotone) {
+    BF_CHECK_MSG(std::is_sorted(pre->xg.begin(), pre->xg.end()),
+                 "enforce_monotone requires a monotone transformed database "
+                 "(line-policy prefix sums)");
+  }
+  return pre;
+}
+
+Vector TreeTransformMechanism::RunPrecomputed(const ReleasePrecompute& pre,
+                                              double epsilon,
+                                              Rng* rng) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  const auto& tree_pre = static_cast<const TreePrecompute&>(pre);
+  Vector xg_noisy = inner_->Run(tree_pre.xg, epsilon, rng);
   if (options_.enforce_monotone) {
     xg_noisy = IsotonicRegression(xg_noisy);
   }
   // Component totals are public under a bounded policy (neighboring
   // databases share them by Definition 3.2).
   return transform_.ReconstructHistogram(xg_noisy,
-                                         transform_.ComponentTotals(x));
+                                         tree_pre.component_totals);
 }
 
 PrivacyGuarantee TreeTransformMechanism::Guarantee(double epsilon) const {

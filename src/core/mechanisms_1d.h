@@ -53,6 +53,14 @@ class TreeTransformMechanism : public BlowfishMechanism {
   std::string name() const override { return label_; }
   PrivacyGuarantee Guarantee(double epsilon) const override;
 
+  /// Caches the transformed database and component totals — the
+  /// noise-free half of Run(); RunPrecomputed only draws noise and
+  /// lifts the estimate back.
+  std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
+      const Vector& x) const override;
+  Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
+                        Rng* rng) const override;
+
   const PolicyTransform& transform() const { return transform_; }
 
  private:
@@ -76,6 +84,18 @@ class SpannerMechanism : public BlowfishMechanism {
   std::string name() const override { return label_; }
   PrivacyGuarantee Guarantee(double epsilon) const override;
   int64_t stretch() const { return stretch_; }
+
+  /// Delegates to the inner mechanism (the stretch division only
+  /// rescales ε, which belongs to the noisy phase).
+  std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
+      const Vector& x) const override {
+    return inner_->PrecomputeRelease(x);
+  }
+  Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
+                        Rng* rng) const override {
+    return inner_->RunPrecomputed(pre, epsilon / static_cast<double>(stretch_),
+                                  rng);
+  }
 
  private:
   std::string original_policy_name_;

@@ -88,6 +88,23 @@ void GridBlowfishMechanism::BuildLineGroups() {
     }
   }
   BF_CHECK_EQ(placed, edges.size());
+
+  // One Privelet instance per line shape, shared by every line of
+  // that shape and every release (building the wavelet weights per
+  // Run() used to dominate the warm release cost).
+  std::map<std::vector<size_t>, std::shared_ptr<const PriveletMechanism>>
+      by_shape;
+  group_mechanisms_.reserve(groups_.size());
+  for (const DomainShape& shape : group_shapes_) {
+    auto it = by_shape.find(shape.dims());
+    if (it == by_shape.end()) {
+      it = by_shape
+               .emplace(shape.dims(),
+                        std::make_shared<const PriveletMechanism>(shape))
+               .first;
+    }
+    group_mechanisms_.push_back(it->second);
+  }
 }
 
 Vector GridBlowfishMechanism::Run(const Vector& x, double epsilon,
@@ -102,24 +119,39 @@ Vector GridBlowfishMechanism::RunOnTransformed(const Vector& xg, double n,
   BF_CHECK_EQ(xg.size(), transform_.num_edges());
   BF_CHECK_GT(epsilon, 0.0);
   Vector noisy(xg.size(), 0.0);
-  // One Privelet instance per line shape (lines of equal shape share
-  // an instance; the runs remain independent).
-  std::map<std::vector<size_t>, std::shared_ptr<PriveletMechanism>> cache;
+  // Each line runs its (shared, immutable) Privelet instance at the
+  // full budget — lines are disjoint, so parallel composition applies.
   for (size_t gi = 0; gi < groups_.size(); ++gi) {
-    const DomainShape& shape = group_shapes_[gi];
-    auto it = cache.find(shape.dims());
-    if (it == cache.end()) {
-      it = cache
-               .emplace(shape.dims(),
-                        std::make_shared<PriveletMechanism>(shape))
-               .first;
-    }
     Vector sub(groups_[gi].size());
     for (size_t i = 0; i < sub.size(); ++i) sub[i] = xg[groups_[gi][i]];
-    const Vector est = it->second->Run(sub, epsilon, rng);
+    const Vector est = group_mechanisms_[gi]->Run(sub, epsilon, rng);
     for (size_t i = 0; i < sub.size(); ++i) noisy[groups_[gi][i]] = est[i];
   }
   return transform_.ReconstructHistogram(noisy, n);
+}
+
+namespace {
+/// Noise-free half of a grid release: the edge-domain transform and
+/// the public database size.
+struct GridPrecompute : BlowfishMechanism::ReleasePrecompute {
+  Vector xg;
+  double n = 0.0;
+};
+}  // namespace
+
+std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+GridBlowfishMechanism::PrecomputeRelease(const Vector& x) const {
+  auto pre = std::make_shared<GridPrecompute>();
+  pre->xg = PrecomputeTransformed(x);
+  pre->n = Sum(x);
+  return pre;
+}
+
+Vector GridBlowfishMechanism::RunPrecomputed(const ReleasePrecompute& pre,
+                                             double epsilon,
+                                             Rng* rng) const {
+  const auto& grid_pre = static_cast<const GridPrecompute&>(pre);
+  return RunOnTransformed(grid_pre.xg, grid_pre.n, epsilon, rng);
 }
 
 PrivacyGuarantee GridBlowfishMechanism::Guarantee(double epsilon) const {

@@ -26,6 +26,8 @@
 
 namespace blowfish {
 
+class PriveletMechanism;
+
 /// \brief "Transformed + Privelet" for G¹_{k^d} (d >= 2).
 class GridBlowfishMechanism : public BlowfishMechanism {
  public:
@@ -47,6 +49,13 @@ class GridBlowfishMechanism : public BlowfishMechanism {
   Vector RunOnTransformed(const Vector& xg, double n, double epsilon,
                           Rng* rng) const;
 
+  /// Caches {transformed database, Σx} — the conjugate-gradient solve
+  /// that dominates a cold grid release.
+  std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
+      const Vector& x) const override;
+  Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
+                        Rng* rng) const override;
+
   const PolicyTransform& transform() const { return transform_; }
 
  private:
@@ -59,6 +68,10 @@ class GridBlowfishMechanism : public BlowfishMechanism {
   std::vector<std::vector<size_t>> groups_;
   /// Shape of each line's (d-1)-dimensional cell grid.
   std::vector<DomainShape> group_shapes_;
+  /// One Privelet instance per line, built once at construction (lines
+  /// of equal shape share an instance); immutable afterwards, so
+  /// concurrent releases may share them.
+  std::vector<std::shared_ptr<const PriveletMechanism>> group_mechanisms_;
 };
 
 }  // namespace blowfish

@@ -227,6 +227,45 @@ Vector GridThetaRangeMechanism::AnswerRangesOnTransformed(
   return answers;
 }
 
+Vector GridThetaRangeMechanism::ReleaseHistogramOnTransformed(
+    const Vector& xg, double n, double epsilon, Rng* rng) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  const double eps_prime = epsilon / static_cast<double>(stretch_);
+  const Releases rel = RunReleases(xg, eps_prime, rng);
+
+  Vector answers(k_ * k_, 0.0);
+  // Case-II constant, added before any edge contribution (matching
+  // the generic path's accumulation order exactly).
+  answers[k_ * k_ - 1] = n;
+  for (size_t e = 0; e < edge_info_.size(); ++e) {
+    const EdgeInfo& info = edge_info_[e];
+    // A unit-cell range contains an endpoint or it does not: the
+    // generic coefficient (inside(u) - inside(v)) collapses to +1 on
+    // u's cell and -1 on v's cell, with the same strip-classification
+    // rule evaluated at that single cell.
+    const size_t endpoints[2] = {info.u, info.v};
+    const double signs[2] = {1.0, -1.0};
+    for (int s = 0; s < 2; ++s) {
+      const size_t cell = endpoints[s];
+      double est;
+      if (!info.internal) {
+        est = rel.est_ext[e];
+      } else {
+        const size_t pi = cell / k_, pj = cell % k_;
+        const size_t red_i = (info.bi / block_ + 1) * block_ - 1;
+        const bool endpoint_is_black = (info.bi == pi && info.bj == pj);
+        // Black inside: top overflow -> horizontal strip. Red inside:
+        // bottom/left underflow (Figure 7d), as in the generic path.
+        const bool use_row =
+            endpoint_is_black ? (red_i > pi) : (info.bi < pi);
+        est = use_row ? rel.est_row[e] : rel.est_col[e];
+      }
+      answers[cell] += signs[s] * est;
+    }
+  }
+  return answers;
+}
+
 PrivacyGuarantee GridThetaRangeMechanism::Guarantee(double epsilon) const {
   return PrivacyGuarantee{
       epsilon, "(" + std::to_string(epsilon) + ", " + original_policy_name_ +

@@ -61,6 +61,15 @@ class GridThetaRangeMechanism {
                                    const Vector& xg, double n,
                                    double epsilon, Rng* rng) const;
 
+  /// Full-histogram release x̂ (all k² cells, flattened row-major):
+  /// bit-identical to answering every unit-cell range through
+  /// AnswerRangesOnTransformed, but one O(edges) scatter pass instead
+  /// of O(k²·edges) — each edge estimate touches exactly its two
+  /// incident cells, so the per-cell accumulation order (edge order)
+  /// matches the generic path and the floating-point sums are equal.
+  Vector ReleaseHistogramOnTransformed(const Vector& xg, double n,
+                                       double epsilon, Rng* rng) const;
+
   PrivacyGuarantee Guarantee(double epsilon) const;
   int64_t stretch() const { return stretch_; }
   size_t block() const { return block_; }

@@ -53,6 +53,14 @@ struct Plan {
   /// the adapter's O(k² · edges) full-histogram release. Shared with
   /// `mechanism` (the adapter), so it lives as long as the plan.
   std::shared_ptr<const GridThetaRangeMechanism> range_mechanism;
+  /// Preformatted audit suffix ("policy 'X' via <kind>") filled in by
+  /// the serving layer when it caches the plan, so a warm submit's
+  /// ledger entry shares one string for the plan's whole lifetime
+  /// instead of formatting a label per charge. Held through its own
+  /// shared_ptr (not an aliasing pointer into the plan) so append-only
+  /// audit ledgers retain the short string, never the mechanisms.
+  /// Null outside the engine.
+  std::shared_ptr<const std::string> audit_context;
 };
 
 /// Chooses and instantiates a mechanism for the request. Every

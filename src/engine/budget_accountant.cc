@@ -1,48 +1,188 @@
 #include "engine/budget_accountant.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace blowfish {
 
-Status BudgetAccountant::OpenLedger(const std::string& id,
-                                    double total_epsilon) {
+BudgetAccountant::Slot* BudgetAccountant::SlotFor(LedgerHandle handle) {
+  return const_cast<Slot*>(
+      static_cast<const BudgetAccountant*>(this)->SlotFor(handle));
+}
+
+const BudgetAccountant::Slot* BudgetAccountant::SlotFor(
+    LedgerHandle handle) const {
+  if (!handle.valid() || handle.shard() >= kShardCount) return nullptr;
+  const Shard& shard = shards_[handle.shard()];
+  if (handle.slot() >= shard.slots.size()) return nullptr;
+  const Slot& slot = shard.slots[handle.slot()];
+  if (!slot.budget.has_value() ||
+      slot.generation != handle.generation()) {
+    return nullptr;
+  }
+  return &slot;
+}
+
+Result<LedgerHandle> BudgetAccountant::OpenLedger(const std::string& id,
+                                                  double total_epsilon) {
   if (total_epsilon <= 0.0) {
     return Status::InvalidArgument("ledger '" + id +
                                    "' needs a positive budget");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!ledgers_.emplace(id, PrivacyBudget(total_epsilon)).second) {
+  const size_t shard_index = ShardOf(id);
+  Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.by_id.count(id) > 0) {
     return Status(StatusCode::kAlreadyExists,
                   "ledger '" + id + "' is already open");
   }
-  return Status::OK();
+  uint32_t slot_index;
+  if (!shard.free_slots.empty()) {
+    slot_index = shard.free_slots.back();
+    shard.free_slots.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(shard.slots.size());
+    shard.slots.emplace_back();
+  }
+  Slot& slot = shard.slots[slot_index];
+  slot.budget.emplace(total_epsilon);
+  slot.id = id;
+  shard.by_id.emplace(id, slot_index);
+  return LedgerHandle(static_cast<uint32_t>(shard_index), slot_index,
+                      slot.generation);
 }
 
 Status BudgetAccountant::CloseLedger(const std::string& id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ledgers_.erase(id) == 0) {
+  Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_id.find(id);
+  if (it == shard.by_id.end()) {
     return Status::NotFound("ledger '" + id + "' is not open");
   }
+  Slot& slot = shard.slots[it->second];
+  slot.budget.reset();
+  slot.id.clear();
+  ++slot.generation;  // outstanding handles go stale
+  shard.free_slots.push_back(it->second);
+  shard.by_id.erase(it);
+  return Status::OK();
+}
+
+Status BudgetAccountant::CloseLedger(LedgerHandle handle) {
+  if (!handle.valid() || handle.shard() >= kShardCount) {
+    return Status::NotFound("ledger handle is invalid");
+  }
+  Shard& shard = shards_[handle.shard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Slot* slot = SlotFor(handle);
+  if (slot == nullptr) {
+    return Status::NotFound("ledger handle is stale");
+  }
+  shard.by_id.erase(slot->id);
+  slot->budget.reset();
+  slot->id.clear();
+  ++slot->generation;
+  shard.free_slots.push_back(handle.slot());
   return Status::OK();
 }
 
 size_t BudgetAccountant::CloseLedgersWithPrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Prefix matches land in arbitrary shards (ids hash individually),
+  // so every shard is scanned.
   size_t removed = 0;
-  for (auto it = ledgers_.begin(); it != ledgers_.end();) {
-    if (it->first.compare(0, prefix.size(), prefix) == 0) {
-      it = ledgers_.erase(it);
-      ++removed;
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.by_id.begin(); it != shard.by_id.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        Slot& slot = shard.slots[it->second];
+        slot.budget.reset();
+        slot.id.clear();
+        ++slot.generation;
+        shard.free_slots.push_back(it->second);
+        it = shard.by_id.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
     }
   }
   return removed;
 }
 
 bool BudgetAccountant::HasLedger(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ledgers_.count(id) > 0;
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.by_id.count(id) > 0;
+}
+
+Result<LedgerHandle> BudgetAccountant::Resolve(const std::string& id) const {
+  const size_t shard_index = ShardOf(id);
+  const Shard& shard = shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_id.find(id);
+  if (it == shard.by_id.end()) {
+    return Status::NotFound("ledger '" + id + "' is not open");
+  }
+  return LedgerHandle(static_cast<uint32_t>(shard_index), it->second,
+                      shard.slots[it->second].generation);
+}
+
+Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
+                                double epsilon, const ChargeTag& tag,
+                                double* remaining) {
+  if (count == 0) {
+    return Status::InvalidArgument("charge needs at least one ledger");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("charge must be positive: " +
+                                   std::string(tag.workload));
+  }
+  if (tag.parallel_count == 0) {
+    return Status::InvalidArgument("parallel charge needs >= 1 release");
+  }
+  // Lock every involved shard in ascending index order (deadlock-free
+  // against concurrent multi-shard charges).
+  bool involved[kShardCount] = {false};
+  for (size_t i = 0; i < count; ++i) {
+    if (!handles[i].valid() || handles[i].shard() >= kShardCount) {
+      return Status::NotFound("ledger handle is invalid");
+    }
+    involved[handles[i].shard()] = true;
+  }
+  std::unique_lock<std::mutex> locks[kShardCount];
+  for (size_t s = 0; s < kShardCount; ++s) {
+    if (involved[s]) locks[s] = std::unique_lock<std::mutex>(shards_[s].mu);
+  }
+  // Validate everything before committing anything. A repeated handle
+  // composes sequentially within the charge, so a ledger named n
+  // times must afford n*epsilon.
+  for (size_t i = 0; i < count; ++i) {
+    const Slot* slot = SlotFor(handles[i]);
+    if (slot == nullptr) {
+      return Status::NotFound("ledger handle is stale or closed");
+    }
+    size_t times = 1;
+    for (size_t j = 0; j < i; ++j) {
+      if (handles[j] == handles[i]) ++times;
+    }
+    if (!slot->budget->CanSpend(static_cast<double>(times) * epsilon)) {
+      return Status::OutOfRange(
+          "ledger '" + slot->id + "': budget exceeded by '" +
+          std::string(tag.workload) +
+          (tag.context != nullptr ? " on " + *tag.context : std::string()) +
+          "': spent " + std::to_string(slot->budget->spent()) + " + " +
+          std::to_string(static_cast<double>(times) * epsilon) + " > " +
+          std::to_string(slot->budget->total()));
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Slot* slot = SlotFor(handles[i]);
+    slot->budget
+        ->SpendTagged(epsilon, tag.workload, tag.context, tag.parallel_count)
+        .Check();
+    if (remaining != nullptr) remaining[i] = slot->budget->remaining();
+  }
+  return Status::OK();
 }
 
 Status BudgetAccountant::Charge(const std::vector<std::string>& ids,
@@ -50,64 +190,61 @@ Status BudgetAccountant::Charge(const std::vector<std::string>& ids,
   if (ids.empty()) {
     return Status::InvalidArgument("charge needs at least one ledger");
   }
-  if (epsilon <= 0.0) {
-    return Status::InvalidArgument("charge must be positive: " + label);
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  // Validate everything before committing anything. A repeated id
-  // composes sequentially within the charge, so a ledger named n
-  // times must afford n*epsilon.
-  std::vector<std::pair<PrivacyBudget*, size_t>> staged;
-  staged.reserve(ids.size());
+  std::vector<LedgerHandle> handles;
+  handles.reserve(ids.size());
   for (const std::string& id : ids) {
-    auto it = ledgers_.find(id);
-    if (it == ledgers_.end()) {
-      return Status::NotFound("ledger '" + id + "' is not open");
-    }
-    size_t count = 1;
-    for (auto& [ledger, times] : staged) {
-      if (ledger == &it->second) count = ++times;
-    }
-    if (count == 1) staged.emplace_back(&it->second, 1);
-    if (!it->second.CanSpend(static_cast<double>(count) * epsilon)) {
-      return Status::OutOfRange(
-          "ledger '" + id + "': budget exceeded by '" + label + "': spent " +
-          std::to_string(it->second.spent()) + " + " +
-          std::to_string(static_cast<double>(count) * epsilon) + " > " +
-          std::to_string(it->second.total()));
-    }
+    Result<LedgerHandle> handle = Resolve(id);
+    if (!handle.ok()) return handle.status();
+    handles.push_back(*handle);
   }
-  for (auto& [ledger, times] : staged) {
-    for (size_t i = 0; i < times; ++i) ledger->Spend(epsilon, label).Check();
-  }
-  return Status::OK();
+  ChargeTag tag;
+  tag.workload = label;
+  // A ledger closed between Resolve and Charge surfaces as a stale
+  // handle — the same kNotFound the one-lock implementation reported.
+  return Charge(handles.data(), handles.size(), epsilon, tag);
 }
 
 Result<double> BudgetAccountant::Remaining(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = ledgers_.find(id);
-  if (it == ledgers_.end()) {
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_id.find(id);
+  if (it == shard.by_id.end()) {
     return Status::NotFound("ledger '" + id + "' is not open");
   }
-  return it->second.remaining();
+  return shard.slots[it->second].budget->remaining();
+}
+
+Result<double> BudgetAccountant::Remaining(LedgerHandle handle) const {
+  if (!handle.valid() || handle.shard() >= kShardCount) {
+    return Status::NotFound("ledger handle is invalid");
+  }
+  const Shard& shard = shards_[handle.shard()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Slot* slot = SlotFor(handle);
+  if (slot == nullptr) {
+    return Status::NotFound("ledger handle is stale");
+  }
+  return slot->budget->remaining();
 }
 
 Result<double> BudgetAccountant::Spent(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = ledgers_.find(id);
-  if (it == ledgers_.end()) {
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_id.find(id);
+  if (it == shard.by_id.end()) {
     return Status::NotFound("ledger '" + id + "' is not open");
   }
-  return it->second.spent();
+  return shard.slots[it->second].budget->spent();
 }
 
 Result<std::string> BudgetAccountant::Audit(const std::string& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = ledgers_.find(id);
-  if (it == ledgers_.end()) {
+  const Shard& shard = shards_[ShardOf(id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.by_id.find(id);
+  if (it == shard.by_id.end()) {
     return Status::NotFound("ledger '" + id + "' is not open");
   }
-  return it->second.ToString();
+  return shard.slots[it->second].budget->ToString();
 }
 
 }  // namespace blowfish

@@ -1,22 +1,45 @@
 // Multi-ledger budget accounting for the serving layer. Builds on
 // PrivacyBudget (mech/budget.h), which gives one auditable
-// sequential-composition ledger; the accountant keys many of them by
-// string id and adds the property a concurrent engine needs: an
-// all-or-nothing Charge() across several ledgers at once.
+// sequential-composition ledger; the accountant keys many of them and
+// adds the two properties a concurrent engine needs: an
+// all-or-nothing Charge() across several ledgers at once, and enough
+// internal sharding that unrelated sessions never contend on one
+// mutex.
 //
 // A release in the engine draws from two ledgers simultaneously — the
 // per-policy cap (the data owner's total ε across every session) and
 // the per-session grant. Charging them one at a time would let a
 // failure on the second ledger strand a phantom spend on the first;
-// Charge() instead validates the spend on copies and commits only if
-// every ledger accepts, under one lock, so concurrent submits can
-// never jointly overspend a budget that each alone would respect.
+// Charge() instead validates the spend on every ledger and commits
+// only if all accept, holding the (ordered) shard locks for the whole
+// step, so concurrent submits can never jointly overspend a budget
+// that each alone would respect.
+//
+// Handles. OpenLedger returns an opaque LedgerHandle — shard index,
+// slot index, and a generation counter packed into 64 bits. A warm
+// submit that carries handles charges with zero string construction
+// or map hashing: the handle is validated by a generation compare and
+// indexes its shard's slot vector directly. The string-id API remains
+// as a thin wrapper (it resolves ids through the shard's hash map);
+// ids are still the durable names — handles die with the ledger
+// (CloseLedger bumps the generation, so stale handles fail with
+// kNotFound, never alias a reopened ledger).
+//
+// Sharding. Ledgers are partitioned by id hash into kShardCount
+// independently locked shards. A multi-ledger Charge touching several
+// shards locks them in ascending shard-index order, which makes
+// concurrent cross-shard charges deadlock-free by the standard
+// lock-ordering argument.
 
 #ifndef BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 #define BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -25,34 +48,99 @@
 
 namespace blowfish {
 
-/// \brief Thread-safe registry of named PrivacyBudget ledgers with
+/// \brief Opaque reference to one open ledger. Cheap to copy, trivially
+/// destructible; invalid (default) handles and handles to closed
+/// ledgers fail every operation with kNotFound.
+class LedgerHandle {
+ public:
+  LedgerHandle() = default;
+
+  bool valid() const { return bits_ != 0; }
+  uint64_t bits() const { return bits_; }
+
+  friend bool operator==(LedgerHandle a, LedgerHandle b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(LedgerHandle a, LedgerHandle b) {
+    return a.bits_ != b.bits_;
+  }
+
+ private:
+  friend class BudgetAccountant;
+  /// Bit 63 marks a constructed handle (so valid() is generation-
+  /// independent), bits 40..62 the slot (8M slots per shard), bits
+  /// 32..39 the shard, bits 0..31 the full generation counter — a
+  /// stale handle survives validation only after exactly 2^32
+  /// close/reopen cycles of its slot.
+  LedgerHandle(uint32_t shard, uint32_t slot, uint32_t generation)
+      : bits_((1ull << 63) | (static_cast<uint64_t>(slot) << 40) |
+              (static_cast<uint64_t>(shard) << 32) | generation) {}
+  uint32_t shard() const { return (bits_ >> 32) & 0xFFu; }
+  uint32_t slot() const { return (bits_ >> 40) & 0x7FFFFFu; }
+  uint32_t generation() const { return static_cast<uint32_t>(bits_); }
+
+  uint64_t bits_ = 0;  ///< 0 = invalid
+};
+
+/// \brief Structured description of one charge, recorded on the audit
+/// trail without building a per-charge label string. `workload` is the
+/// short per-request part (copied into the entry; short names stay in
+/// SSO storage); `context` is the shared per-(policy, plan) suffix
+/// (one refcount bump). `parallel_count > 1` declares the charge a
+/// parallel-composition spend covering that many disjoint-domain
+/// releases at max-ε cost.
+struct ChargeTag {
+  std::string_view workload;
+  std::shared_ptr<const std::string> context;
+  uint32_t parallel_count = 1;
+};
+
+/// \brief Thread-safe, sharded registry of PrivacyBudget ledgers with
 /// atomic multi-ledger spends.
 class BudgetAccountant {
  public:
-  /// Creates a ledger; kAlreadyExists if the id is taken,
-  /// kInvalidArgument if the budget is not positive.
-  Status OpenLedger(const std::string& id, double total_epsilon);
+  /// Power of two; shard = id-hash & (kShardCount - 1).
+  static constexpr size_t kShardCount = 16;
+
+  /// Creates a ledger and returns its handle; kAlreadyExists if the id
+  /// is taken, kInvalidArgument if the budget is not positive.
+  Result<LedgerHandle> OpenLedger(const std::string& id,
+                                  double total_epsilon);
 
   /// Removes a ledger (its audit trail is discarded); kNotFound if
-  /// absent.
+  /// absent. Outstanding handles to it become stale.
   Status CloseLedger(const std::string& id);
+  Status CloseLedger(LedgerHandle handle);
 
   /// Removes every ledger whose id starts with `prefix` (versioned
-  /// policy ledgers on unregister). Returns the number closed.
+  /// policy ledgers on unregister), scanning all shards. Returns the
+  /// number closed.
   size_t CloseLedgersWithPrefix(const std::string& prefix);
 
   bool HasLedger(const std::string& id) const;
 
-  /// Atomically spends `epsilon` from every ledger in `ids`
-  /// (sequential composition on each). Either all ledgers record the
-  /// spend or none does; over-budget requests fail with kOutOfRange
-  /// and missing ledgers with kNotFound, in both cases without side
-  /// effects.
+  /// The current handle for an open ledger; kNotFound if absent.
+  Result<LedgerHandle> Resolve(const std::string& id) const;
+
+  /// Atomically spends `epsilon` from every ledger in `handles`
+  /// (sequential composition on each; a handle repeated n times must
+  /// afford n·epsilon). Either all ledgers record the spend or none
+  /// does; over-budget requests fail with kOutOfRange and stale or
+  /// invalid handles with kNotFound, in both cases without side
+  /// effects. Shard locks are taken in ascending index order, so
+  /// concurrent multi-shard charges cannot deadlock. When `remaining`
+  /// is non-null it receives `count` post-charge balances (only on
+  /// success), saving the caller a second round of shard locks.
+  Status Charge(const LedgerHandle* handles, size_t count, double epsilon,
+                const ChargeTag& tag, double* remaining = nullptr);
+
+  /// String-id convenience wrapper: resolves each id, then charges.
   Status Charge(const std::vector<std::string>& ids, double epsilon,
                 const std::string& label);
 
-  /// Remaining ε; kNotFound if absent.
+  /// Remaining ε; kNotFound if absent/stale.
   Result<double> Remaining(const std::string& id) const;
+  Result<double> Remaining(LedgerHandle handle) const;
 
   /// Total spent ε; kNotFound if absent.
   Result<double> Spent(const std::string& id) const;
@@ -61,8 +149,28 @@ class BudgetAccountant {
   Result<std::string> Audit(const std::string& id) const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, PrivacyBudget> ledgers_;
+  struct Slot {
+    std::optional<PrivacyBudget> budget;  ///< nullopt = closed/free
+    uint32_t generation = 1;              ///< bumped on every close
+    std::string id;                       ///< for audits and refusals
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;
+    std::vector<uint32_t> free_slots;
+    std::unordered_map<std::string, uint32_t> by_id;
+  };
+
+  static size_t ShardOf(const std::string& id) {
+    return std::hash<std::string>{}(id) & (kShardCount - 1);
+  }
+
+  /// Slot for a handle inside its (already locked) shard; null if the
+  /// handle is stale.
+  Slot* SlotFor(LedgerHandle handle);
+  const Slot* SlotFor(LedgerHandle handle) const;
+
+  Shard shards_[kShardCount];
 };
 
 }  // namespace blowfish

@@ -60,6 +60,12 @@ class PlanCache {
   /// option sets). Returns the number of entries removed.
   size_t Invalidate(const std::string& policy_name);
 
+  /// Counts a lookup served from outside the cache's own map — the
+  /// engine's per-snapshot plan slots resolve warm submits without
+  /// touching the cache, but the hit/miss accounting must still see
+  /// one event per lookup (hits + misses == lookups).
+  void RecordHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
   /// Drops everything, including the hit/miss counters — stats after a
   /// Clear() describe only the repopulated cache, never rates against
   /// entries that no longer exist.

@@ -33,7 +33,8 @@ Status Validate(const std::string& name, const Policy& policy,
 std::shared_ptr<RegisteredPolicy> MakeEntry(const std::string& name,
                                             Policy policy, Vector data,
                                             double epsilon_cap,
-                                            uint64_t version) {
+                                            uint64_t version,
+                                            LedgerHandle ledger) {
   auto entry = std::make_shared<RegisteredPolicy>();
   entry->name = name;
   entry->metadata = ComputePolicyMetadata(policy);
@@ -41,6 +42,7 @@ std::shared_ptr<RegisteredPolicy> MakeEntry(const std::string& name,
   entry->data = std::move(data);
   entry->epsilon_cap = epsilon_cap;
   entry->version = version;
+  entry->ledger = ledger;
   return entry;
 }
 
@@ -62,65 +64,125 @@ PolicyMetadata ComputePolicyMetadata(const Policy& policy) {
 
 Status PolicyRegistry::Register(const std::string& name, Policy policy,
                                 Vector data, double epsilon_cap,
-                                std::optional<uint64_t> version) {
+                                std::optional<uint64_t> version,
+                                LedgerHandle ledger) {
   BF_RETURN_NOT_OK(Validate(name, policy, data, epsilon_cap));
+  // Metadata is computed outside the lock; only the publish is
+  // exclusive.
   std::shared_ptr<RegisteredPolicy> entry =
       MakeEntry(name, std::move(policy), std::move(data), epsilon_cap,
-                ClaimVersion(version));
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!entries_.emplace(name, std::move(entry)).second) {
+                ClaimVersion(version), ledger);
+  Shard& shard = shards_[ShardOf(name)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.by_name.count(name) > 0) {
     return Status(StatusCode::kAlreadyExists,
                   "policy '" + name + "' is already registered");
   }
+  uint32_t slot_index;
+  if (!shard.free_slots.empty()) {
+    slot_index = shard.free_slots.back();
+    shard.free_slots.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(shard.slots.size());
+    shard.slots.emplace_back();
+  }
+  shard.slots[slot_index].entry = std::move(entry);
+  shard.by_name.emplace(name, slot_index);
   return Status::OK();
 }
 
 Status PolicyRegistry::Replace(const std::string& name, Policy policy,
                                Vector data, double epsilon_cap,
-                               std::optional<uint64_t> version) {
+                               std::optional<uint64_t> version,
+                               LedgerHandle ledger) {
   BF_RETURN_NOT_OK(Validate(name, policy, data, epsilon_cap));
-  // Metadata is computed outside the lock; only the swap is exclusive.
   std::shared_ptr<RegisteredPolicy> entry =
       MakeEntry(name, std::move(policy), std::move(data), epsilon_cap,
-                ClaimVersion(version));
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
+                ClaimVersion(version), ledger);
+  Shard& shard = shards_[ShardOf(name)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.by_name.find(name);
+  if (it == shard.by_name.end()) {
     return Status::NotFound("policy '" + name + "' is not registered");
   }
-  it->second = std::move(entry);
+  // Same slot, same generation: outstanding handles follow the name to
+  // the new entry.
+  shard.slots[it->second].entry = std::move(entry);
   return Status::OK();
 }
 
 Status PolicyRegistry::Unregister(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (entries_.erase(name) == 0) {
+  Shard& shard = shards_[ShardOf(name)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.by_name.find(name);
+  if (it == shard.by_name.end()) {
     return Status::NotFound("policy '" + name + "' is not registered");
   }
+  Slot& slot = shard.slots[it->second];
+  slot.entry.reset();
+  ++slot.generation;  // outstanding handles go stale
+  shard.free_slots.push_back(it->second);
+  shard.by_name.erase(it);
   return Status::OK();
 }
 
 Result<std::shared_ptr<const RegisteredPolicy>> PolicyRegistry::Get(
     const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = entries_.find(name);
-  if (it == entries_.end()) {
+  const Shard& shard = shards_[ShardOf(name)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.by_name.find(name);
+  if (it == shard.by_name.end()) {
     return Status::NotFound("policy '" + name + "' is not registered");
   }
-  return it->second;
+  return shard.slots[it->second].entry;
+}
+
+Result<std::shared_ptr<const RegisteredPolicy>> PolicyRegistry::Get(
+    PolicyHandle handle) const {
+  if (!handle.valid() || handle.shard() >= kShardCount) {
+    return Status::NotFound("policy handle is invalid");
+  }
+  const Shard& shard = shards_[handle.shard()];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  if (handle.slot() >= shard.slots.size()) {
+    return Status::NotFound("policy handle is invalid");
+  }
+  const Slot& slot = shard.slots[handle.slot()];
+  if (slot.entry == nullptr ||
+      slot.generation != handle.generation()) {
+    return Status::NotFound("policy handle is stale (unregistered)");
+  }
+  return slot.entry;
+}
+
+Result<PolicyHandle> PolicyRegistry::Resolve(const std::string& name) const {
+  const size_t shard_index = ShardOf(name);
+  const Shard& shard = shards_[shard_index];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.by_name.find(name);
+  if (it == shard.by_name.end()) {
+    return Status::NotFound("policy '" + name + "' is not registered");
+  }
+  return PolicyHandle(static_cast<uint32_t>(shard_index), it->second,
+                      shard.slots[it->second].generation);
 }
 
 std::vector<std::string> PolicyRegistry::Names() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, entry] : entries_) names.push_back(name);
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [name, slot] : shard.by_name) names.push_back(name);
+  }
   return names;
 }
 
 size_t PolicyRegistry::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.by_name.size();
+  }
+  return total;
 }
 
 }  // namespace blowfish

@@ -8,8 +8,16 @@
 // Entries are immutable once published: Replace() swaps in a new
 // shared_ptr and bumps the version (the plan cache keys on it), so
 // readers holding the old snapshot are never invalidated mid-query.
-// Reads take a shared lock; the registry is safe under concurrent
-// Register/Get/Replace.
+//
+// Sharding and handles. Entries are partitioned by name hash into
+// independently locked shards (read-mostly shared_mutex each), so
+// submits against different policies never contend on one lock.
+// Resolve() returns a PolicyHandle — shard, slot, generation packed
+// into 64 bits — that a caller keeps for the life of the *name
+// binding*: Get(handle) indexes the shard's slot vector directly with
+// zero hashing, Replace() swaps the entry under the same handle, and
+// Unregister() bumps the generation so stale handles fail with
+// kNotFound instead of aliasing a later policy of the same name.
 
 #ifndef BLOWFISH_ENGINE_POLICY_REGISTRY_H_
 #define BLOWFISH_ENGINE_POLICY_REGISTRY_H_
@@ -24,6 +32,8 @@
 
 #include "common/status.h"
 #include "core/policy.h"
+#include "core/planner.h"
+#include "engine/budget_accountant.h"
 #include "linalg/vector_ops.h"
 
 namespace blowfish {
@@ -52,12 +62,60 @@ struct RegisteredPolicy {
   /// (name, version) keys — plan cache, budget ledgers — can never
   /// alias a different entry.
   uint64_t version = 0;
+  /// This version's budget-cap ledger, resolved once at registration
+  /// so a warm submit charges the cap without touching the
+  /// accountant's id map.
+  LedgerHandle ledger;
+  /// Lazily planned execution slots, one per planner option set
+  /// ([0] data-independent, [1] data-dependent). Engine-managed via
+  /// std::atomic_load/atomic_store; a populated slot is what makes a
+  /// warm submit plan-lookup-free. Snapshot-local: a Replace starts
+  /// the new version with empty slots while in-flight readers keep
+  /// the old snapshot's plans.
+  mutable std::shared_ptr<const Plan> plan_slots[2];
+  /// Lazily computed noise-free release precompute per option set,
+  /// engine-managed like `plan_slots` (dies with the snapshot, so
+  /// Replace/Unregister can never serve a stale transform).
+  mutable std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+      precompute_slots[2];
 };
 
-/// \brief Thread-safe name -> RegisteredPolicy map with copy-free
-/// snapshot reads.
+/// \brief Opaque reference to a registered name. Cheap to copy;
+/// remains valid across Replace() (it names the binding, not the
+/// version) and goes stale on Unregister().
+class PolicyHandle {
+ public:
+  PolicyHandle() = default;
+  bool valid() const { return bits_ != 0; }
+  uint64_t bits() const { return bits_; }
+
+  friend bool operator==(PolicyHandle a, PolicyHandle b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  friend class PolicyRegistry;
+  /// Same packing as LedgerHandle: bit 63 marks a constructed handle,
+  /// bits 40..62 the slot, 32..39 the shard, 0..31 the full
+  /// generation counter (no wrap-aliasing short of 2^32 unregister
+  /// cycles of one slot).
+  PolicyHandle(uint32_t shard, uint32_t slot, uint32_t generation)
+      : bits_((1ull << 63) | (static_cast<uint64_t>(slot) << 40) |
+              (static_cast<uint64_t>(shard) << 32) | generation) {}
+  uint32_t shard() const { return (bits_ >> 32) & 0xFFu; }
+  uint32_t slot() const { return (bits_ >> 40) & 0x7FFFFFu; }
+  uint32_t generation() const { return static_cast<uint32_t>(bits_); }
+
+  uint64_t bits_ = 0;
+};
+
+/// \brief Thread-safe, sharded name -> RegisteredPolicy map with
+/// copy-free snapshot reads.
 class PolicyRegistry {
  public:
+  /// Power of two; shard = name-hash & (kShardCount - 1).
+  static constexpr size_t kShardCount = 8;
+
   /// Hands out a version number that will never be used by anyone
   /// else. Callers that key external resources (budget ledgers) by
   /// (name, version) reserve first, set the resources up, then pass
@@ -66,20 +124,24 @@ class PolicyRegistry {
   uint64_t ReserveVersion() { return next_version_.fetch_add(1); }
 
   /// Publishes a new entry under `version` (reserved internally when
-  /// omitted). Fails with kAlreadyExists if `name` is taken and
-  /// kInvalidArgument if `data` does not match the domain or
-  /// `epsilon_cap` is not positive.
+  /// omitted), carrying `ledger` as the version's cap-ledger handle.
+  /// Fails with kAlreadyExists if `name` is taken and kInvalidArgument
+  /// if `data` does not match the domain or `epsilon_cap` is not
+  /// positive.
   Status Register(const std::string& name, Policy policy, Vector data,
                   double epsilon_cap,
-                  std::optional<uint64_t> version = std::nullopt);
+                  std::optional<uint64_t> version = std::nullopt,
+                  LedgerHandle ledger = LedgerHandle());
 
   /// Atomically swaps the entry for `name` (new data and/or policy)
-  /// under a fresh version. Fails with kNotFound if absent.
+  /// under a fresh version. Existing handles to the name stay valid
+  /// and see the new entry. Fails with kNotFound if absent.
   Status Replace(const std::string& name, Policy policy, Vector data,
                  double epsilon_cap,
-                 std::optional<uint64_t> version = std::nullopt);
+                 std::optional<uint64_t> version = std::nullopt,
+                 LedgerHandle ledger = LedgerHandle());
 
-  /// Removes the entry; kNotFound if absent.
+  /// Removes the entry; kNotFound if absent. Handles go stale.
   Status Unregister(const std::string& name);
 
   /// Snapshot of the entry; kNotFound if absent. The snapshot stays
@@ -87,12 +149,34 @@ class PolicyRegistry {
   Result<std::shared_ptr<const RegisteredPolicy>> Get(
       const std::string& name) const;
 
+  /// Handle fast path: one shared lock + one slot index, no hashing.
+  Result<std::shared_ptr<const RegisteredPolicy>> Get(
+      PolicyHandle handle) const;
+
+  /// The handle for a registered name; kNotFound if absent.
+  Result<PolicyHandle> Resolve(const std::string& name) const;
+
   /// Registered names, unordered.
   std::vector<std::string> Names() const;
 
   size_t size() const;
 
  private:
+  struct Slot {
+    std::shared_ptr<const RegisteredPolicy> entry;  ///< null = free
+    uint32_t generation = 1;                        ///< bumped on unregister
+  };
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<Slot> slots;
+    std::vector<uint32_t> free_slots;
+    std::unordered_map<std::string, uint32_t> by_name;
+  };
+
+  static size_t ShardOf(const std::string& name) {
+    return std::hash<std::string>{}(name) & (kShardCount - 1);
+  }
+
   /// Uses the reservation if given (advancing the counter past it so
   /// it can never be handed out again); reserves otherwise.
   uint64_t ClaimVersion(std::optional<uint64_t> version) {
@@ -104,9 +188,7 @@ class PolicyRegistry {
     return *version;
   }
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const RegisteredPolicy>>
-      entries_;
+  Shard shards_[kShardCount];
   std::atomic<uint64_t> next_version_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <random>
 #include <utility>
 
+#include "core/grid_theta_adapter.h"
 #include "core/mechanisms_kd.h"
 
 namespace blowfish {
@@ -16,11 +17,57 @@ uint64_t EntropySeed() {
   std::random_device device;
   return (static_cast<uint64_t>(device()) << 32) ^ device();
 }
+
+/// Shape facts of one request, computed without any allocation.
+struct RequestShape {
+  bool has_ranges = false;
+  size_t num_queries = 0;
+  size_t domain = 0;
+  const std::string* workload_name = nullptr;
+};
+
+Status ValidateShape(const QueryRequest& request, RequestShape* shape) {
+  if (request.epsilon <= 0.0) {
+    return Status::InvalidArgument("submit needs a positive epsilon");
+  }
+  shape->has_ranges = request.ranges.has_value();
+  if (shape->has_ranges && request.workload.num_queries() > 0) {
+    return Status::InvalidArgument(
+        "submit carries both a dense and a range workload; set exactly one");
+  }
+  shape->num_queries = shape->has_ranges ? request.ranges->num_queries()
+                                         : request.workload.num_queries();
+  if (shape->num_queries == 0) {
+    return Status::InvalidArgument("submit needs a non-empty workload");
+  }
+  shape->domain = shape->has_ranges ? request.ranges->domain().size()
+                                    : request.workload.domain_size();
+  shape->workload_name = shape->has_ranges ? &request.ranges->name()
+                                           : &request.workload.name();
+  return Status::OK();
+}
+
+Status CheckDomain(const RequestShape& shape, const RegisteredPolicy& entry) {
+  if (shape.domain != entry.policy.domain_size()) {
+    return Status::InvalidArgument(
+        "workload '" + *shape.workload_name + "' spans " +
+        std::to_string(shape.domain) + " cells but policy '" + entry.name +
+        "' has domain size " + std::to_string(entry.policy.domain_size()));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(options),
       seed_(options.seed.has_value() ? *options.seed : EntropySeed()) {}
+
+// Spreads precompute keys (consecutive versions) across shards.
+size_t QueryEngine::PrecomputeShardOf(uint64_t key) {
+  return static_cast<size_t>((key * kStreamStep) >> 61) &
+         (kPrecomputeShards - 1);
+}
 
 std::string QueryEngine::SessionLedger(const std::string& session_id) {
   return "session/" + session_id;
@@ -43,14 +90,17 @@ Status QueryEngine::RegisterPolicy(const std::string& name, Policy policy,
                                    Vector data, double epsilon_cap) {
   std::lock_guard<std::mutex> admin(admin_mu_);
   // The ledger must exist before any submit can see the version, so:
-  // reserve the version, open its ledger, then publish.
+  // reserve the version, open its ledger, then publish (carrying the
+  // ledger's handle so warm submits never resolve the id again).
   const uint64_t version = registry_.ReserveVersion();
-  BF_RETURN_NOT_OK(
-      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap));
-  const Status registered = registry_.Register(
-      name, std::move(policy), std::move(data), epsilon_cap, version);
+  Result<LedgerHandle> ledger =
+      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap);
+  if (!ledger.ok()) return ledger.status();
+  const Status registered =
+      registry_.Register(name, std::move(policy), std::move(data),
+                         epsilon_cap, version, *ledger);
   if (!registered.ok()) {
-    accountant_.CloseLedger(PolicyLedger(name, version)).Check();
+    accountant_.CloseLedger(*ledger).Check();
     return registered;
   }
   if (options_.warm_plan_cache) {
@@ -60,8 +110,12 @@ Status QueryEngine::RegisterPolicy(const std::string& name, Policy policy,
       bool hit = false;
       // Best effort: an unplannable policy still registers, and the
       // submit path reports the planning error.
-      (void)GetOrPlan(*entry.ValueOrDie(), /*prefer_data_dependent=*/false,
-                      &hit);
+      Result<std::shared_ptr<const Plan>> plan = GetOrPlan(
+          entry.ValueOrDie(), /*prefer_data_dependent=*/false, &hit);
+      if (plan.ok()) {
+        (void)GetOrPrecompute(*entry.ValueOrDie(), **plan,
+                              /*prefer_data_dependent=*/false);
+      }
     }
   }
   return Status::OK();
@@ -70,53 +124,68 @@ Status QueryEngine::RegisterPolicy(const std::string& name, Policy policy,
 Status QueryEngine::ReplacePolicy(const std::string& name, Policy policy,
                                   Vector data, double epsilon_cap) {
   std::lock_guard<std::mutex> admin(admin_mu_);
+  Result<std::shared_ptr<const RegisteredPolicy>> old_entry =
+      registry_.Get(name);
+  if (!old_entry.ok()) return old_entry.status();
   // Fresh data, fresh cap, fresh ledger id — opened before the swap
   // publishes the version, so no submit ever charges a missing
   // ledger. The superseded version's ledger stays open so in-flight
   // submits drain against *its* cap.
   const uint64_t version = registry_.ReserveVersion();
-  BF_RETURN_NOT_OK(
-      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap));
-  const Status replaced = registry_.Replace(
-      name, std::move(policy), std::move(data), epsilon_cap, version);
+  Result<LedgerHandle> ledger =
+      accountant_.OpenLedger(PolicyLedger(name, version), epsilon_cap);
+  if (!ledger.ok()) return ledger.status();
+  const Status replaced =
+      registry_.Replace(name, std::move(policy), std::move(data),
+                        epsilon_cap, version, *ledger);
   if (!replaced.ok()) {
-    accountant_.CloseLedger(PolicyLedger(name, version)).Check();
+    accountant_.CloseLedger(*ledger).Check();
     return replaced;
   }
   plan_cache_.Invalidate(name);
-  DropTransformed(name);
+  DropTransformed(*old_entry.ValueOrDie());
   return Status::OK();
 }
 
 Status QueryEngine::UnregisterPolicy(const std::string& name) {
   std::lock_guard<std::mutex> admin(admin_mu_);
+  Result<std::shared_ptr<const RegisteredPolicy>> old_entry =
+      registry_.Get(name);
+  if (!old_entry.ok()) return old_entry.status();
   BF_RETURN_NOT_OK(registry_.Unregister(name));
   plan_cache_.Invalidate(name);
-  DropTransformed(name);
+  DropTransformed(*old_entry.ValueOrDie());
   accountant_.CloseLedgersWithPrefix(PolicyLedgerPrefix(name));
   return Status::OK();
 }
 
-void QueryEngine::DropTransformed(const std::string& name) {
-  const std::string prefix = PolicyLedgerPrefix(name);
-  std::unique_lock<std::shared_mutex> lock(transformed_mu_);
-  for (auto it = transformed_.begin(); it != transformed_.end();) {
-    if (it->first.compare(0, prefix.size(), prefix) == 0) {
-      it = transformed_.erase(it);
-    } else {
-      ++it;
-    }
+void QueryEngine::DropTransformed(const RegisteredPolicy& entry) {
+  // Only the snapshot's two option slots can exist (superseded
+  // versions were dropped by the lifecycle op that superseded them),
+  // so eviction addresses exactly their shards. Erasing a gate an
+  // in-flight cold precompute still holds is safe: the straggler
+  // re-checks version currency under the shard lock before caching.
+  const uint64_t base = entry.version << 1;
+  for (uint64_t key : {base, base | 1u}) {
+    PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.entries.erase(key);
+    shard.gates.erase(key);
   }
 }
 
-std::shared_ptr<const QueryEngine::TransformedData>
-QueryEngine::GetOrTransform(const RegisteredPolicy& entry,
-                            const GridThetaRangeMechanism& mech) {
-  const std::string key = PolicyLedger(entry.name, entry.version);
+QueryEngine::PrecomputePtr QueryEngine::GetOrPrecompute(
+    const RegisteredPolicy& entry, const Plan& plan,
+    bool prefer_data_dependent) {
+  const uint64_t key =
+      (entry.version << 1) | (prefer_data_dependent ? 1u : 0u);
+  PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
   {
-    std::shared_lock<std::shared_mutex> lock(transformed_mu_);
-    auto it = transformed_.find(key);
-    if (it != transformed_.end()) return it->second;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    // A cached null is a memoized "mechanism has no precompute
+    // split": the submit falls back to Run() at one map probe.
+    if (it != shard.entries.end()) return it->second;
   }
   // Per-key single-flight: a cold-policy herd must not run the CG
   // solve once per submitter, and a cold policy must not block
@@ -124,42 +193,46 @@ QueryEngine::GetOrTransform(const RegisteredPolicy& entry,
   // not engine-global. Warm submits never reach this point.
   std::shared_ptr<std::mutex> gate;
   {
-    std::unique_lock<std::shared_mutex> lock(transformed_mu_);
-    if (auto it = transformed_.find(key); it != transformed_.end()) {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
       return it->second;
     }
-    std::shared_ptr<std::mutex>& slot = transform_gates_[key];
+    std::shared_ptr<std::mutex>& slot = shard.gates[key];
     if (slot == nullptr) slot = std::make_shared<std::mutex>();
     gate = slot;
   }
   std::lock_guard<std::mutex> flight(*gate);
   {
-    std::shared_lock<std::shared_mutex> lock(transformed_mu_);
-    auto it = transformed_.find(key);
-    if (it != transformed_.end()) return it->second;
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) return it->second;
   }
-  auto data = std::make_shared<TransformedData>();
-  data->xg = mech.PrecomputeTransformed(entry.data);
-  data->n = Sum(entry.data);
-  std::unique_lock<std::shared_mutex> lock(transformed_mu_);
-  transform_gates_.erase(key);
+  PrecomputePtr pre = plan.mechanism->PrecomputeRelease(entry.data);
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.gates.erase(key);
   // Cache only while this snapshot is still the registry's current
   // version: a submit that lost a Replace/Unregister race must not
   // re-insert an entry DropTransformed just erased (nothing would
-  // ever read or evict it until the next lifecycle op on the name).
-  // The check shares transformed_mu_ with DropTransformed, and the
-  // lifecycle ops bump the registry version *before* dropping, so a
-  // version that passes here cannot have been dropped already —
-  // either the drop ran first (and this check fails) or it is still
-  // pending and will erase this insert.
+  // ever evict it again). The check and the insert share the shard
+  // lock with DropTransformed, and the lifecycle ops publish the new
+  // version *before* dropping — so either the check fails here, or
+  // the pending drop runs after this insert and erases it.
   Result<std::shared_ptr<const RegisteredPolicy>> current =
       registry_.Get(entry.name);
   if (!current.ok() || current.ValueOrDie()->version != entry.version) {
-    return data;
+    return pre;
   }
-  auto [it, inserted] = transformed_.emplace(key, std::move(data));
-  (void)inserted;
-  return it->second;
+  shard.entries.emplace(key, pre);
+  return pre;
+}
+
+size_t QueryEngine::transform_cache_entries() const {
+  size_t total = 0;
+  for (const PrecomputeShard& shard : precompute_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
 }
 
 Status QueryEngine::OpenSession(const std::string& session_id,
@@ -167,26 +240,72 @@ Status QueryEngine::OpenSession(const std::string& session_id,
   if (session_id.empty()) {
     return Status::InvalidArgument("session id must be non-empty");
   }
-  return accountant_.OpenLedger(SessionLedger(session_id), epsilon_budget);
+  Result<LedgerHandle> handle =
+      accountant_.OpenLedger(SessionLedger(session_id), epsilon_budget);
+  if (!handle.ok()) return handle.status();
+  std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+  sessions_[session_id] = *handle;
+  return Status::OK();
 }
 
 Status QueryEngine::CloseSession(const std::string& session_id) {
-  return accountant_.CloseLedger(SessionLedger(session_id));
+  LedgerHandle handle;
+  {
+    std::unique_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("session '" + session_id + "' is not open");
+    }
+    handle = it->second;
+    sessions_.erase(it);
+  }
+  return accountant_.CloseLedger(handle);
+}
+
+Result<LedgerHandle> QueryEngine::ResolveSession(
+    const std::string& session_id) const {
+  std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("session '" + session_id + "' is not open");
+  }
+  return it->second;
 }
 
 Result<std::shared_ptr<const Plan>> QueryEngine::GetOrPlan(
-    const RegisteredPolicy& entry, bool prefer_data_dependent,
-    bool* cache_hit) {
-  const std::string key = PlanCache::MakeKey(entry.name, entry.version,
+    const std::shared_ptr<const RegisteredPolicy>& entry,
+    bool prefer_data_dependent, bool* cache_hit) {
+  // Warm path: the snapshot's own plan slot — no key string, no map.
+  const size_t slot = prefer_data_dependent ? 1 : 0;
+  std::shared_ptr<const Plan> warm = std::atomic_load_explicit(
+      &entry->plan_slots[slot], std::memory_order_acquire);
+  if (warm != nullptr) {
+    plan_cache_.RecordHit();
+    *cache_hit = true;
+    return warm;
+  }
+  const std::string key = PlanCache::MakeKey(entry->name, entry->version,
                                              prefer_data_dependent);
   // Single-flight: concurrent misses on one key run the planner once.
-  Result<std::shared_ptr<const Plan>> plan = plan_cache_.GetOrCompute(
+  Result<std::shared_ptr<const Plan>> planned = plan_cache_.GetOrCompute(
       key,
-      [&] {
-        return PlanMechanism(PlanRequest{entry.policy, prefer_data_dependent});
+      [&]() -> Result<Plan> {
+        Result<Plan> result =
+            PlanMechanism(PlanRequest{entry->policy, prefer_data_dependent});
+        if (!result.ok()) return result;
+        Plan plan = std::move(result).ValueOrDie();
+        // Formatted once per plan; every charge on this plan shares it
+        // (see ChargeTag::context).
+        plan.audit_context = std::make_shared<const std::string>(
+            "policy '" + entry->name + "' via " + plan.kind);
+        return plan;
       },
       cache_hit);
-  if (plan.ok() && !*cache_hit) {
+  if (!planned.ok()) return planned;
+  std::atomic_store_explicit(&entry->plan_slots[slot],
+                             std::shared_ptr<const Plan>(*planned),
+                             std::memory_order_release);
+  if (!*cache_hit) {
     // This cold planning may have lost a Replace/Unregister race: the
     // lifecycle op bumps the registry version before invalidating, so
     // if the snapshot is no longer current our insert may have landed
@@ -194,67 +313,18 @@ Result<std::shared_ptr<const Plan>> QueryEngine::GetOrPlan(
     // submit still proceeds with the plan it holds (the versioned
     // budget charge decides its fate); only the cache entry goes.
     Result<std::shared_ptr<const RegisteredPolicy>> current =
-        registry_.Get(entry.name);
-    if (!current.ok() || current.ValueOrDie()->version != entry.version) {
-      plan_cache_.Invalidate(entry.name);
+        registry_.Get(entry->name);
+    if (!current.ok() || current.ValueOrDie()->version != entry->version) {
+      plan_cache_.Invalidate(entry->name);
     }
   }
-  return plan;
+  return planned;
 }
 
-Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
-  if (request.epsilon <= 0.0) {
-    return Status::InvalidArgument("submit needs a positive epsilon");
-  }
-  const bool has_ranges = request.ranges.has_value();
-  if (has_ranges && request.workload.num_queries() > 0) {
-    return Status::InvalidArgument(
-        "submit carries both a dense and a range workload; set exactly one");
-  }
-  const size_t num_queries = has_ranges ? request.ranges->num_queries()
-                                        : request.workload.num_queries();
-  if (num_queries == 0) {
-    return Status::InvalidArgument("submit needs a non-empty workload");
-  }
-  const std::string& workload_name =
-      has_ranges ? request.ranges->name() : request.workload.name();
-  if (!accountant_.HasLedger(SessionLedger(request.session))) {
-    return Status::NotFound("session '" + request.session +
-                            "' is not open");
-  }
-  Result<std::shared_ptr<const RegisteredPolicy>> lookup =
-      registry_.Get(request.policy);
-  if (!lookup.ok()) return lookup.status();
-  const std::shared_ptr<const RegisteredPolicy> entry =
-      std::move(lookup).ValueOrDie();
-
-  const size_t workload_domain = has_ranges
-                                     ? request.ranges->domain().size()
-                                     : request.workload.domain_size();
-  if (workload_domain != entry->policy.domain_size()) {
-    return Status::InvalidArgument(
-        "workload '" + workload_name + "' spans " +
-        std::to_string(workload_domain) + " cells but policy '" +
-        entry->name + "' has domain size " +
-        std::to_string(entry->policy.domain_size()));
-  }
-
-  // Plan first (data-independent, costs no budget), charge second, and
-  // only then draw noise: a refused query releases nothing.
-  bool cache_hit = false;
-  Result<std::shared_ptr<const Plan>> plan_result =
-      GetOrPlan(*entry, request.prefer_data_dependent, &cache_hit);
-  if (!plan_result.ok()) return plan_result.status();
-  const std::shared_ptr<const Plan> plan =
-      std::move(plan_result).ValueOrDie();
-
-  BF_RETURN_NOT_OK(accountant_.Charge(
-      {SessionLedger(request.session),
-       PolicyLedger(entry->name, entry->version)},
-      request.epsilon,
-      "workload '" + workload_name + "' on policy '" + entry->name +
-          "' via " + plan->kind));
-
+QueryResult QueryEngine::Release(const QueryRequest& request,
+                                 const RegisteredPolicy& entry,
+                                 const Plan& plan, bool cache_hit,
+                                 bool has_ranges) {
   // Private random stream per submit; immutable plan, caller-side rng.
   const uint64_t stream = submit_counter_.fetch_add(1) + 1;
   Rng rng(seed_ ^ (kStreamStep * stream));
@@ -263,47 +333,227 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
   // The fast path reconstructs in the policy's own grid geometry, so
   // the request's domain must match the policy's shape exactly, not
   // just its flattened size.
-  if (has_ranges && plan->range_mechanism != nullptr &&
-      request.ranges->domain().dims() == entry->policy.domain.dims()) {
+  if (has_ranges && plan.range_mechanism != nullptr &&
+      request.ranges->domain().dims() == entry.policy.domain.dims()) {
     // Fast path: noise is drawn once for this submit's slab releases
     // and only the queried ranges are reconstructed — O(q·edges),
     // versus the adapter's O(k²·edges) full-histogram detour. The
     // noise-free data transform is shared across submits.
-    const std::shared_ptr<const TransformedData> transformed =
-        GetOrTransform(*entry, *plan->range_mechanism);
-    result.answers = plan->range_mechanism->AnswerRangesOnTransformed(
-        *request.ranges, transformed->xg, transformed->n, request.epsilon,
-        &rng);
+    const PrecomputePtr pre =
+        GetOrPrecompute(entry, plan, request.prefer_data_dependent);
+    const auto* slab =
+        dynamic_cast<const GridThetaHistogramAdapter::SlabPrecompute*>(
+            pre.get());
+    if (slab != nullptr) {
+      result.answers = plan.range_mechanism->AnswerRangesOnTransformed(
+          *request.ranges, slab->xg, slab->n, request.epsilon, &rng);
+    } else {
+      // Safety net (the adapter always splits): transform per submit.
+      result.answers = plan.range_mechanism->AnswerRanges(
+          *request.ranges, entry.data, request.epsilon, &rng);
+    }
     result.range_fast_path = true;
-    result.guarantee = plan->range_mechanism->Guarantee(request.epsilon);
+    result.guarantee = plan.range_mechanism->Guarantee(request.epsilon);
   } else {
+    const PrecomputePtr pre =
+        GetOrPrecompute(entry, plan, request.prefer_data_dependent);
     const Vector estimate =
-        plan->mechanism->Run(entry->data, request.epsilon, &rng);
+        pre != nullptr
+            ? plan.mechanism->RunPrecomputed(*pre, request.epsilon, &rng)
+            : plan.mechanism->Run(entry.data, request.epsilon, &rng);
     // Range workloads on histogram-release plans are answered from x̂
     // with a summed-area table; W is never materialized.
     result.answers = has_ranges ? request.ranges->Answer(estimate)
                                 : request.workload.Answer(estimate);
-    result.guarantee = plan->mechanism->Guarantee(request.epsilon);
+    result.guarantee = plan.mechanism->Guarantee(request.epsilon);
   }
-  result.plan_kind = plan->kind;
+  result.plan_kind = plan.kind;
   result.plan_cache_hit = cache_hit;
-  Result<double> session_left =
-      accountant_.Remaining(SessionLedger(request.session));
-  Result<double> policy_left =
-      accountant_.Remaining(PolicyLedger(entry->name, entry->version));
-  // A closed ledger (session closed / policy unregistered mid-flight)
-  // is reported as nullopt, never as an exhausted 0.0.
-  if (session_left.ok()) result.session_remaining = *session_left;
-  if (policy_left.ok()) result.policy_remaining = *policy_left;
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
+  RequestShape shape;
+  BF_RETURN_NOT_OK(ValidateShape(request, &shape));
+
+  // Session first: a submit against an unknown session must not plan.
+  // This is a resolution, not a budget probe — the charge below is the
+  // single point that touches the ledger (no redundant lock/probe).
+  LedgerHandle session_ledger = request.session_handle;
+  if (!session_ledger.valid()) {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = sessions_.find(request.session);
+    if (it == sessions_.end()) {
+      return Status::NotFound("session '" + request.session +
+                              "' is not open");
+    }
+    session_ledger = it->second;
+  }
+
+  Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+      request.policy_handle.valid() ? registry_.Get(request.policy_handle)
+                                    : registry_.Get(request.policy);
+  if (!lookup.ok()) return lookup.status();
+  const std::shared_ptr<const RegisteredPolicy> entry =
+      std::move(lookup).ValueOrDie();
+
+  BF_RETURN_NOT_OK(CheckDomain(shape, *entry));
+
+  // Plan first (data-independent, costs no budget), charge second, and
+  // only then draw noise: a refused query releases nothing.
+  bool cache_hit = false;
+  Result<std::shared_ptr<const Plan>> plan_result =
+      GetOrPlan(entry, request.prefer_data_dependent, &cache_hit);
+  if (!plan_result.ok()) return plan_result.status();
+  const std::shared_ptr<const Plan> plan =
+      std::move(plan_result).ValueOrDie();
+
+  const LedgerHandle ledgers[2] = {session_ledger, entry->ledger};
+  double remaining[2] = {0.0, 0.0};
+  ChargeTag tag;
+  tag.workload = *shape.workload_name;
+  tag.context = plan->audit_context;
+  BF_RETURN_NOT_OK(
+      accountant_.Charge(ledgers, 2, request.epsilon, tag, remaining));
+
+  QueryResult result =
+      Release(request, *entry, *plan, cache_hit, shape.has_ranges);
+  // Balances observed atomically inside the charge — a ledger closed
+  // right after still reports the value this submit actually saw.
+  result.session_remaining = remaining[0];
+  result.policy_remaining = remaining[1];
   return result;
 }
 
 std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
-    const std::vector<QueryRequest>& batch) {
-  std::vector<Result<QueryResult>> results;
-  results.reserve(batch.size());
-  for (const QueryRequest& request : batch) {
-    results.push_back(Submit(request));
+    const std::vector<QueryRequest>& batch, const BatchOptions& options) {
+  std::vector<Result<QueryResult>> results(
+      batch.size(),
+      Result<QueryResult>(Status::Internal("batch entry not processed")));
+
+  // Group by (session ledger, policy snapshot, planner options):
+  // everything per-group work below — registry snapshot, plan lookup,
+  // budget charge — happens once per group instead of once per entry.
+  struct Group {
+    LedgerHandle session;
+    std::shared_ptr<const RegisteredPolicy> entry;
+    bool prefer_data_dependent = false;
+    std::vector<size_t> indices;
+    double eps_sum = 0.0;
+    double eps_max = 0.0;
+  };
+  std::vector<Group> groups;
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const QueryRequest& request = batch[i];
+    RequestShape shape;
+    Status valid = ValidateShape(request, &shape);
+    if (!valid.ok()) {
+      results[i] = valid;
+      continue;
+    }
+    LedgerHandle session_ledger = request.session_handle;
+    if (!session_ledger.valid()) {
+      std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+      auto it = sessions_.find(request.session);
+      if (it == sessions_.end()) {
+        results[i] = Status::NotFound("session '" + request.session +
+                                      "' is not open");
+        continue;
+      }
+      session_ledger = it->second;
+    }
+    Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+        request.policy_handle.valid() ? registry_.Get(request.policy_handle)
+                                      : registry_.Get(request.policy);
+    if (!lookup.ok()) {
+      results[i] = lookup.status();
+      continue;
+    }
+    std::shared_ptr<const RegisteredPolicy> entry =
+        std::move(lookup).ValueOrDie();
+    Status domain_ok = CheckDomain(shape, *entry);
+    if (!domain_ok.ok()) {
+      results[i] = domain_ok;
+      continue;
+    }
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.session == session_ledger && g.entry == entry &&
+          g.prefer_data_dependent == request.prefer_data_dependent) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->session = session_ledger;
+      group->entry = std::move(entry);
+      group->prefer_data_dependent = request.prefer_data_dependent;
+    }
+    group->indices.push_back(i);
+    group->eps_sum += request.epsilon;
+    group->eps_max = std::max(group->eps_max, request.epsilon);
+  }
+
+  for (Group& group : groups) {
+    bool cache_hit = false;
+    Result<std::shared_ptr<const Plan>> plan_result =
+        GetOrPlan(group.entry, group.prefer_data_dependent, &cache_hit);
+    if (!plan_result.ok()) {
+      for (size_t i : group.indices) results[i] = plan_result.status();
+      continue;
+    }
+    const std::shared_ptr<const Plan> plan =
+        std::move(plan_result).ValueOrDie();
+
+    const size_t m = group.indices.size();
+    const double epsilon =
+        options.disjoint_domains ? group.eps_max : group.eps_sum;
+    const QueryRequest& first = batch[group.indices.front()];
+    const std::string& first_name = first.ranges.has_value()
+                                        ? first.ranges->name()
+                                        : first.workload.name();
+    std::string batch_label;
+    ChargeTag tag;
+    if (m == 1) {
+      tag.workload = first_name;
+    } else {
+      batch_label =
+          "batch[" + std::to_string(m) + "] incl. " + first_name;
+      tag.workload = batch_label;
+    }
+    tag.context = plan->audit_context;
+    tag.parallel_count =
+        options.disjoint_domains ? static_cast<uint32_t>(m) : 1;
+
+    const LedgerHandle ledgers[2] = {group.session, group.entry->ledger};
+    double remaining[2] = {0.0, 0.0};
+    const Status charged =
+        accountant_.Charge(ledgers, 2, epsilon, tag, remaining);
+    if (!charged.ok()) {
+      if (charged.code() == StatusCode::kOutOfRange &&
+          !options.disjoint_domains && m > 1) {
+        // The combined sequential charge does not fit. Degrade to
+        // per-entry charges in batch order so the budget admits
+        // exactly the prefix individual Submits would have admitted.
+        for (size_t i : group.indices) results[i] = Submit(batch[i]);
+      } else {
+        // A disjoint-domain charge is indivisible (parallel
+        // composition covers the whole set or none); resolution
+        // failures apply to every entry alike.
+        for (size_t i : group.indices) results[i] = charged;
+      }
+      continue;
+    }
+    for (size_t i : group.indices) {
+      QueryResult result = Release(batch[i], *group.entry, *plan, cache_hit,
+                                   batch[i].ranges.has_value());
+      result.session_remaining = remaining[0];
+      result.policy_remaining = remaining[1];
+      results[i] = std::move(result);
+    }
   }
   return results;
 }
@@ -326,8 +576,7 @@ Result<double> QueryEngine::PolicyRemaining(const std::string& name) const {
   Result<std::shared_ptr<const RegisteredPolicy>> entry =
       registry_.Get(name);
   if (!entry.ok()) return entry.status();
-  return accountant_.Remaining(
-      PolicyLedger(name, entry.ValueOrDie()->version));
+  return accountant_.Remaining(entry.ValueOrDie()->ledger);
 }
 
 Result<std::string> QueryEngine::SessionAudit(

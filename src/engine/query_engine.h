@@ -1,13 +1,27 @@
 // The policy-aware query engine: the serving layer above the planner.
 //
 //   PolicyRegistry   named policies + the data they protect + ε caps
+//                    (sharded by name hash; handles skip the hash)
 //   PlanCache        (policy, options) -> shared plan; planner /
 //                    spanner / matrix work runs once per policy
-//   BudgetAccountant per-policy and per-session ε ledgers, charged
-//                    atomically before any noise is drawn
+//   BudgetAccountant per-policy and per-session ε ledgers (sharded by
+//                    id hash), charged atomically before any noise is
+//                    drawn
 //   QueryEngine      Submit(): look up policy -> get-or-plan ->
 //                    charge budget -> dispatch to the cheapest
 //                    execution path the plan supports
+//
+// The warm hot path is handle-based. OpenSession / ResolveSession and
+// ResolvePolicy hand out integer handles; a QueryRequest carrying them
+// submits with zero string construction and zero map hashing: the
+// session handle indexes its accountant shard directly, the policy
+// handle indexes its registry shard, the plan comes from the snapshot's
+// own plan slot, the charge records a structured audit tag (shared
+// context string, no formatting), and the noise-free release
+// precompute (database transform, component totals — for general
+// graphs a conjugate-gradient solve) is cached per (policy, version)
+// in a sharded engine cache. String-id requests still work and pay
+// only one hash per lookup.
 //
 // Execution dispatch. A dense workload is answered as W x̂ from the
 // plan's full-histogram release. An implicit range workload on a θ>=2
@@ -24,13 +38,18 @@
 // with kOutOfRange *before* the mechanism runs, so refused queries
 // leak nothing. Answers are post-processing of the submit's noisy
 // releases and are free: one release answers the whole workload.
+// SubmitBatch groups requests by (session, policy) and charges each
+// group once — Σε under sequential composition, or max ε when the
+// caller declares the batch's workloads disjoint-domain
+// (BatchOptions::disjoint_domains, the paper's parallel-composition
+// rule: one neighbor step touches one part).
 //
-// Concurrency. The registry and plan cache are guarded by
-// shared_mutexes (read-mostly), the accountant serializes charges, and
-// mechanisms are immutable after planning with caller-provided
-// randomness — each submit derives a private Rng stream from the
-// engine seed and a submit counter, so concurrent submits are
-// reproducible-in-aggregate and never share generator state.
+// Concurrency. Registry and accountant are sharded (see their
+// headers), plans and precomputes are immutable after construction
+// with caller-provided randomness — each submit derives a private Rng
+// stream from the engine seed and a submit counter, so concurrent
+// submits are reproducible-in-aggregate and never share generator
+// state.
 
 #ifndef BLOWFISH_ENGINE_QUERY_ENGINE_H_
 #define BLOWFISH_ENGINE_QUERY_ENGINE_H_
@@ -59,7 +78,8 @@ struct EngineOptions {
   /// default draws fresh entropy (std::random_device) per engine. Set
   /// it only for reproducible tests and benchmarks.
   std::optional<uint64_t> seed;
-  /// Plan at registration time so the first submit is already warm.
+  /// Plan (and precompute the release transform) at registration time
+  /// so the first submit is already warm.
   bool warm_plan_cache = false;
 };
 
@@ -74,9 +94,18 @@ struct EngineOptions {
 /// and budget charges. Range requests against any other policy are
 /// answered from the policy's histogram release via a summed-area
 /// table — the dense matrix is never materialized either way.
+///
+/// `session_handle` / `policy_handle`, when valid, replace the string
+/// lookups entirely (the strings are then ignored): a warm submit
+/// carrying both performs no string construction or map hashing.
 struct QueryRequest {
   std::string session;
   std::string policy;
+  /// From OpenSession/ResolveSession; overrides `session` when valid.
+  LedgerHandle session_handle;
+  /// From ResolvePolicy; overrides `policy` when valid. Survives
+  /// ReplacePolicy (it names the binding), dies on UnregisterPolicy.
+  PolicyHandle policy_handle;
   Workload workload;
   std::optional<RangeWorkload> ranges;
   double epsilon = 0.0;
@@ -93,12 +122,23 @@ struct QueryResult {
   /// (θ>=2 grid fast path) rather than a full-histogram release.
   bool range_fast_path = false;
   PrivacyGuarantee guarantee;  ///< stated for this release's ε
-  /// Post-charge ledger balances. nullopt means the ledger was closed
-  /// concurrently (session closed / policy unregistered between the
-  /// charge and this read) — NOT that the budget is exhausted; an
-  /// exhausted ledger reports 0.0.
+  /// Post-charge ledger balances, read atomically inside the charge
+  /// itself (no later lock round-trip). nullopt only on paths that
+  /// could not observe the ledger (never for a successful submit);
+  /// an exhausted ledger reports 0.0.
   std::optional<double> session_remaining;
   std::optional<double> policy_remaining;
+};
+
+/// \brief Batch-wide submission options.
+struct BatchOptions {
+  /// The caller declares that the batch's workloads operate on
+  /// disjoint sub-domains of each policy's histogram. Each
+  /// (session, policy) group is then charged max(ε_i) once — the
+  /// parallel-composition rule — instead of Σε_i. The engine cannot
+  /// verify the disjointness claim; stating it falsely voids the
+  /// stated guarantee, exactly as in the paper's Theorem 5.4 usage.
+  bool disjoint_domains = false;
 };
 
 /// \brief Concurrent facade over registry + cache + accountant.
@@ -118,6 +158,7 @@ class QueryEngine {
   /// entry drain against the *old* data's cap — a replace can never
   /// let the new data's cap absorb old-data releases or vice versa.
   /// Superseded ledgers stay open until the name is unregistered.
+  /// Policy handles survive and see the new entry.
   Status ReplacePolicy(const std::string& name, Policy policy, Vector data,
                        double epsilon_cap);
 
@@ -134,17 +175,35 @@ class QueryEngine {
   /// Closes a session; later submits on it get kNotFound.
   Status CloseSession(const std::string& session_id);
 
+  /// The open session's ledger handle (for handle-carrying requests).
+  Result<LedgerHandle> ResolveSession(const std::string& session_id) const;
+
+  /// The registered policy's handle (for handle-carrying requests).
+  Result<PolicyHandle> ResolvePolicy(const std::string& name) const {
+    return registry_.Resolve(name);
+  }
+
   /// Executes one request. Errors: kNotFound (unknown session or
-  /// policy), kInvalidArgument (workload/domain mismatch, bad ε, both
-  /// or neither workload representation set), kOutOfRange (session or
-  /// policy budget exhausted — charged before any noise is drawn, so
-  /// a refusal releases nothing).
+  /// policy, or a stale handle), kInvalidArgument (workload/domain
+  /// mismatch, bad ε, both or neither workload representation set),
+  /// kOutOfRange (session or policy budget exhausted — charged before
+  /// any noise is drawn, so a refusal releases nothing).
   Result<QueryResult> Submit(const QueryRequest& request);
 
-  /// Executes a batch in order; entry i is the outcome of request i.
-  /// A failed entry does not stop the rest of the batch.
+  /// Executes a batch; entry i is the outcome of request i. Requests
+  /// are grouped by (session, policy, planner options): each group
+  /// resolves its registry snapshot and plan once and charges the
+  /// budget once — Σε_i (sequential composition), or max ε_i when
+  /// `options.disjoint_domains` declares the batch disjoint. A failed
+  /// entry does not stop the rest of the batch; if a group's combined
+  /// sequential charge does not fit, the group degrades to per-entry
+  /// charges in batch order (admitting the prefix the budget affords,
+  /// exactly as individual Submits would). A disjoint group charges
+  /// all-or-nothing: parallel composition covers the whole set or
+  /// none of it.
   std::vector<Result<QueryResult>> SubmitBatch(
-      const std::vector<QueryRequest>& batch);
+      const std::vector<QueryRequest>& batch,
+      const BatchOptions& options = BatchOptions());
 
   /// Registry metadata snapshot; kNotFound if absent.
   Result<PolicyMetadata> GetPolicyMetadata(const std::string& name) const;
@@ -157,26 +216,39 @@ class QueryEngine {
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t num_policies() const { return registry_.size(); }
   std::vector<std::string> Names() const { return registry_.Names(); }
+  /// Cached noise-free release precomputes across all shards (tests).
+  size_t transform_cache_entries() const;
 
  private:
-  /// Noise-free per-(policy, version) transform of the protected data
-  /// into the spanner's edge domain, shared by every range-fast-path
-  /// submit against that snapshot (the transform solves a graph CG
-  /// system — far too slow to redo per query).
-  struct TransformedData {
-    Vector xg;      ///< P_H^{-1} x′ over the spanner edge domain
-    double n = 0.0; ///< public database size Σx
-  };
+  using PrecomputePtr =
+      std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>;
 
+  /// Per-snapshot plan slot fast path, falling back to the
+  /// single-flight string-keyed cache on cold misses.
   Result<std::shared_ptr<const Plan>> GetOrPlan(
-      const RegisteredPolicy& entry, bool prefer_data_dependent,
-      bool* cache_hit);
+      const std::shared_ptr<const RegisteredPolicy>& entry,
+      bool prefer_data_dependent, bool* cache_hit);
 
-  std::shared_ptr<const TransformedData> GetOrTransform(
-      const RegisteredPolicy& entry, const GridThetaRangeMechanism& mech);
+  /// Cached noise-free precompute for (entry version, options slot);
+  /// single-flight per key so a cold-policy herd runs the transform
+  /// (a CG solve on general graphs) once. Null if the plan's
+  /// mechanism has no precompute split.
+  PrecomputePtr GetOrPrecompute(const RegisteredPolicy& entry,
+                                const Plan& plan, bool prefer_data_dependent);
 
-  /// Evicts every cached transform for `name` (all versions).
-  void DropTransformed(const std::string& name);
+  /// Evicts the cached precomputes of one superseded snapshot. The
+  /// cache is sharded by key hash, so eviction addresses exactly the
+  /// shards holding the snapshot's two option slots.
+  void DropTransformed(const RegisteredPolicy& entry);
+
+  /// One release continuing from a charged budget: derives the
+  /// submit's private rng stream, dispatches range fast path /
+  /// precomputed dense / plain Run.
+  QueryResult Release(const QueryRequest& request,
+                      const RegisteredPolicy& entry, const Plan& plan,
+                      bool cache_hit, bool has_ranges);
+
+  static size_t PrecomputeShardOf(uint64_t key);
 
   static std::string SessionLedger(const std::string& session_id);
   static std::string PolicyLedger(const std::string& name, uint64_t version);
@@ -187,15 +259,25 @@ class QueryEngine {
   PolicyRegistry registry_;
   PlanCache plan_cache_;
   BudgetAccountant accountant_;
-  /// (name + '\x1f' + version) -> transformed data; entries for a name
-  /// are dropped on Replace/Unregister alongside its plans. The gates
-  /// map holds one per-key mutex per in-progress cold transform
-  /// (single-flight without blocking other policies' first touches).
-  mutable std::shared_mutex transformed_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const TransformedData>>
-      transformed_;
-  std::unordered_map<std::string, std::shared_ptr<std::mutex>>
-      transform_gates_;
+
+  /// session id -> ledger handle; lets string-id submits reach the
+  /// accountant without building the "session/…" ledger id.
+  mutable std::shared_mutex sessions_mu_;
+  std::unordered_map<std::string, LedgerHandle> sessions_;
+
+  /// Sharded (version << 1 | dd-option) -> precompute cache. Integer
+  /// keys: versions are registry-unique, so no name string is ever
+  /// built. The gates map holds one per-key mutex per in-progress
+  /// cold precompute (single-flight without blocking other policies'
+  /// first touches).
+  static constexpr size_t kPrecomputeShards = 8;
+  struct PrecomputeShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<uint64_t, PrecomputePtr> entries;
+    std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> gates;
+  };
+  PrecomputeShard precompute_shards_[kPrecomputeShards];
+
   std::atomic<uint64_t> submit_counter_{0};
   /// Serializes policy lifecycle ops (register/replace/unregister) so
   /// their registry + ledger steps compose atomically against each

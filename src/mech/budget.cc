@@ -37,7 +37,30 @@ Status PrivacyBudget::Spend(double epsilon, const std::string& label) {
         std::to_string(total_));
   }
   spent_ += epsilon;
-  ledger_.push_back({epsilon, label});
+  ledger_.push_back(Entry{epsilon, label, nullptr, 1});
+  return Status::OK();
+}
+
+Status PrivacyBudget::SpendTagged(double epsilon, std::string_view workload,
+                                  std::shared_ptr<const std::string> context,
+                                  uint32_t parallel_count) {
+  if (parallel_count == 0) {
+    return Status::InvalidArgument("parallel spend needs >= 1 release");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("spend must be positive: " +
+                                   std::string(workload));
+  }
+  if (!CanSpend(epsilon)) {
+    return Status::InvalidArgument(
+        "budget exceeded by '" + std::string(workload) + "': spent " +
+        std::to_string(spent_) + " + " + std::to_string(epsilon) + " > " +
+        std::to_string(total_));
+  }
+  spent_ += epsilon;
+  ledger_.push_back(
+      Entry{epsilon, std::string(workload), std::move(context),
+            parallel_count});
   return Status::OK();
 }
 
@@ -55,6 +78,8 @@ std::string PrivacyBudget::ToString() const {
   out << "budget " << total_ << ", spent " << spent_ << ":";
   for (const Entry& e : ledger_) {
     out << "\n  " << e.epsilon << "  " << e.label;
+    if (e.context != nullptr) out << " on " << *e.context;
+    if (e.parallel_count > 1) out << " (parallel x" << e.parallel_count << ")";
   }
   return out.str();
 }

@@ -13,7 +13,10 @@
 #ifndef BLOWFISH_MECH_BUDGET_H_
 #define BLOWFISH_MECH_BUDGET_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +43,18 @@ class PrivacyBudget {
   Status SpendParallel(double epsilon, size_t count,
                        const std::string& label);
 
+  /// A spend recorded without building a per-spend label string. The
+  /// hot serving path charges thousands of times per second against
+  /// the same (policy, plan) pair; `context` is that pair's shared
+  /// preformatted description (one refcount bump to record, never
+  /// copied), and only the per-request part — the short workload
+  /// name — is copied into the entry. `parallel_count > 1` marks the
+  /// entry as one parallel-composition charge covering that many
+  /// disjoint-domain releases.
+  Status SpendTagged(double epsilon, std::string_view workload,
+                     std::shared_ptr<const std::string> context,
+                     uint32_t parallel_count = 1);
+
   double total() const { return total_; }
   double spent() const { return spent_; }
   double remaining() const { return total_ - spent_; }
@@ -47,6 +62,11 @@ class PrivacyBudget {
   struct Entry {
     double epsilon;
     std::string label;
+    /// Shared suffix for tagged entries (null for plain spends); the
+    /// audit line is `label + " on " + *context`.
+    std::shared_ptr<const std::string> context;
+    /// >1 marks a parallel-composition charge over that many releases.
+    uint32_t parallel_count = 1;
   };
   const std::vector<Entry>& ledger() const { return ledger_; }
 

@@ -6,26 +6,50 @@
 
 namespace blowfish {
 
-double Rng::Uniform(double lo, double hi) {
-  std::uniform_real_distribution<double> dist(lo, hi);
-  return dist(gen_);
-}
-
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   BF_CHECK_LE(lo, hi);
-  std::uniform_int_distribution<int64_t> dist(lo, hi);
-  return dist(gen_);
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<int64_t>((*this)());
+  }
+  // Rejection sampling: discard the partial top interval so every
+  // value in [lo, hi] is exactly equally likely.
+  const uint64_t limit = (~0ull) - (~0ull) % span;
+  uint64_t word;
+  do {
+    word = (*this)();
+  } while (word >= limit);
+  // Unsigned add, then cast: lo + (word % span) computed in int64_t
+  // overflows for spans wider than 2^63 (UB); the unsigned sum wraps
+  // to the correct two's-complement value for every [lo, hi].
+  return static_cast<int64_t>(static_cast<uint64_t>(lo) + word % span);
 }
 
-double Rng::Laplace(double scale) {
-  BF_CHECK_GT(scale, 0.0);
-  // Inverse CDF: U in (-1/2, 1/2), X = -b * sgn(U) * ln(1 - 2|U|).
-  double u;
-  do {
-    u = Uniform(-0.5, 0.5);
-  } while (u == -0.5);  // avoid log(0)
-  const double sign = (u < 0.0) ? -1.0 : 1.0;
-  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+double Rng::ExponentialZigguratSlow(uint64_t word) {
+  using rng_internal::kExpZig;
+  using Tables = rng_internal::ExpZigguratTables;
+  for (;;) {
+    const uint64_t jz = word >> 11;
+    const size_t iz = word & 255u;
+    if (jz < kExpZig.ke[iz]) {
+      return static_cast<double>(jz) * kExpZig.we[iz];
+    }
+    if (iz == 0) {
+      // Tail: the exponential is memoryless past the base layer.
+      const double u =
+          (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;  // (0,1]
+      return Tables::kTailStart - std::log(u);
+    }
+    const double x = static_cast<double>(jz) * kExpZig.we[iz];
+    const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    if (kExpZig.fe[iz] + u * (kExpZig.fe[iz - 1] - kExpZig.fe[iz]) <
+        std::exp(-x)) {
+      return x;
+    }
+    word = (*this)();
+  }
 }
 
 std::vector<double> Rng::LaplaceVector(size_t n, double scale) {
@@ -35,14 +59,23 @@ std::vector<double> Rng::LaplaceVector(size_t n, double scale) {
 }
 
 double Rng::Normal(double mean, double stddev) {
-  std::normal_distribution<double> dist(mean, stddev);
-  return dist(gen_);
+  // Marsaglia polar method, one pair per two candidate words; the
+  // second variate is discarded to keep the sampler stateless.
+  for (;;) {
+    const double u = Uniform(-1.0, 1.0);
+    const double v = Uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mean + stddev * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
 }
 
 double Rng::Exponential(double rate) {
   BF_CHECK_GT(rate, 0.0);
-  std::exponential_distribution<double> dist(rate);
-  return dist(gen_);
+  const double u =
+      (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;  // (0,1]
+  return -std::log(u) / rate;
 }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
@@ -63,9 +96,9 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() {
-  // Draw a fresh 64-bit seed; child streams from mt19937_64 seeded with
-  // independent values are effectively independent for our purposes.
-  return Rng(gen_());
+  // Draw a fresh 64-bit seed; child streams seeded through splitmix64
+  // are effectively independent for our purposes.
+  return Rng((*this)());
 }
 
 }  // namespace blowfish

@@ -1,0 +1,214 @@
+// Shard-boundary coverage for the sharded serving layer. Ledgers and
+// policies are partitioned by id/name hash; these tests pin the
+// operations that must see across every shard: prefix ledger sweeps,
+// transform-cache eviction, handle staleness through the generation
+// counters, and the all-or-nothing guarantee of charges whose ledgers
+// live in different shards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+Vector Ramp(size_t n) {
+  Vector x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % 5);
+  return x;
+}
+
+TEST(BudgetShards, PrefixCloseSweepsEveryShard) {
+  BudgetAccountant accountant;
+  // Far more ids than shards: every shard holds several matches and
+  // several non-matches.
+  const size_t kCount = 8 * BudgetAccountant::kShardCount;
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        accountant.OpenLedger("policy/p\x1f" + std::to_string(i), 1.0).ok());
+    ASSERT_TRUE(
+        accountant.OpenLedger("session/u" + std::to_string(i), 1.0).ok());
+  }
+  EXPECT_EQ(accountant.CloseLedgersWithPrefix("policy/p\x1f"), kCount);
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_FALSE(accountant.HasLedger("policy/p\x1f" + std::to_string(i)));
+    EXPECT_TRUE(accountant.HasLedger("session/u" + std::to_string(i)));
+  }
+  EXPECT_EQ(accountant.CloseLedgersWithPrefix("policy/p\x1f"), 0u);
+}
+
+TEST(BudgetShards, HandlesGoStaleOnCloseAndNeverAliasReopens) {
+  BudgetAccountant accountant;
+  const LedgerHandle first = accountant.OpenLedger("a", 1.0).ValueOrDie();
+  ASSERT_TRUE(accountant.CloseLedger("a").ok());
+  EXPECT_EQ(accountant.Remaining(first).status().code(),
+            StatusCode::kNotFound);
+  // Reopening the same id reuses storage but must not resurrect the
+  // old handle (generation bump).
+  const LedgerHandle second = accountant.OpenLedger("a", 2.0).ValueOrDie();
+  EXPECT_EQ(accountant.Remaining(first).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_NEAR(*accountant.Remaining(second), 2.0, 1e-12);
+
+  // Charges through a stale handle fail without touching the live
+  // ledger.
+  const LedgerHandle pair[2] = {first, second};
+  ChargeTag tag;
+  tag.workload = "stale";
+  EXPECT_EQ(accountant.Charge(pair, 2, 0.5, tag).code(),
+            StatusCode::kNotFound);
+  EXPECT_NEAR(*accountant.Remaining(second), 2.0, 1e-12);
+}
+
+TEST(BudgetShards, CrossShardChargesAreAtomicUnderContention) {
+  // Many (session, policy) ledger pairs; ids hash into distinct
+  // shards with overwhelming probability across 64 pairs. Threads
+  // hammer joint charges; every accepted charge must land on both
+  // ledgers, every refusal on neither — the pairwise balances must
+  // never diverge.
+  BudgetAccountant accountant;
+  constexpr size_t kPairs = 64;
+  constexpr size_t kThreads = 6;
+  constexpr double kEps = 0.01;
+  std::vector<LedgerHandle> sessions(kPairs), policies(kPairs);
+  for (size_t i = 0; i < kPairs; ++i) {
+    sessions[i] =
+        accountant.OpenLedger("s/" + std::to_string(i), 0.1).ValueOrDie();
+    policies[i] =
+        accountant.OpenLedger("p/" + std::to_string(i), 0.05).ValueOrDie();
+  }
+  std::atomic<size_t> unexpected{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < 40; ++round) {
+        const size_t i = (t * 40 + round) % kPairs;
+        const LedgerHandle pair[2] = {sessions[i], policies[i]};
+        ChargeTag tag;
+        tag.workload = "joint";
+        const Status status = accountant.Charge(pair, 2, kEps, tag);
+        if (!status.ok() && status.code() != StatusCode::kOutOfRange) {
+          unexpected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(unexpected.load(), 0u);
+  for (size_t i = 0; i < kPairs; ++i) {
+    const double session_spent = 0.1 - *accountant.Remaining(sessions[i]);
+    const double policy_spent = 0.05 - *accountant.Remaining(policies[i]);
+    // All-or-nothing: both ledgers saw exactly the same charges.
+    EXPECT_NEAR(session_spent, policy_spent, 1e-12) << "pair " << i;
+    // The tighter cap admits at most floor(0.05 / 0.01) = 5 charges.
+    EXPECT_LE(policy_spent, 0.05 + 1e-9);
+  }
+}
+
+TEST(PolicyShards, HandlesFollowReplaceAndDieOnUnregister) {
+  PolicyRegistry registry;
+  ASSERT_TRUE(registry.Register("p", LinePolicy(8), Ramp(8), 1.0).ok());
+  const PolicyHandle handle = registry.Resolve("p").ValueOrDie();
+  const auto before = registry.Get(handle).ValueOrDie();
+  ASSERT_TRUE(registry.Replace("p", LinePolicy(8), Ramp(8), 2.0).ok());
+  // Same handle, new entry: it names the binding, not the version.
+  const auto after = registry.Get(handle).ValueOrDie();
+  EXPECT_GT(after->version, before->version);
+  EXPECT_EQ(after->epsilon_cap, 2.0);
+  ASSERT_TRUE(registry.Unregister("p").ok());
+  EXPECT_EQ(registry.Get(handle).status().code(), StatusCode::kNotFound);
+  // Re-register under the same name: the old handle must not alias
+  // the new binding.
+  ASSERT_TRUE(registry.Register("p", LinePolicy(8), Ramp(8), 3.0).ok());
+  EXPECT_EQ(registry.Get(handle).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(registry.Resolve("p").ok());
+}
+
+TEST(PolicyShards, ManyPoliciesSpreadAndEnumerateAcrossShards) {
+  PolicyRegistry registry;
+  const size_t kCount = 4 * PolicyRegistry::kShardCount;
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(
+        registry.Register("p" + std::to_string(i), LinePolicy(8), Ramp(8), 1.0)
+            .ok());
+  }
+  EXPECT_EQ(registry.size(), kCount);
+  EXPECT_EQ(registry.Names().size(), kCount);
+  for (size_t i = 0; i < kCount; i += 2) {
+    ASSERT_TRUE(registry.Unregister("p" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(registry.size(), kCount / 2);
+}
+
+TEST(TransformCache, DropTransformedEvictsAcrossShardsOnLifecycleOps) {
+  // Several θ>=2 grid policies; consecutive versions land in
+  // different precompute shards. Each warm submit populates the
+  // sharded transform cache; Replace/Unregister must evict exactly
+  // the superseded snapshot's entries wherever they hashed to.
+  QueryEngine engine(EngineOptions{/*seed=*/1, false});
+  const size_t kPolicies = 6;
+  for (size_t i = 0; i < kPolicies; ++i) {
+    ASSERT_TRUE(engine
+                    .RegisterPolicy("slab" + std::to_string(i),
+                                    GridPolicy(DomainShape({8, 8}), 4),
+                                    Ramp(64), 100.0)
+                    .ok());
+  }
+  ASSERT_TRUE(engine.OpenSession("s", 1e6).ok());
+  EXPECT_EQ(engine.transform_cache_entries(), 0u);
+  for (size_t i = 0; i < kPolicies; ++i) {
+    QueryRequest request;
+    request.session = "s";
+    request.policy = "slab" + std::to_string(i);
+    request.ranges =
+        RangeWorkload("r", DomainShape({8, 8}), {{{0, 0}, {3, 3}}});
+    request.epsilon = 0.1;
+    ASSERT_TRUE(engine.Submit(request).ValueOrDie().range_fast_path);
+  }
+  EXPECT_EQ(engine.transform_cache_entries(), kPolicies);
+
+  // Replace evicts the superseded version's cache entry; the next
+  // submit repopulates for the new version.
+  ASSERT_TRUE(engine
+                  .ReplacePolicy("slab0", GridPolicy(DomainShape({8, 8}), 4),
+                                 Ramp(64), 100.0)
+                  .ok());
+  EXPECT_EQ(engine.transform_cache_entries(), kPolicies - 1);
+
+  // Unregister evicts too, for every remaining policy — if any shard
+  // were missed, the count could not reach zero.
+  for (size_t i = 0; i < kPolicies; ++i) {
+    ASSERT_TRUE(engine.UnregisterPolicy("slab" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(engine.transform_cache_entries(), 0u);
+}
+
+TEST(TransformCache, DensePrecomputesEvictWithTheirSnapshot) {
+  QueryEngine engine(EngineOptions{/*seed=*/1, false});
+  ASSERT_TRUE(
+      engine.RegisterPolicy("line", LinePolicy(16), Ramp(16), 100.0).ok());
+  ASSERT_TRUE(engine.OpenSession("s", 1e6).ok());
+  QueryRequest request;
+  request.session = "s";
+  request.policy = "line";
+  request.workload = IdentityWorkload(16);
+  request.epsilon = 0.1;
+  ASSERT_TRUE(engine.Submit(request).ok());
+  EXPECT_EQ(engine.transform_cache_entries(), 1u);
+  ASSERT_TRUE(
+      engine.ReplacePolicy("line", LinePolicy(16), Ramp(16), 100.0).ok());
+  EXPECT_EQ(engine.transform_cache_entries(), 0u);
+  ASSERT_TRUE(engine.Submit(request).ok());
+  EXPECT_EQ(engine.transform_cache_entries(), 1u);
+  ASSERT_TRUE(engine.UnregisterPolicy("line").ok());
+  EXPECT_EQ(engine.transform_cache_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace blowfish

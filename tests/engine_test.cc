@@ -397,6 +397,43 @@ TEST_F(QueryEngineTest, MisshapenRangeDomainSkipsTheFastPath) {
   EXPECT_EQ(result.answers.size(), 1u);
 }
 
+TEST_F(QueryEngineTest, HandleRequestsMatchStringRequests) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  QueryRequest request = Request("alice", "salaries", 1.0);
+  request.session_handle = engine_.ResolveSession("alice").ValueOrDie();
+  request.policy_handle = engine_.ResolvePolicy("salaries").ValueOrDie();
+  // Strings are ignored when handles are valid.
+  request.session = "nonsense";
+  request.policy = "nonsense";
+  const QueryResult result = engine_.Submit(request).ValueOrDie();
+  EXPECT_EQ(result.answers.size(), 16u);
+  EXPECT_NEAR(result.session_remaining.value(), 9.0, 1e-9);
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 9.0, 1e-9);
+
+  // A policy handle survives Replace and charges the new version's
+  // fresh ledger.
+  ASSERT_TRUE(
+      engine_.ReplacePolicy("salaries", LinePolicy(16), Ramp(16), 7.0).ok());
+  const QueryResult after = engine_.Submit(request).ValueOrDie();
+  EXPECT_NEAR(after.policy_remaining.value(), 6.0, 1e-9);
+
+  // Handles die with their referents.
+  ASSERT_TRUE(engine_.UnregisterPolicy("salaries").ok());
+  EXPECT_EQ(engine_.Submit(request).status().code(), StatusCode::kNotFound);
+  QueryRequest stale_session = Request("alice", "locations", 1.0);
+  stale_session.session_handle = request.session_handle;
+  ASSERT_TRUE(engine_.CloseSession("alice").ok());
+  EXPECT_EQ(engine_.Submit(stale_session).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryEngineTest, ResolveUnknownNamesFails) {
+  EXPECT_EQ(engine_.ResolveSession("ghost").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.ResolvePolicy("ghost").status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST_F(QueryEngineTest, BatchKeepsGoingPastFailures) {
   ASSERT_TRUE(engine_.OpenSession("alice", 1.0).ok());
   const std::vector<QueryRequest> batch = {
@@ -412,6 +449,86 @@ TEST_F(QueryEngineTest, BatchKeepsGoingPastFailures) {
   EXPECT_EQ(results[2].status().code(), StatusCode::kOutOfRange);
   EXPECT_TRUE(results[3].ok());
   EXPECT_NEAR(*engine_.SessionRemaining("alice"), 0.0, 1e-9);
+}
+
+TEST_F(QueryEngineTest, BatchGroupChargesOnceAndPreservesPerEntryResults) {
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  // Three same-(session, policy) requests: one group, one ledger entry
+  // of sum(eps), per-entry answers preserved.
+  const std::vector<QueryRequest> batch = {
+      Request("alice", "salaries", 0.5), Request("alice", "salaries", 0.25),
+      Request("alice", "salaries", 0.25)};
+  const auto results = engine_.SubmitBatch(batch);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.ValueOrDie().answers.size(), 16u);
+    // Post-charge balance of the whole group's single charge.
+    EXPECT_NEAR(result.ValueOrDie().session_remaining.value(), 9.0, 1e-9);
+  }
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 9.0, 1e-9);
+  EXPECT_NEAR(*engine_.PolicyRemaining("salaries"), 99.0, 1e-9);
+  // One grouped audit entry, not three.
+  const std::string audit = engine_.SessionAudit("alice").ValueOrDie();
+  EXPECT_NE(audit.find("batch[3]"), std::string::npos);
+}
+
+TEST_F(QueryEngineTest, OverBudgetGroupDegradesToPrefixAdmission) {
+  // The grouped sum does not fit, so the group must fall back to
+  // per-entry charges in batch order — admitting exactly the prefix
+  // that individual Submits would have admitted.
+  ASSERT_TRUE(engine_.OpenSession("alice", 1.0).ok());
+  const std::vector<QueryRequest> batch = {
+      Request("alice", "salaries", 0.6), Request("alice", "salaries", 0.3),
+      Request("alice", "salaries", 0.3)};
+  const auto results = engine_.SubmitBatch(batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_EQ(results[2].status().code(), StatusCode::kOutOfRange);
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 0.1, 1e-9);
+}
+
+TEST_F(QueryEngineTest, DisjointBatchChargesMaxEpsilonOnBothLedgers) {
+  // Acceptance pin: SpendParallel charges max(eps) for a
+  // declared-disjoint batch, sum(eps) otherwise — on the session AND
+  // the policy ledger.
+  ASSERT_TRUE(engine_.OpenSession("alice", 10.0).ok());
+  const std::vector<QueryRequest> batch = {
+      Request("alice", "salaries", 0.3), Request("alice", "salaries", 0.5),
+      Request("alice", "salaries", 0.2)};
+
+  BatchOptions disjoint;
+  disjoint.disjoint_domains = true;
+  const auto parallel = engine_.SubmitBatch(batch, disjoint);
+  for (const auto& result : parallel) ASSERT_TRUE(result.ok());
+  // max(0.3, 0.5, 0.2) = 0.5 once, on both ledgers.
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 9.5, 1e-9);
+  EXPECT_NEAR(*engine_.PolicyRemaining("salaries"), 99.5, 1e-9);
+  // The audit trail marks the parallel-composition charge.
+  const std::string audit = engine_.SessionAudit("alice").ValueOrDie();
+  EXPECT_NE(audit.find("parallel x3"), std::string::npos);
+
+  // The same batch without the declaration composes sequentially.
+  const auto sequential = engine_.SubmitBatch(batch);
+  for (const auto& result : sequential) ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 8.5, 1e-9);
+  EXPECT_NEAR(*engine_.PolicyRemaining("salaries"), 98.5, 1e-9);
+}
+
+TEST_F(QueryEngineTest, DisjointBatchRefusesAllOrNothing) {
+  // Parallel composition covers the whole declared-disjoint set or
+  // none of it: if max(eps) does not fit, nothing is charged and no
+  // entry is released.
+  ASSERT_TRUE(engine_.OpenSession("alice", 0.4).ok());
+  const std::vector<QueryRequest> batch = {
+      Request("alice", "salaries", 0.3), Request("alice", "salaries", 0.5)};
+  BatchOptions disjoint;
+  disjoint.disjoint_domains = true;
+  const auto results = engine_.SubmitBatch(batch, disjoint);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(results[1].status().code(), StatusCode::kOutOfRange);
+  EXPECT_NEAR(*engine_.SessionRemaining("alice"), 0.4, 1e-9);
 }
 
 TEST_F(QueryEngineTest, AuditTrailNamesWorkloadPolicyAndPlan) {
