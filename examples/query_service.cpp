@@ -1,13 +1,17 @@
 // A miniature policy-aware query service: the engine holds several
 // published datasets (each under its own Blowfish policy and total ε
 // cap), analysts open sessions with personal ε grants, and repeated
-// queries reuse cached plans until a budget runs dry.
+// queries reuse cached plans until a budget runs dry. The final round
+// runs the async pipeline: futures, cold/warm lane isolation, and
+// cancellation at shutdown.
 //
 // Build & run:  ./example_query_service
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
-#include "engine/query_engine.h"
+#include "engine/async_engine.h"
 #include "workload/builders.h"
 
 using namespace blowfish;
@@ -27,6 +31,12 @@ Vector CheckinCounts() {
 Vector Ramp256() {
   Vector x(256, 0.0);
   for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 17);
+  return x;
+}
+
+Vector Ramp512() {
+  Vector x(512, 0.0);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i % 23);
   return x;
 }
 
@@ -51,7 +61,10 @@ void Report(const char* who, const Result<QueryResult>& outcome) {
 }  // namespace
 
 int main() {
-  QueryEngine engine;
+  // The async pipeline owns the engine; the admin plane and
+  // synchronous submits go through engine() unchanged.
+  AsyncQueryEngine async;
+  QueryEngine& engine = async.engine();
 
   // The data owners publish: salaries under a line policy (adjacent
   // bins indistinguishable), check-ins under a θ=1 grid policy
@@ -153,6 +166,46 @@ int main() {
   std::printf("\nround 5 — budgets are hard limits:\n");
   // Bob has 0.5 - 0.25 - 0.25 = 0 left; the engine refuses cleanly.
   Report("bob", engine.Submit(request));
+
+  std::printf("\nround 6 — async pipeline (futures, cold/warm lanes):\n");
+  // A new dataset goes live under a policy that needs a fresh plan
+  // (the cold lane), while alice's warm dashboard queries keep
+  // flowing through the warm lane: the cold plan never blocks them.
+  engine
+      .RegisterPolicy("roads", Theta1DPolicy(512, 4), Ramp512(), 5.0)
+      .Check();
+  engine.OpenSession("carol", 1.0).Check();
+  QueryRequest cold;
+  cold.session = "carol";
+  cold.policy = "roads";
+  cold.workload = IdentityWorkload(512);
+  cold.epsilon = 0.2;
+  std::future<Result<QueryResult>> cold_future = async.SubmitAsync(cold);
+  std::vector<std::future<Result<QueryResult>>> warm_futures;
+  QueryRequest warm;
+  warm.session = "carol";
+  warm.policy = "mobility";
+  warm.ranges = RangeWorkload("center", DomainShape({16, 16}),
+                              {{{4, 4}, {11, 11}}});
+  warm.epsilon = 0.05;
+  for (int i = 0; i < 4; ++i) warm_futures.push_back(async.SubmitAsync(warm));
+  for (auto& future : warm_futures) Report("carol", future.get());
+  Report("carol", cold_future.get());
+  const AsyncStats async_stats = async.stats();
+  std::printf(
+      "  async lanes: warm %llu done (p99 %.2f ms), cold %llu done "
+      "(p99 %.2f ms), %llu plans coalesced\n",
+      static_cast<unsigned long long>(async_stats.warm.completed),
+      async_stats.warm.p99_ms,
+      static_cast<unsigned long long>(async_stats.cold.completed),
+      async_stats.cold.p99_ms,
+      static_cast<unsigned long long>(async_stats.cold_plans_coalesced));
+  // A future the service shuts down under resolves as kCancelled —
+  // callers always get an answer, even when it is "no".
+  async.Pause();
+  std::future<Result<QueryResult>> doomed = async.SubmitAsync(warm);
+  async.Shutdown(AsyncQueryEngine::ShutdownMode::kCancelPending);
+  Report("carol", doomed.get());
 
   const PlanCache::Stats stats = engine.plan_cache_stats();
   std::printf("\nplan cache: %llu hits, %llu misses, %zu entries\n",

@@ -14,6 +14,8 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kIOError: return "IOError";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

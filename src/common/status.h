@@ -25,6 +25,8 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kUnavailable,  ///< transient refusal (e.g. a full submission queue)
+  kCancelled,    ///< work abandoned before running (e.g. shutdown)
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -56,6 +58,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

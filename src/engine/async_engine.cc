@@ -1,0 +1,429 @@
+#include "engine/async_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace blowfish {
+
+namespace {
+constexpr const char* kShutdownMsg = "engine shut down before the request ran";
+}  // namespace
+
+// ------------------------------------------------------------ digest
+
+void AsyncQueryEngine::LatencyDigest::Record(double ms) {
+  const uint64_t us =
+      ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
+  const size_t bucket =
+      us == 0 ? 0
+              : std::min<size_t>(kBuckets - 1,
+                                 64 - __builtin_clzll(us));
+  buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  uint64_t prev = max_us.load(std::memory_order_relaxed);
+  while (prev < us && !max_us.compare_exchange_weak(
+                          prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+void AsyncQueryEngine::LatencyDigest::Snapshot(double* p50_ms, double* p99_ms,
+                                               double* max_ms) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  *max_ms = static_cast<double>(max_us.load(std::memory_order_relaxed)) /
+            1000.0;
+  if (total == 0) {
+    *p50_ms = *p99_ms = 0.0;
+    return;
+  }
+  const auto percentile = [&](double q) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        // Bucket i holds microsecond values with bit-width i, so its
+        // upper bound is 2^i - 1 us; the digest reports ~2x-resolution
+        // upper bounds, clamped to the exact observed max.
+        const double upper_ms =
+            static_cast<double>(i >= 63 ? ~0ull : (1ull << i)) / 1000.0;
+        return std::min(upper_ms, *max_ms);
+      }
+    }
+    return *max_ms;
+  };
+  *p50_ms = percentile(0.50);
+  *p99_ms = percentile(0.99);
+}
+
+// ------------------------------------------------------- construction
+
+AsyncQueryEngine::AsyncQueryEngine(EngineOptions options) : engine_(options) {
+  num_workers_ = options.async_workers != 0
+                     ? options.async_workers
+                     : std::max<size_t>(1, std::thread::hardware_concurrency());
+  // Cold leaders may never capture the whole pool (with >= 2 workers
+  // at least one stays reserved for the warm lane).
+  cold_limit_ = std::max<size_t>(1, num_workers_ / 2);
+  capacity_ = std::max<size_t>(1, options.async_queue_capacity);
+  full_policy_ = options.async_queue_full;
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncQueryEngine::~AsyncQueryEngine() {
+  Shutdown(engine_.options().async_drain_on_destruct
+               ? ShutdownMode::kDrain
+               : ShutdownMode::kCancelPending);
+}
+
+// -------------------------------------------------------- submission
+
+void AsyncQueryEngine::Classify(Task* task) const {
+  task->cold = false;
+  task->cold_key.clear();
+  for (const QueryRequest& request : task->requests) {
+    std::string key;
+    if (!engine_.IsWarm(request, &key)) {
+      task->cold = true;
+      task->cold_key = std::move(key);
+      break;
+    }
+  }
+}
+
+Status AsyncQueryEngine::AcquireSlots(std::unique_lock<std::mutex>* lock,
+                                      size_t slots) {
+  if (!accepting_) return Status::Cancelled(kShutdownMsg);
+  if (slots > capacity_) {
+    return Status::Unavailable(
+        "batch of " + std::to_string(slots) +
+        " exceeds the submission queue capacity of " +
+        std::to_string(capacity_));
+  }
+  if (queued_slots_ + slots > capacity_) {
+    if (full_policy_ == QueueFullPolicy::kReject) {
+      return Status::Unavailable("submission queue full (capacity " +
+                                 std::to_string(capacity_) + ")");
+    }
+    ++blocked_submitters_;
+    space_cv_.wait(*lock, [&] {
+      return !accepting_ || queued_slots_ + slots <= capacity_;
+    });
+    --blocked_submitters_;
+    if (blocked_submitters_ == 0) drain_cv_.notify_all();
+    if (!accepting_) return Status::Cancelled(kShutdownMsg);
+  }
+  return Status::OK();
+}
+
+size_t AsyncQueryEngine::DepthLocked(bool cold) const {
+  if (!cold) return warm_queue_.size();
+  size_t parked = 0;
+  for (const auto& entry : parked_) parked += entry.second.size();
+  return cold_queue_.size() + parked;
+}
+
+void AsyncQueryEngine::EnqueueLocked(TaskPtr task) {
+  const bool cold = task->cold;
+  task->enqueue_time = Clock::now();
+  task->lane_cold = cold;
+  queued_slots_ += task->slots();
+  ++outstanding_;
+  LaneCounters& lane = cold ? cold_counters_ : warm_counters_;
+  ++lane.enqueued;
+  (cold ? cold_queue_ : warm_queue_).push_back(std::move(task));
+  lane.peak_depth = std::max(lane.peak_depth, DepthLocked(cold));
+  work_cv_.notify_one();
+}
+
+std::future<Result<QueryResult>> AsyncQueryEngine::SubmitAsync(
+    QueryRequest request) {
+  TaskPtr task = std::make_unique<Task>();
+  task->requests.push_back(std::move(request));
+  task->promises.emplace_back();
+  std::future<Result<QueryResult>> future = task->promises[0].get_future();
+  Classify(task.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status admitted = AcquireSlots(&lock, 1);
+  if (!admitted.ok()) {
+    LaneCounters& lane = task->cold ? cold_counters_ : warm_counters_;
+    if (admitted.code() == StatusCode::kUnavailable) {
+      ++lane.rejected;
+    } else {
+      ++lane.cancelled;
+    }
+    lock.unlock();
+    task->promises[0].set_value(admitted);
+    return future;
+  }
+  EnqueueLocked(std::move(task));
+  return future;
+}
+
+std::vector<std::future<Result<QueryResult>>>
+AsyncQueryEngine::SubmitBatchAsync(std::vector<QueryRequest> batch,
+                                   const BatchOptions& options) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  if (batch.empty()) return futures;
+  TaskPtr task = std::make_unique<Task>();
+  task->is_batch = true;
+  task->batch_options = options;
+  task->requests = std::move(batch);
+  task->promises.resize(task->requests.size());
+  futures.reserve(task->promises.size());
+  for (Promise& promise : task->promises) {
+    futures.push_back(promise.get_future());
+  }
+  Classify(task.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status admitted = AcquireSlots(&lock, task->slots());
+  if (!admitted.ok()) {
+    // All-or-nothing: a batch straddling the remaining capacity is
+    // wholly refused; every future resolves with the same status.
+    LaneCounters& lane = task->cold ? cold_counters_ : warm_counters_;
+    if (admitted.code() == StatusCode::kUnavailable) {
+      ++lane.rejected;
+    } else {
+      ++lane.cancelled;
+    }
+    lock.unlock();
+    for (Promise& promise : task->promises) promise.set_value(admitted);
+    return futures;
+  }
+  EnqueueLocked(std::move(task));
+  return futures;
+}
+
+// ----------------------------------------------------------- workers
+
+void AsyncQueryEngine::WorkerLoop() {
+  for (;;) {
+    TaskPtr task;
+    bool cold_leader = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        if (stopping_) return true;
+        if (paused_) return false;
+        if (!warm_queue_.empty()) return true;
+        return !cold_queue_.empty() && cold_inflight_ < cold_limit_;
+      });
+      if (stopping_) return;
+      if (!warm_queue_.empty()) {
+        task = std::move(warm_queue_.front());
+        warm_queue_.pop_front();
+      } else {
+        task = std::move(cold_queue_.front());
+        cold_queue_.pop_front();
+        if (cold_inflight_keys_.count(task->cold_key) != 0) {
+          // Same-key plan already in flight: park instead of blocking
+          // this worker on the leader's planning. The task's queue
+          // slots stay held (it is still queued work).
+          ++cold_coalesced_;
+          parked_[task->cold_key].push_back(std::move(task));
+          continue;
+        }
+        cold_inflight_keys_.insert(task->cold_key);
+        ++cold_inflight_;
+        cold_leader = true;
+      }
+      queued_slots_ -= task->slots();
+      space_cv_.notify_all();
+    }
+    Process(task.get());
+    if (cold_leader) FinishCold(task->cold_key);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void AsyncQueryEngine::Process(Task* task) {
+  std::vector<Result<QueryResult>> results;
+  if (task->is_batch) {
+    results = engine_.SubmitBatch(task->requests, task->batch_options);
+  } else {
+    results.emplace_back(engine_.Submit(task->requests[0]));
+  }
+  // Completion stats are recorded *before* the promises resolve, so a
+  // caller woken by get() observes its own task already counted.
+  // Stats attribute to the lane the task was *accepted* into: a cold
+  // task re-enqueued warm after its leader planned still paid the
+  // cold wait, and must not pollute the warm latency digest.
+  LaneCounters& lane = task->lane_cold ? cold_counters_ : warm_counters_;
+  lane.completed.fetch_add(1, std::memory_order_relaxed);
+  lane.latency.Record(
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                task->enqueue_time)
+          .count());
+  for (size_t i = 0; i < results.size(); ++i) {
+    task->promises[i].set_value(std::move(results[i]));
+  }
+}
+
+void AsyncQueryEngine::FinishCold(const std::string& key) {
+  std::vector<TaskPtr> parked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cold_inflight_keys_.erase(key);
+    --cold_inflight_;
+    auto it = parked_.find(key);
+    if (it != parked_.end()) {
+      parked = std::move(it->second);
+      parked_.erase(it);
+    }
+    if (parked.empty()) {
+      // The freed cold slot may unblock another key's leader.
+      work_cv_.notify_all();
+      return;
+    }
+  }
+  // The leader's plan + precompute usually landed, so followers
+  // re-classify warm; if planning failed they stay cold and retry as
+  // serial leaders (sharing nothing stale). Re-enqueue keeps the
+  // original enqueue stamp (latency is submit-to-resolve) and lane
+  // attribution; only the runnable queue changes.
+  for (TaskPtr& task : parked) Classify(task.get());
+  bool cancel_parked = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A Shutdown(kCancelPending) that ran while the parked tasks were
+    // held outside the lock has already swept the queues; re-enqueuing
+    // now would strand these futures forever (workers are exiting).
+    // Cancel them here instead — their slots are still held and they
+    // still count as outstanding.
+    if (stopping_) {
+      cancel_parked = true;
+      for (const TaskPtr& task : parked) {
+        queued_slots_ -= task->slots();
+        LaneCounters& lane =
+            task->lane_cold ? cold_counters_ : warm_counters_;
+        ++lane.cancelled;
+      }
+      outstanding_ -= parked.size();
+      if (outstanding_ == 0) drain_cv_.notify_all();
+    } else {
+      for (TaskPtr& task : parked) {
+        (task->cold ? cold_queue_ : warm_queue_).push_back(std::move(task));
+      }
+      work_cv_.notify_all();
+    }
+  }
+  if (cancel_parked) {
+    for (TaskPtr& task : parked) {
+      for (Promise& promise : task->promises) {
+        promise.set_value(Status::Cancelled(kShutdownMsg));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- lifecycle
+
+void AsyncQueryEngine::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void AsyncQueryEngine::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void AsyncQueryEngine::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
+  // Serializes overlapping Shutdown calls (explicit + destructor);
+  // taken before mu_, and nothing else ever takes it.
+  std::lock_guard<std::mutex> shutdown_guard(shutdown_mu_);
+  std::vector<TaskPtr> doomed;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    accepting_ = false;
+    space_cv_.notify_all();  // blocked submitters bail with kCancelled
+    if (mode == ShutdownMode::kDrain) {
+      paused_ = false;
+      work_cv_.notify_all();
+      drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    } else {
+      for (TaskPtr& task : warm_queue_) doomed.push_back(std::move(task));
+      warm_queue_.clear();
+      for (TaskPtr& task : cold_queue_) doomed.push_back(std::move(task));
+      cold_queue_.clear();
+      for (auto& entry : parked_) {
+        for (TaskPtr& task : entry.second) doomed.push_back(std::move(task));
+      }
+      parked_.clear();
+      for (const TaskPtr& task : doomed) {
+        queued_slots_ -= task->slots();
+        LaneCounters& lane =
+            task->lane_cold ? cold_counters_ : warm_counters_;
+        ++lane.cancelled;
+      }
+      outstanding_ -= doomed.size();
+      if (outstanding_ == 0) drain_cv_.notify_all();
+    }
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  // Promises resolve outside the lock; in-flight tasks keep running to
+  // completion on their workers.
+  for (TaskPtr& task : doomed) {
+    for (Promise& promise : task->promises) {
+      promise.set_value(Status::Cancelled(kShutdownMsg));
+    }
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // A submitter we just woke out of the kBlock capacity wait still
+  // re-acquires mu_ and bumps its lane's cancelled counter on the way
+  // out of SubmitAsync; returning (and letting the destructor reclaim
+  // this object) before it has released mu_ would be a use-after-free.
+  // Once the count is observed zero under mu_, every such submitter
+  // has left the lock and only touches its own task from there on.
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return blocked_submitters_ == 0; });
+}
+
+// --------------------------------------------------------------- stats
+
+AsyncStats AsyncQueryEngine::stats() const {
+  AsyncStats out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fill = [](const LaneCounters& counters, size_t depth,
+                       LaneStats* lane) {
+    lane->enqueued = counters.enqueued;
+    lane->rejected = counters.rejected;
+    lane->cancelled = counters.cancelled;
+    lane->peak_depth = counters.peak_depth;
+    lane->depth = depth;
+    lane->completed = counters.completed.load(std::memory_order_relaxed);
+    counters.latency.Snapshot(&lane->p50_ms, &lane->p99_ms, &lane->max_ms);
+  };
+  fill(warm_counters_, DepthLocked(/*cold=*/false), &out.warm);
+  fill(cold_counters_, DepthLocked(/*cold=*/true), &out.cold);
+  out.workers = num_workers_;
+  out.cold_in_flight = cold_inflight_;
+  out.cold_plans_coalesced = cold_coalesced_;
+  return out;
+}
+
+}  // namespace blowfish

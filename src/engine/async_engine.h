@@ -1,0 +1,258 @@
+// Async submission pipeline: a bounded MPMC queue and a worker pool
+// in front of QueryEngine::Submit, so slow cold work (planning — the
+// spanner certification / matrix factorization — plus the noise-free
+// release transform) stops blocking fast warm-path queries.
+//
+// Two lanes. At submission time each request is classified with
+// QueryEngine::IsWarm():
+//
+//   warm lane   the target snapshot's plan *and* release precompute
+//               are already cached — the submit is noise + answer
+//               only. Workers drain this lane first, so a warm
+//               request's latency is bounded by queue depth, never by
+//               another policy's cold plan.
+//   cold lane   the submit must plan (or transform). Cold tasks are
+//               single-flight per (policy, version, options) plan key:
+//               one leader runs the plan; same-key tasks a worker pops
+//               meanwhile are parked without occupying the worker and
+//               re-enqueued (usually into the warm lane) when the
+//               leader finishes. At most max(1, workers/2) cold
+//               leaders run at once, so a burst of distinct new
+//               policies can never capture every worker.
+//
+// Futures. SubmitAsync returns std::future<Result<QueryResult>>;
+// SubmitBatchAsync returns one future per entry while preserving
+// SubmitBatch's grouped-charge semantics (the batch is one task, one
+// atomic charge per (session, policy) group). Every accepted future
+// resolves exactly once. Refusals are also delivered through the
+// future, already resolved: kUnavailable when the bounded queue is
+// full under QueueFullPolicy::kReject, kCancelled when the engine is
+// shutting down.
+//
+// Backpressure. `async_queue_capacity` bounds queued-but-not-started
+// entries across both lanes (a batch holds one slot per entry,
+// acquired all-or-nothing — a batch that straddles the remaining
+// capacity is rejected or blocks as a whole). kBlock submitters wait
+// on the queue; shutdown wakes them with kCancelled.
+//
+// Shutdown. Shutdown(kCancelPending) — the destructor's default —
+// stops accepting, resolves every still-queued or parked future with
+// kCancelled (caller-visible), lets in-flight tasks finish, and joins
+// the pool. Shutdown(kDrain) (or EngineOptions::async_drain_on_destruct)
+// instead runs the queue dry first. Both are idempotent and
+// deadlock-free with concurrent submitters.
+//
+// Ordering and determinism. One worker processes tasks of one lane in
+// submission order, and the underlying engine assigns its per-submit
+// noise streams at processing time — so a single-worker pipeline with
+// a fixed seed is bit-identical to calling Submit sequentially.
+// Multiple workers trade that global order for throughput (per-future
+// results remain exact; only noise-stream assignment interleaves).
+
+#ifndef BLOWFISH_ENGINE_ASYNC_ENGINE_H_
+#define BLOWFISH_ENGINE_ASYNC_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/query_engine.h"
+
+namespace blowfish {
+
+/// \brief Per-lane counters and latency digest, read via
+/// AsyncQueryEngine::stats().
+struct LaneStats {
+  uint64_t enqueued = 0;   ///< accepted into the lane
+  uint64_t completed = 0;  ///< resolved by a worker
+  uint64_t rejected = 0;   ///< refused kUnavailable (queue full)
+  uint64_t cancelled = 0;  ///< resolved kCancelled at shutdown
+  size_t depth = 0;        ///< queued-but-not-started tasks right now
+  size_t peak_depth = 0;
+  /// Submit-to-resolve latency of completed tasks (log-bucket
+  /// digest: percentiles are bucket upper bounds, ~2x resolution).
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// \brief Snapshot of the async pipeline's state.
+struct AsyncStats {
+  LaneStats warm;
+  LaneStats cold;
+  size_t workers = 0;
+  size_t cold_in_flight = 0;  ///< cold leaders running right now
+  /// Cold tasks parked behind an in-flight same-key plan instead of
+  /// occupying a worker (the "N queued requests, one plan" counter).
+  uint64_t cold_plans_coalesced = 0;
+};
+
+/// \brief Futures + worker-pool front of a QueryEngine it owns.
+/// Thread-safe: any number of threads may submit concurrently, and
+/// the admin plane (engine().RegisterPolicy etc.) remains available
+/// while the pipeline runs.
+class AsyncQueryEngine {
+ public:
+  enum class ShutdownMode {
+    kCancelPending,  ///< queued futures resolve kCancelled
+    kDrain,          ///< run the queue dry first
+  };
+
+  explicit AsyncQueryEngine(EngineOptions options = EngineOptions());
+  ~AsyncQueryEngine();
+
+  AsyncQueryEngine(const AsyncQueryEngine&) = delete;
+  AsyncQueryEngine& operator=(const AsyncQueryEngine&) = delete;
+
+  /// The owned synchronous engine: policy/session admin, synchronous
+  /// submits, and introspection all go through here.
+  QueryEngine& engine() { return engine_; }
+  const QueryEngine& engine() const { return engine_; }
+
+  /// Enqueues one request; the future resolves with Submit's result.
+  /// A refused submission still returns a (ready) future: kUnavailable
+  /// when the queue is full under kReject, kCancelled after shutdown
+  /// began. Under kBlock a full queue blocks the caller instead.
+  std::future<Result<QueryResult>> SubmitAsync(QueryRequest request);
+
+  /// Enqueues a batch as one task (SubmitBatch's grouped charges are
+  /// preserved); future i resolves with entry i's result. The batch
+  /// needs one queue slot per entry, acquired all-or-nothing: a batch
+  /// straddling the remaining capacity is wholly rejected (every
+  /// future ready with kUnavailable) or wholly blocks, per policy.
+  std::vector<std::future<Result<QueryResult>>> SubmitBatchAsync(
+      std::vector<QueryRequest> batch,
+      const BatchOptions& options = BatchOptions());
+
+  /// Workers stop popping (accepted work is held, submissions still
+  /// accepted until the queue fills). For quiescing and deterministic
+  /// tests; pairs with Resume().
+  void Pause();
+  void Resume();
+
+  /// Blocks until every accepted task has resolved. Callers must not
+  /// hold the pipeline paused (nothing would ever drain).
+  void Drain();
+
+  /// Stops accepting; kCancelPending resolves still-queued futures
+  /// with kCancelled while kDrain runs them to completion; in-flight
+  /// tasks always finish; workers join. Idempotent; the destructor
+  /// calls it with the mode from EngineOptions.
+  void Shutdown(ShutdownMode mode);
+
+  AsyncStats stats() const;
+
+ private:
+  using Promise = std::promise<Result<QueryResult>>;
+  using Clock = std::chrono::steady_clock;
+
+  struct Task {
+    std::vector<QueryRequest> requests;  ///< size 1 unless a batch
+    std::vector<Promise> promises;       ///< one per request
+    BatchOptions batch_options;
+    bool is_batch = false;
+    /// Current classification (decides which runnable queue holds the
+    /// task; re-computed when a parked task is re-enqueued).
+    bool cold = false;
+    /// Lane the task was accepted into — fixed at enqueue, attributes
+    /// counters/latency even if the task later re-enqueues warm.
+    bool lane_cold = false;
+    std::string cold_key;  ///< plan-cache key; empty when warm
+    Clock::time_point enqueue_time;
+    size_t slots() const { return requests.size(); }
+  };
+  using TaskPtr = std::unique_ptr<Task>;
+
+  /// Lock-free log2-microsecond latency digest (TSan-clean: buckets
+  /// are atomics, recorded by workers without the queue lock).
+  struct LatencyDigest {
+    static constexpr size_t kBuckets = 40;
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> max_us{0};
+    void Record(double ms);
+    void Snapshot(double* p50_ms, double* p99_ms, double* max_ms) const;
+  };
+
+  struct LaneCounters {
+    uint64_t enqueued = 0;   // guarded by mu_
+    uint64_t rejected = 0;   // guarded by mu_
+    uint64_t cancelled = 0;  // guarded by mu_
+    size_t peak_depth = 0;   // guarded by mu_
+    std::atomic<uint64_t> completed{0};
+    LatencyDigest latency;
+  };
+
+  /// Classifies (outside the queue lock): cold iff any entry's plan
+  /// or precompute is missing; fills `cold_key` from the first cold
+  /// entry.
+  void Classify(Task* task) const;
+
+  /// Acquires `slots` queue slots under `lock`, honoring the
+  /// queue-full policy. OK on success; kUnavailable / kCancelled
+  /// without side effects otherwise.
+  Status AcquireSlots(std::unique_lock<std::mutex>* lock, size_t slots);
+
+  /// Enqueues an accepted task (lock held): stamps the clock, bumps
+  /// lane counters, pushes to its lane, wakes one worker.
+  void EnqueueLocked(TaskPtr task);
+
+  void WorkerLoop();
+  /// Runs the task on the engine, resolves its promises, records
+  /// completion stats. Called without the lock.
+  void Process(Task* task);
+  /// Post-leader bookkeeping: releases the cold key, re-enqueues
+  /// parked same-key tasks into their (re-classified) lanes.
+  void FinishCold(const std::string& key);
+
+  size_t DepthLocked(bool cold) const;
+
+  QueryEngine engine_;
+  size_t num_workers_ = 0;
+  size_t cold_limit_ = 0;
+  size_t capacity_ = 0;
+  QueueFullPolicy full_policy_ = QueueFullPolicy::kReject;
+
+  /// Serializes Shutdown calls (explicit + destructor); ordered
+  /// before mu_.
+  std::mutex shutdown_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for work
+  std::condition_variable space_cv_;  ///< kBlock submitters wait for room
+  std::condition_variable drain_cv_;  ///< Drain/Shutdown wait for quiet
+  std::deque<TaskPtr> warm_queue_;
+  std::deque<TaskPtr> cold_queue_;
+  /// Cold tasks parked behind an in-flight same-key leader. Their
+  /// queue slots stay held (they are queued work, just not runnable).
+  std::unordered_map<std::string, std::vector<TaskPtr>> parked_;
+  std::unordered_set<std::string> cold_inflight_keys_;
+  size_t cold_inflight_ = 0;
+  size_t queued_slots_ = 0;  ///< accepted entries not yet started
+  size_t outstanding_ = 0;   ///< accepted tasks not yet resolved
+  /// Submitters inside the kBlock capacity wait. Shutdown must not
+  /// return (and the object must not die) until every one of them has
+  /// woken and released mu_ — they still touch members on the way out.
+  size_t blocked_submitters_ = 0;
+  uint64_t cold_coalesced_ = 0;
+  bool accepting_ = true;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  LaneCounters warm_counters_;
+  LaneCounters cold_counters_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_ASYNC_ENGINE_H_

@@ -226,6 +226,34 @@ QueryEngine::PrecomputePtr QueryEngine::GetOrPrecompute(
   return pre;
 }
 
+bool QueryEngine::IsWarm(const QueryRequest& request,
+                         std::string* cold_key) const {
+  Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+      request.policy_handle.valid() ? registry_.Get(request.policy_handle)
+                                    : registry_.Get(request.policy);
+  // Unresolvable policy: the submit will fail with kNotFound before
+  // any planning — nothing cold about it.
+  if (!lookup.ok()) return true;
+  const RegisteredPolicy& entry = *lookup.ValueOrDie();
+  const size_t slot = request.prefer_data_dependent ? 1 : 0;
+  const bool planned =
+      std::atomic_load_explicit(&entry.plan_slots[slot],
+                                std::memory_order_acquire) != nullptr;
+  bool transformed = false;
+  if (planned) {
+    const uint64_t key = (entry.version << 1) | (slot ? 1u : 0u);
+    const PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    transformed = shard.entries.find(key) != shard.entries.end();
+  }
+  if (planned && transformed) return true;
+  if (cold_key != nullptr) {
+    *cold_key = PlanCache::MakeKey(entry.name, entry.version,
+                                   request.prefer_data_dependent);
+  }
+  return false;
+}
+
 size_t QueryEngine::transform_cache_entries() const {
   size_t total = 0;
   for (const PrecomputeShard& shard : precompute_shards_) {

@@ -71,6 +71,12 @@
 
 namespace blowfish {
 
+/// What a bounded submission queue does with a submit it cannot hold.
+enum class QueueFullPolicy {
+  kReject,  ///< fail immediately with kUnavailable (default)
+  kBlock,   ///< block the submitter until space frees up
+};
+
 struct EngineOptions {
   /// Root seed for the engine's per-submit random streams. Leave
   /// unset in deployments: a predictable seed lets an adversary
@@ -81,6 +87,20 @@ struct EngineOptions {
   /// Plan (and precompute the release transform) at registration time
   /// so the first submit is already warm.
   bool warm_plan_cache = false;
+
+  // ---- AsyncQueryEngine knobs (ignored by the synchronous engine) ----
+
+  /// Worker threads draining the submission queue; 0 means
+  /// hardware_concurrency.
+  size_t async_workers = 0;
+  /// Bound on queued-but-not-started requests across both lanes (a
+  /// batch counts one slot per entry). Must be >= 1.
+  size_t async_queue_capacity = 1024;
+  /// What SubmitAsync does when the queue is at capacity.
+  QueueFullPolicy async_queue_full = QueueFullPolicy::kReject;
+  /// Destructor behavior: false (default) resolves still-queued
+  /// futures with kCancelled; true drains the queue first.
+  bool async_drain_on_destruct = false;
 };
 
 /// \brief One query: a linear workload against a registered policy,
@@ -212,6 +232,18 @@ class QueryEngine {
   Result<double> PolicyRemaining(const std::string& name) const;
   /// Human-readable per-session spend ledger.
   Result<std::string> SessionAudit(const std::string& session_id) const;
+
+  /// True when submitting `request` now would run no expensive cold
+  /// work: the target snapshot's plan slot *and* its noise-free
+  /// release precompute are already cached. Requests that cannot
+  /// resolve a policy at all also count as warm — they fail fast
+  /// without planning. When the request is cold and `cold_key` is
+  /// non-null, it receives the (policy, version, options) plan-cache
+  /// key, the unit of cold single-flight.
+  bool IsWarm(const QueryRequest& request,
+              std::string* cold_key = nullptr) const;
+
+  const EngineOptions& options() const { return options_; }
 
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t num_policies() const { return registry_.size(); }
