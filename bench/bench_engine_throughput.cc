@@ -17,6 +17,9 @@
 //      AsyncQueryEngine with and without a concurrent ~100ms cold
 //      plan in the cold lane (head-of-line isolation), plus the
 //      per-lane queue-depth / latency digests from AsyncStats
+//   5. result streaming: SubmitStream vs the materializing Submit on
+//      the θ-grid fast path (k=256, 10k ranges) — time-to-first-chunk
+//      and peak resident chunk bytes vs the full answer vector
 //
 // Exit status enforces the performance floor (skipped with --smoke):
 //   - each policy plans exactly once (cache accounting)
@@ -30,6 +33,10 @@
 //   - cold-plan-under-warm-flood: warm p99 with a concurrent cold
 //     plan <= max(2x the no-cold baseline, half the cold plan cost)
 //     — warm queries must never pay the head-of-line price
+//   - streaming: time-to-first-chunk <= 1/10 of the materialized
+//     submit's latency, with every answer delivered (bit-level
+//     equality vs Submit is pinned by engine_stream_test, not here —
+//     the two runs here are distinct submits with distinct noise)
 //
 // Flags: --smoke  tiny iteration counts, perf-floor gates off
 //        --json   also write BENCH_engine.json (machine-readable)
@@ -607,6 +614,89 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ------------------------------------------------------------------
+  // Result streaming: stream vs materialize on the θ-grid fast path.
+  // The materialized submit holds the caller until all q answers
+  // exist; the stream delivers the first chunk after only the noisy
+  // releases plus one chunk's reconstruction, with resident answer
+  // memory bounded by the chunk buffer instead of q.
+  double materialize_ms = 0.0, stream_ttfc_ms = 0.0, stream_total_ms = 0.0;
+  size_t stream_peak_bytes = 0, materialized_bytes = 0;
+  {
+    const size_t k = smoke ? 64 : 256;
+    const size_t num_ranges = smoke ? 1000 : 10000;
+    QueryEngine engine(EngineOptions{/*seed=*/2015, false});
+    engine
+        .RegisterPolicy("streamed", GridPolicy(DomainShape({k, k}), 4),
+                        Ramp(k * k), 1e9)
+        .Check();
+    engine.OpenSession("s", 1e9).Check();
+    Rng workload_rng(23);
+    QueryRequest request;
+    request.session = "s";
+    request.policy = "streamed";
+    request.ranges =
+        RandomRanges(DomainShape({k, k}), num_ranges, &workload_rng);
+    request.epsilon = 0.1;
+    engine.Submit(request).ValueOrDie();  // warm the plan + transform
+
+    Stopwatch watch;
+    const QueryResult full = engine.Submit(request).ValueOrDie();
+    materialize_ms = watch.ElapsedMillis();
+    materialized_bytes = full.answers.size() * sizeof(double);
+
+    StreamOptions stream_options;
+    stream_options.chunk_queries = 256;
+    watch.Restart();
+    const std::shared_ptr<ResultStream> stream =
+        engine.SubmitStream(request, stream_options).ValueOrDie();
+    StreamChunk chunk;
+    size_t received = 0;
+    if (stream->Next(&chunk).ValueOrDie() != StreamNext::kChunk) {
+      std::fprintf(stderr, "stream produced no first chunk\n");
+      return 1;
+    }
+    stream_ttfc_ms = watch.ElapsedMillis();
+    received += chunk.values.size();
+    for (;;) {
+      const StreamNext next = stream->Next(&chunk).ValueOrDie();
+      if (next == StreamNext::kDone) break;
+      received += chunk.values.size();
+    }
+    stream_total_ms = watch.ElapsedMillis();
+    stream_peak_bytes = stream->peak_resident_bytes();
+    if (received != num_ranges) {
+      std::fprintf(stderr, "stream delivered %zu of %zu answers\n", received,
+                   num_ranges);
+      return 1;
+    }
+
+    bench::PrintHeader(
+        "BENCH_ENGINE result streaming (grid " + std::to_string(k) + "x" +
+            std::to_string(k) + " th=4, q=" + std::to_string(num_ranges) +
+            " ranges, chunk 256)",
+        {"total ms", "first ms", "resident KB"});
+    bench::PrintRow("materializing Submit",
+                    {bench::Fmt(materialize_ms), bench::Fmt(materialize_ms),
+                     bench::Fmt(static_cast<double>(materialized_bytes) /
+                                1024.0)});
+    bench::PrintRow("SubmitStream",
+                    {bench::Fmt(stream_total_ms), bench::Fmt(stream_ttfc_ms),
+                     bench::Fmt(static_cast<double>(stream_peak_bytes) /
+                                1024.0)});
+    std::printf(
+        "  time-to-first-chunk %.2f ms vs %.2f ms materialized (gate: "
+        "<= 1/10)\n",
+        stream_ttfc_ms, materialize_ms);
+    if (!smoke && stream_ttfc_ms > materialize_ms / 10.0) {
+      std::fprintf(stderr,
+                   "time-to-first-chunk %.2f ms exceeds 1/10 of the "
+                   "materialized latency %.2f ms\n",
+                   stream_ttfc_ms, materialize_ms);
+      failed = true;
+    }
+  }
+
   if (write_json) {
     FILE* out = std::fopen("BENCH_engine.json", "w");
     if (out == nullptr) {
@@ -666,9 +756,17 @@ int main(int argc, char** argv) {
                  "    \"digest_warm_p50_ms\": %.4f, \"digest_warm_p99_ms\": "
                  "%.4f,\n"
                  "    \"digest_cold_p50_ms\": %.4f, \"digest_cold_p99_ms\": "
-                 "%.4f\n  }\n",
+                 "%.4f\n  },\n",
                  async_cold.stats.warm.p50_ms, async_cold.stats.warm.p99_ms,
                  async_cold.stats.cold.p50_ms, async_cold.stats.cold.p99_ms);
+    std::fprintf(out,
+                 "  \"stream\": {\"materialize_ms\": %.3f, "
+                 "\"stream_total_ms\": %.3f, \"time_to_first_chunk_ms\": "
+                 "%.3f,\n"
+                 "    \"peak_resident_chunk_bytes\": %zu, "
+                 "\"materialized_answer_bytes\": %zu}\n",
+                 materialize_ms, stream_total_ms, stream_ttfc_ms,
+                 stream_peak_bytes, materialized_bytes);
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("  wrote BENCH_engine.json\n");

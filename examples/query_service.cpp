@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "engine/async_engine.h"
@@ -200,12 +201,73 @@ int main() {
       static_cast<unsigned long long>(async_stats.cold.completed),
       async_stats.cold.p99_ms,
       static_cast<unsigned long long>(async_stats.cold_plans_coalesced));
-  // A future the service shuts down under resolves as kCancelled —
-  // callers always get an answer, even when it is "no".
+  std::printf("\nround 7 — result streaming (chunks flow while a plan runs):\n");
+  // Carol scans every cell of the mobility grid. Instead of waiting
+  // for all 256 answers, she streams them: ε is charged once at
+  // admission, the noisy releases are drawn immediately, and the
+  // chunks are post-processing — delivered while yet another new
+  // policy ("floors") plans in the cold lane. The bounded chunk
+  // buffer means a slow consumer parks the producer instead of
+  // holding a worker.
+  engine
+      .RegisterPolicy("floors", GridPolicy(DomainShape({8, 8}), 1),
+                      CheckinCounts(), 5.0)
+      .Check();
+  QueryRequest cold2;
+  cold2.session = "carol";
+  cold2.policy = "floors";
+  cold2.workload = IdentityWorkload(64);
+  cold2.epsilon = 0.1;
+  std::future<Result<QueryResult>> floors_future = async.SubmitAsync(cold2);
+
+  std::vector<RangeQuery> cells;
+  for (size_t r = 0; r < 16; ++r)
+    for (size_t c = 0; c < 16; ++c) cells.push_back({{r, c}, {r, c}});
+  QueryRequest scan;
+  scan.session = "carol";
+  scan.policy = "mobility";
+  scan.ranges = RangeWorkload("full-scan", DomainShape({16, 16}),
+                              std::move(cells));
+  scan.epsilon = 0.1;
+  StreamOptions stream_options;
+  stream_options.chunk_queries = 64;
+  stream_options.max_buffered_chunks = 2;
+  std::shared_ptr<ResultStream> stream =
+      async.SubmitStreamAsync(scan, stream_options);
+  const StreamHeader header = stream->header().ValueOrDie();
+  std::printf("  stream admitted via %s%s, %zu answers inbound\n",
+              header.plan_kind.c_str(),
+              header.range_fast_path ? " [range fast path]" : "",
+              header.total_answers);
+  StreamChunk chunk;
+  for (;;) {
+    const StreamNext next = stream->Next(&chunk).ValueOrDie();
+    if (next == StreamNext::kDone) break;
+    double sum = 0.0;
+    for (double v : chunk.values) sum += v;
+    std::printf("  chunk @%3zu: %zu answers (noisy mass %.1f)\n",
+                chunk.offset, chunk.values.size(), sum);
+  }
+  Report("carol", floors_future.get());
+  const AsyncStats stream_stats = async.stats();
+  std::printf(
+      "  streams: %llu completed, %llu chunks, %llu producer parks, "
+      "first chunk p99 %.2f ms\n",
+      static_cast<unsigned long long>(stream_stats.stream.completed),
+      static_cast<unsigned long long>(stream_stats.stream.chunks_emitted),
+      static_cast<unsigned long long>(stream_stats.stream.producer_parks),
+      stream_stats.stream.ttfc_p99_ms);
+
+  // A future — or stream — the service shuts down under resolves as
+  // kCancelled exactly once; callers always get an answer, even when
+  // it is "no".
   async.Pause();
   std::future<Result<QueryResult>> doomed = async.SubmitAsync(warm);
+  std::shared_ptr<ResultStream> doomed_stream = async.SubmitStreamAsync(scan);
   async.Shutdown(AsyncQueryEngine::ShutdownMode::kCancelPending);
   Report("carol", doomed.get());
+  const Result<StreamNext> cancelled = doomed_stream->Next(&chunk);
+  std::printf("  stream  -> %s\n", cancelled.status().ToString().c_str());
 
   const PlanCache::Stats stats = engine.plan_cache_stats();
   std::printf("\nplan cache: %llu hits, %llu misses, %zu entries\n",

@@ -38,6 +38,12 @@ class BlowfishMechanism {
   /// immutable and safe to share across concurrent releases.
   struct ReleasePrecompute {
     virtual ~ReleasePrecompute() = default;
+    /// Approximate resident size, used by the engine's byte-budgeted
+    /// transform cache to decide eviction. Concrete precomputes report
+    /// their dominant payload (the transformed-database vectors);
+    /// exactness does not matter, monotonicity with actual footprint
+    /// does.
+    virtual size_t ApproxBytes() const { return sizeof(ReleasePrecompute); }
   };
 
   /// Splits Run() into a cacheable noise-free phase and a per-release

@@ -64,6 +64,9 @@ class GridThetaHistogramAdapter : public BlowfishMechanism {
   struct SlabPrecompute : ReleasePrecompute {
     Vector xg;
     double n = 0.0;
+    size_t ApproxBytes() const override {
+      return sizeof(SlabPrecompute) + xg.capacity() * sizeof(double);
+    }
   };
 
   std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(

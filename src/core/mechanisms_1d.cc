@@ -49,6 +49,10 @@ namespace {
 struct TreePrecompute : BlowfishMechanism::ReleasePrecompute {
   Vector xg;
   Vector component_totals;
+  size_t ApproxBytes() const override {
+    return sizeof(TreePrecompute) +
+           (xg.capacity() + component_totals.capacity()) * sizeof(double);
+  }
 };
 }  // namespace
 

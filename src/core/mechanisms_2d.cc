@@ -136,6 +136,9 @@ namespace {
 struct GridPrecompute : BlowfishMechanism::ReleasePrecompute {
   Vector xg;
   double n = 0.0;
+  size_t ApproxBytes() const override {
+    return sizeof(GridPrecompute) + xg.capacity() * sizeof(double);
+  }
 };
 }  // namespace
 

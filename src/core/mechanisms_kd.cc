@@ -1,5 +1,6 @@
 #include "core/mechanisms_kd.h"
 
+#include <algorithm>
 #include <map>
 
 #include "common/check.h"
@@ -172,6 +173,47 @@ Vector GridThetaRangeMechanism::AnswerRanges(const RangeWorkload& workload,
                                    Sum(x), epsilon, rng);
 }
 
+double GridThetaRangeMechanism::AnswerOneRange(const RangeQuery& q,
+                                               const Releases& rel,
+                                               double n) const {
+  const size_t corner_i = k_ - 1, corner_j = k_ - 1;  // Case-II vertex
+  const size_t r1 = q.lo[0], r2 = q.hi[0];
+  const size_t c1 = q.lo[1], c2 = q.hi[1];
+  const auto inside = [&](size_t i, size_t j) {
+    return i >= r1 && i <= r2 && j >= c1 && j <= c2;
+  };
+  double acc = 0.0;
+  // Case-II constant q[corner] * n.
+  if (inside(corner_i, corner_j)) acc += n;
+  for (size_t e = 0; e < edge_info_.size(); ++e) {
+    const EdgeInfo& info = edge_info_[e];
+    const size_t ui = info.u / k_, uj = info.u % k_;
+    const size_t vi = info.v / k_, vj = info.v % k_;
+    const double coef = (inside(ui, uj) ? 1.0 : 0.0) -
+                        (inside(vi, vj) ? 1.0 : 0.0);
+    if (coef == 0.0) continue;
+    double est;
+    if (!info.internal) {
+      est = rel.est_ext[e];
+    } else {
+      // Strip classification (Figure 7d): pick the slab system whose
+      // slabs run along the strip's long axis.
+      const size_t red_i = (info.bi / block_ + 1) * block_ - 1;
+      bool use_row;
+      if (inside(info.bi, info.bj)) {
+        // Black inside, red outside: top overflow -> horizontal strip.
+        use_row = red_i > r2;
+      } else {
+        // Red inside, black outside: bottom/left underflow.
+        use_row = info.bi < r1;
+      }
+      est = use_row ? rel.est_row[e] : rel.est_col[e];
+    }
+    acc += coef * est;
+  }
+  return acc;
+}
+
 Vector GridThetaRangeMechanism::AnswerRangesOnTransformed(
     const RangeWorkload& workload, const Vector& xg, double n,
     double epsilon, Rng* rng) const {
@@ -181,50 +223,39 @@ Vector GridThetaRangeMechanism::AnswerRangesOnTransformed(
   const double eps_prime = epsilon / static_cast<double>(stretch_);
   const Releases rel = RunReleases(xg, eps_prime, rng);
 
-  const size_t corner = k_ * k_ - 1;  // the Case-II removed vertex
-  const size_t corner_i = k_ - 1, corner_j = k_ - 1;
-
   Vector answers(workload.num_queries(), 0.0);
   for (size_t qi = 0; qi < workload.num_queries(); ++qi) {
-    const RangeQuery& q = workload.queries()[qi];
-    const size_t r1 = q.lo[0], r2 = q.hi[0];
-    const size_t c1 = q.lo[1], c2 = q.hi[1];
-    const auto inside = [&](size_t i, size_t j) {
-      return i >= r1 && i <= r2 && j >= c1 && j <= c2;
-    };
-    double acc = 0.0;
-    // Case-II constant q[corner] * n.
-    if (inside(corner_i, corner_j)) acc += n;
-    (void)corner;
-    for (size_t e = 0; e < edge_info_.size(); ++e) {
-      const EdgeInfo& info = edge_info_[e];
-      const size_t ui = info.u / k_, uj = info.u % k_;
-      const size_t vi = info.v / k_, vj = info.v % k_;
-      const double coef = (inside(ui, uj) ? 1.0 : 0.0) -
-                          (inside(vi, vj) ? 1.0 : 0.0);
-      if (coef == 0.0) continue;
-      double est;
-      if (!info.internal) {
-        est = rel.est_ext[e];
-      } else {
-        // Strip classification (Figure 7d): pick the slab system whose
-        // slabs run along the strip's long axis.
-        const size_t red_i = (info.bi / block_ + 1) * block_ - 1;
-        bool use_row;
-        if (inside(info.bi, info.bj)) {
-          // Black inside, red outside: top overflow -> horizontal strip.
-          use_row = red_i > r2;
-        } else {
-          // Red inside, black outside: bottom/left underflow.
-          use_row = info.bi < r1;
-        }
-        est = use_row ? rel.est_row[e] : rel.est_col[e];
-      }
-      acc += coef * est;
-    }
-    answers[qi] = acc;
+    answers[qi] = AnswerOneRange(workload.queries()[qi], rel, n);
   }
   return answers;
+}
+
+std::unique_ptr<GridThetaRangeMechanism::RangeCursor>
+GridThetaRangeMechanism::BeginRanges(RangeWorkload workload, const Vector& xg,
+                                     double n, double epsilon,
+                                     Rng* rng) const {
+  BF_CHECK_GT(epsilon, 0.0);
+  BF_CHECK_EQ(workload.domain().num_dims(), 2u);
+  BF_CHECK_EQ(workload.domain().size(), k_ * k_);
+  const double eps_prime = epsilon / static_cast<double>(stretch_);
+  // All noise for the submit is drawn here — the cursor's chunks are
+  // post-processing, so pausing or abandoning it leaks nothing beyond
+  // the releases the charge already covered.
+  Releases rel = RunReleases(xg, eps_prime, rng);
+  return std::unique_ptr<RangeCursor>(
+      new RangeCursor(this, std::move(workload), std::move(rel), n));
+}
+
+size_t GridThetaRangeMechanism::RangeCursor::AnswerNext(size_t count,
+                                                        Vector* out) {
+  const size_t end = std::min(next_ + count, workload_.num_queries());
+  const size_t produced = end - next_;
+  out->reserve(out->size() + produced);
+  for (; next_ < end; ++next_) {
+    out->push_back(
+        mech_->AnswerOneRange(workload_.queries()[next_], releases_, n_));
+  }
+  return produced;
 }
 
 Vector GridThetaRangeMechanism::ReleaseHistogramOnTransformed(

@@ -41,6 +41,15 @@ namespace blowfish {
 
 /// \brief Gθ_{k²} range-query mechanism (θ >= 2).
 class GridThetaRangeMechanism {
+ private:
+  /// One submit's noisy edge-domain releases — defined before the
+  /// public section so RangeCursor can hold them by value.
+  struct Releases {
+    Vector est_row;  // per edge; meaningful for internal edges
+    Vector est_col;  // per edge; internal
+    Vector est_ext;  // per edge; external
+  };
+
  public:
   /// Requires θ >= 2 and (θ/2 == 0 is impossible) k divisible by the
   /// block side s = max(1, θ/2).
@@ -61,6 +70,49 @@ class GridThetaRangeMechanism {
                                    const Vector& xg, double n,
                                    double epsilon, Rng* rng) const;
 
+  /// \brief Resumable form of AnswerRangesOnTransformed. The noisy
+  /// slab/line releases — the whole privacy-relevant part of the
+  /// submit — are drawn at construction; AnswerNext() then
+  /// reconstructs queries strictly in workload order, any number at a
+  /// time, as pure post-processing of those releases. Concatenating
+  /// every block is bit-identical to the one-shot call with the same
+  /// rng stream. Not thread-safe; the owning mechanism must outlive
+  /// the cursor.
+  class RangeCursor {
+   public:
+    /// Appends up to `count` answers (fewer at the tail) for queries
+    /// [position(), position() + count) to `out`; returns how many
+    /// were produced (0 once exhausted).
+    size_t AnswerNext(size_t count, Vector* out);
+
+    size_t position() const { return next_; }
+    size_t total() const { return workload_.num_queries(); }
+    bool done() const { return next_ >= workload_.num_queries(); }
+
+   private:
+    friend class GridThetaRangeMechanism;
+    RangeCursor(const GridThetaRangeMechanism* mech, RangeWorkload workload,
+                Releases releases, double n)
+        : mech_(mech),
+          workload_(std::move(workload)),
+          releases_(std::move(releases)),
+          n_(n) {}
+
+    const GridThetaRangeMechanism* mech_;
+    RangeWorkload workload_;
+    Releases releases_;
+    double n_;
+    size_t next_ = 0;
+  };
+
+  /// Draws this submit's releases and positions a cursor at query 0.
+  /// Same preconditions as AnswerRangesOnTransformed; the cursor
+  /// takes ownership of the workload, so the caller's request may die
+  /// first.
+  std::unique_ptr<RangeCursor> BeginRanges(RangeWorkload workload,
+                                           const Vector& xg, double n,
+                                           double epsilon, Rng* rng) const;
+
   /// Full-histogram release x̂ (all k² cells, flattened row-major):
   /// bit-identical to answering every unit-cell range through
   /// AnswerRangesOnTransformed, but one O(edges) scatter pass instead
@@ -78,12 +130,13 @@ class GridThetaRangeMechanism {
  private:
   GridThetaRangeMechanism() = default;
 
-  struct Releases {
-    Vector est_row;  // per edge; meaningful for internal edges
-    Vector est_col;  // per edge; internal
-    Vector est_ext;  // per edge; external
-  };
   Releases RunReleases(const Vector& xg, double eps_prime, Rng* rng) const;
+
+  /// Reconstructs one range query from the releases (the generic
+  /// Figure 7d strip classification); both the one-shot path and the
+  /// cursor call exactly this, so their answers are bit-identical.
+  double AnswerOneRange(const RangeQuery& query, const Releases& releases,
+                        double n) const;
 
   size_t k_ = 0;
   size_t theta_ = 0;

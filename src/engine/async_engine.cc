@@ -65,6 +65,8 @@ void AsyncQueryEngine::LatencyDigest::Snapshot(double* p50_ms, double* p99_ms,
 // ------------------------------------------------------- construction
 
 AsyncQueryEngine::AsyncQueryEngine(EngineOptions options) : engine_(options) {
+  hook_gate_ = std::make_shared<HookGate>();
+  hook_gate_->engine = this;
   num_workers_ = options.async_workers != 0
                      ? options.async_workers
                      : std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -136,10 +138,13 @@ void AsyncQueryEngine::EnqueueLocked(TaskPtr task) {
   const bool cold = task->cold;
   task->enqueue_time = Clock::now();
   task->lane_cold = cold;
-  queued_slots_ += task->slots();
+  task->held_slots = task->slots();
+  queued_slots_ += task->held_slots;
   ++outstanding_;
   LaneCounters& lane = cold ? cold_counters_ : warm_counters_;
-  ++lane.enqueued;
+  // Stream tasks ride the lanes (scheduling, cold single-flight) but
+  // are accounted in StreamCounters, not the future counters.
+  if (task->stream == nullptr) ++lane.enqueued;
   (cold ? cold_queue_ : warm_queue_).push_back(std::move(task));
   lane.peak_depth = std::max(lane.peak_depth, DepthLocked(cold));
   work_cv_.notify_one();
@@ -205,6 +210,35 @@ AsyncQueryEngine::SubmitBatchAsync(std::vector<QueryRequest> batch,
   return futures;
 }
 
+std::shared_ptr<ResultStream> AsyncQueryEngine::SubmitStreamAsync(
+    QueryRequest request, StreamOptions options) {
+  std::shared_ptr<ResultStream> stream =
+      ResultStream::MakeChannel(options.max_buffered_chunks);
+  TaskPtr task = std::make_unique<Task>();
+  task->requests.push_back(std::move(request));
+  task->stream = stream;
+  task->stream_options = options;
+  Classify(task.get());
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const Status admitted = AcquireSlots(&lock, 1);
+  if (!admitted.ok()) {
+    // Refusals mirror futures: delivered through the handle, already
+    // terminal (header and status resolve together).
+    if (admitted.code() == StatusCode::kUnavailable) {
+      ++stream_counters_.rejected;
+    } else {
+      ++stream_counters_.cancelled;
+    }
+    lock.unlock();
+    stream->Abort(admitted);
+    return stream;
+  }
+  ++stream_counters_.accepted;
+  EnqueueLocked(std::move(task));
+  return stream;
+}
+
 // ----------------------------------------------------------- workers
 
 void AsyncQueryEngine::WorkerLoop() {
@@ -238,8 +272,15 @@ void AsyncQueryEngine::WorkerLoop() {
         ++cold_inflight_;
         cold_leader = true;
       }
-      queued_slots_ -= task->slots();
+      queued_slots_ -= task->held_slots;
+      task->held_slots = 0;
       space_cv_.notify_all();
+    }
+    if (task->stream != nullptr) {
+      // Stream production manages its own cold key, parking, and
+      // outstanding bookkeeping.
+      RunStreamTask(std::move(task), cold_leader);
+      continue;
     }
     Process(task.get());
     if (cold_leader) FinishCold(task->cold_key);
@@ -248,6 +289,179 @@ void AsyncQueryEngine::WorkerLoop() {
       if (--outstanding_ == 0) drain_cv_.notify_all();
     }
   }
+}
+
+void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
+  Task* t = task.get();
+  // Local handle: once the task parks, `t` may be freed by a
+  // concurrent shutdown sweep — only the stream may be touched then.
+  const std::shared_ptr<ResultStream> stream = t->stream;
+
+  // Terminal bookkeeping runs *before* the consumer-visible resolution
+  // (Close/Abort), mirroring Process(): a consumer woken by the
+  // terminal status already finds its stream counted in stats().
+  if (!t->admitted) {
+    // A consumer that cancelled before admission avoids the charge
+    // entirely: nothing was released, so nothing needs paying for.
+    if (stream->cancelled()) {
+      if (cold_leader) FinishCold(t->cold_key);
+      FinishStreamTask(std::move(task), StreamOutcome::kCancelled);
+      stream->Abort(Status::Cancelled("stream cancelled before admission"));
+      return;
+    }
+    StreamHeader header;
+    // The request moves into the cursor — the task carried it only to
+    // reach admission (classification used it at submit time).
+    Result<std::unique_ptr<ChunkCursor>> cursor = engine_.AdmitStream(
+        std::move(t->requests[0]), t->stream_options, &header);
+    if (cold_leader) {
+      // The plan and transform are cached (or planning failed) the
+      // moment admission returns: release the single-flight key now,
+      // so a long-lived stream never blocks same-key submits behind a
+      // leader that is done planning.
+      FinishCold(t->cold_key);
+      cold_leader = false;
+    }
+    if (!cursor.ok()) {
+      FinishStreamTask(std::move(task), StreamOutcome::kFailed);
+      stream->Abort(cursor.status());
+      return;
+    }
+    t->cursor = std::move(cursor).ValueOrDie();
+    t->admitted = true;
+    stream->ResolveHeader(std::move(header));
+  }
+
+  for (;;) {
+    if (!t->pending_chunk.has_value()) {
+      std::optional<StreamChunk> chunk = t->cursor->NextChunk();
+      if (!chunk.has_value()) {
+        FinishStreamTask(std::move(task), StreamOutcome::kCompleted);
+        stream->Close(Status::OK());
+        return;
+      }
+      t->pending_chunk = std::move(chunk);
+    }
+    switch (stream->TryPush(&*t->pending_chunk)) {
+      case ResultStream::Push::kOk: {
+        t->pending_chunk.reset();
+        const Clock::time_point now = Clock::now();
+        if (!t->emitted_any) {
+          t->emitted_any = true;
+          stream_counters_.ttfc.Record(
+              std::chrono::duration<double, std::milli>(now -
+                                                        t->enqueue_time)
+                  .count());
+        } else {
+          stream_counters_.chunk_gap.Record(
+              std::chrono::duration<double, std::milli>(now - t->last_emit)
+                  .count());
+        }
+        t->last_emit = now;
+        stream_counters_.chunks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      case ResultStream::Push::kClosed:
+        // Cancelled mid-stream (or aborted by shutdown): free the
+        // producer slot; the ledger charge stands — privacy was spent
+        // when the noise was drawn at admission.
+        t->cursor.reset();
+        FinishStreamTask(std::move(task), StreamOutcome::kCancelled);
+        return;
+      case ResultStream::Push::kFull: {
+        // Park: hand the task to the engine and return this worker to
+        // the pool; the consumer's next pop (or Cancel) fires the
+        // space hook, which re-enqueues the task into the warm lane.
+        const Task* key = t;
+        bool stopping;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          stopping = stopping_;
+          if (!stopping) {
+            ++stream_counters_.parks;
+            parked_streams_.emplace(key, std::move(task));
+          }
+        }
+        if (stopping) {
+          // Workers are exiting — nobody would ever resume a parked
+          // producer. Resolve the terminal status here instead.
+          t->cursor.reset();
+          FinishStreamTask(std::move(task), StreamOutcome::kCancelled);
+          stream->Close(Status::Cancelled(kShutdownMsg));
+          return;
+        }
+        // Parked. Arm the hook; if the consumer raced us (space
+        // freed, or the stream died), take the task back and retry
+        // rather than sleeping forever. The hook goes through the
+        // lifetime gate: a consumer may fire it at any point after
+        // the engine is gone (stream handles outlive the engine), and
+        // the gate turns that into a no-op instead of a dangling
+        // call.
+        const std::shared_ptr<HookGate> gate = hook_gate_;
+        if (stream->InstallSpaceHook([gate, key] {
+              std::lock_guard<std::mutex> alive(gate->mu);
+              if (gate->engine != nullptr) gate->engine->OnStreamSpace(key);
+            })) {
+          return;  // worker freed; OnStreamSpace resumes the task
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = parked_streams_.find(key);
+          if (it == parked_streams_.end()) {
+            // A shutdown sweep beat us to the un-park and already
+            // resolved the stream's terminal status.
+            return;
+          }
+          task = std::move(it->second);
+          parked_streams_.erase(it);
+        }
+        continue;  // retry the push (t is valid again)
+      }
+    }
+  }
+}
+
+void AsyncQueryEngine::OnStreamSpace(const Task* key) {
+  TaskPtr task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = parked_streams_.find(key);
+    if (it == parked_streams_.end()) return;  // already resumed/swept
+    task = std::move(it->second);
+    parked_streams_.erase(it);
+    if (!stopping_) {
+      // Resume in the warm lane: admission is long done, the plan and
+      // transform are cached — the remaining production is warm work.
+      // No new queue slot: the submission was admitted exactly once.
+      task->cold = false;
+      warm_queue_.push_back(std::move(task));
+      work_cv_.notify_one();
+      return;
+    }
+  }
+  // Pipeline is stopping: resolve the terminal status on the hook's
+  // thread (exactly once — Close is first-caller-wins).
+  const std::shared_ptr<ResultStream> stream = task->stream;
+  task->cursor.reset();
+  FinishStreamTask(std::move(task), StreamOutcome::kCancelled);
+  stream->Close(Status::Cancelled(kShutdownMsg));
+}
+
+void AsyncQueryEngine::FinishStreamTask(TaskPtr task, StreamOutcome outcome) {
+  task.reset();  // the stream handle stays with the consumer
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case StreamOutcome::kCompleted:
+      ++stream_counters_.completed;
+      break;
+    case StreamOutcome::kCancelled:
+      ++stream_counters_.cancelled;
+      break;
+    case StreamOutcome::kFailed:
+      ++stream_counters_.failed;
+      break;
+  }
+  if (--outstanding_ == 0) drain_cv_.notify_all();
 }
 
 void AsyncQueryEngine::Process(Task* task) {
@@ -307,10 +521,14 @@ void AsyncQueryEngine::FinishCold(const std::string& key) {
     if (stopping_) {
       cancel_parked = true;
       for (const TaskPtr& task : parked) {
-        queued_slots_ -= task->slots();
-        LaneCounters& lane =
-            task->lane_cold ? cold_counters_ : warm_counters_;
-        ++lane.cancelled;
+        queued_slots_ -= task->held_slots;
+        if (task->stream != nullptr) {
+          ++stream_counters_.cancelled;
+        } else {
+          LaneCounters& lane =
+              task->lane_cold ? cold_counters_ : warm_counters_;
+          ++lane.cancelled;
+        }
       }
       outstanding_ -= parked.size();
       if (outstanding_ == 0) drain_cv_.notify_all();
@@ -323,6 +541,10 @@ void AsyncQueryEngine::FinishCold(const std::string& key) {
   }
   if (cancel_parked) {
     for (TaskPtr& task : parked) {
+      if (task->stream != nullptr) {
+        task->stream->Abort(Status::Cancelled(kShutdownMsg));
+        continue;
+      }
       for (Promise& promise : task->promises) {
         promise.set_value(Status::Cancelled(kShutdownMsg));
       }
@@ -370,11 +592,22 @@ void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
         for (TaskPtr& task : entry.second) doomed.push_back(std::move(task));
       }
       parked_.clear();
+      // Parked stream producers are queued work too: their consumers
+      // must observe the terminal kCancelled rather than block forever
+      // on a producer no worker will ever resume.
+      for (auto& entry : parked_streams_) {
+        doomed.push_back(std::move(entry.second));
+      }
+      parked_streams_.clear();
       for (const TaskPtr& task : doomed) {
-        queued_slots_ -= task->slots();
-        LaneCounters& lane =
-            task->lane_cold ? cold_counters_ : warm_counters_;
-        ++lane.cancelled;
+        queued_slots_ -= task->held_slots;
+        if (task->stream != nullptr) {
+          ++stream_counters_.cancelled;
+        } else {
+          LaneCounters& lane =
+              task->lane_cold ? cold_counters_ : warm_counters_;
+          ++lane.cancelled;
+        }
       }
       outstanding_ -= doomed.size();
       if (outstanding_ == 0) drain_cv_.notify_all();
@@ -382,9 +615,16 @@ void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
     stopping_ = true;
     work_cv_.notify_all();
   }
-  // Promises resolve outside the lock; in-flight tasks keep running to
-  // completion on their workers.
+  // Promises and stream terminals resolve outside the lock; in-flight
+  // tasks keep running to completion on their workers.
   for (TaskPtr& task : doomed) {
+    if (task->stream != nullptr) {
+      // Exactly once: Abort is first-caller-wins against a concurrent
+      // consumer Cancel, and resolves a not-yet-admitted stream's
+      // header alongside the terminal status.
+      task->stream->Abort(Status::Cancelled(kShutdownMsg));
+      continue;
+    }
     for (Promise& promise : task->promises) {
       promise.set_value(Status::Cancelled(kShutdownMsg));
     }
@@ -399,8 +639,19 @@ void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
   // this object) before it has released mu_ would be a use-after-free.
   // Once the count is observed zero under mu_, every such submitter
   // has left the lock and only touches its own task from there on.
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [&] { return blocked_submitters_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [&] { return blocked_submitters_ == 0; });
+  }
+  // Last act: close the hook gate. A consumer draining a surviving
+  // ResultStream may fire its parked-producer space hook at any time
+  // after this object dies; taking the gate's mutex here both waits
+  // out any hook currently inside the engine and makes every later
+  // firing a no-op.
+  {
+    std::lock_guard<std::mutex> gate(hook_gate_->mu);
+    hook_gate_->engine = nullptr;
+  }
 }
 
 // --------------------------------------------------------------- stats
@@ -420,6 +671,21 @@ AsyncStats AsyncQueryEngine::stats() const {
   };
   fill(warm_counters_, DepthLocked(/*cold=*/false), &out.warm);
   fill(cold_counters_, DepthLocked(/*cold=*/true), &out.cold);
+  out.stream.accepted = stream_counters_.accepted;
+  out.stream.completed = stream_counters_.completed;
+  out.stream.cancelled = stream_counters_.cancelled;
+  out.stream.failed = stream_counters_.failed;
+  out.stream.rejected = stream_counters_.rejected;
+  out.stream.producer_parks = stream_counters_.parks;
+  out.stream.parked_now = parked_streams_.size();
+  out.stream.chunks_emitted =
+      stream_counters_.chunks.load(std::memory_order_relaxed);
+  stream_counters_.ttfc.Snapshot(&out.stream.ttfc_p50_ms,
+                                 &out.stream.ttfc_p99_ms,
+                                 &out.stream.ttfc_max_ms);
+  stream_counters_.chunk_gap.Snapshot(&out.stream.chunk_gap_p50_ms,
+                                      &out.stream.chunk_gap_p99_ms,
+                                      &out.stream.chunk_gap_max_ms);
   out.workers = num_workers_;
   out.cold_in_flight = cold_inflight_;
   out.cold_plans_coalesced = cold_coalesced_;

@@ -48,6 +48,26 @@
 // a fixed seed is bit-identical to calling Submit sequentially.
 // Multiple workers trade that global order for throughput (per-future
 // results remain exact; only noise-stream assignment interleaves).
+//
+// Result streams. SubmitStreamAsync enqueues a *stream task*: when a
+// worker picks it up it runs the full admission (ε charged atomically,
+// all noise drawn — a refusal still resolves the stream's header and
+// terminal status), releases its cold-leader key immediately (the plan
+// and transform are cached by then; a long stream never blocks
+// same-key submits), and produces chunks into the stream's bounded
+// buffer. When the consumer lags, the producer *parks*: the worker
+// returns to the pool and the task waits inside the engine until the
+// consumer's next pop (or Cancel) re-enqueues it — into the warm lane,
+// since its cold work is done. A slow consumer therefore never holds a
+// worker. Mid-stream Cancel() frees the producer slot at its next
+// emit but keeps the ledger charge (privacy was spent at admission);
+// shutdown resolves queued and parked streams with kCancelled exactly
+// once, like futures. Streams are accounted in AsyncStats::stream
+// (time-to-first-chunk and inter-chunk-gap digests, parks, chunks)
+// rather than in the per-lane future counters. Note that kDrain
+// shutdown — like Drain() — waits for stream consumers to drain their
+// streams; use kCancelPending (the default) when streams may be
+// abandoned.
 
 #ifndef BLOWFISH_ENGINE_ASYNC_ENGINE_H_
 #define BLOWFISH_ENGINE_ASYNC_ENGINE_H_
@@ -86,10 +106,33 @@ struct LaneStats {
   double max_ms = 0.0;
 };
 
+/// \brief Result-stream pipeline counters and latency digests.
+struct StreamStats {
+  uint64_t accepted = 0;   ///< admitted into the queue
+  uint64_t completed = 0;  ///< every chunk delivered, terminal kDone
+  uint64_t cancelled = 0;  ///< terminal kCancelled (consumer/shutdown)
+  uint64_t failed = 0;     ///< admission refused (budget, bad request)
+  uint64_t rejected = 0;   ///< refused kUnavailable at a full queue
+  uint64_t chunks_emitted = 0;
+  /// Producer parked on a full chunk buffer (worker returned to pool).
+  uint64_t producer_parks = 0;
+  size_t parked_now = 0;  ///< producers currently parked
+  /// Submission to first emitted chunk (log-bucket digest, like the
+  /// lane latency digests).
+  double ttfc_p50_ms = 0.0;
+  double ttfc_p99_ms = 0.0;
+  double ttfc_max_ms = 0.0;
+  /// Gap between consecutive chunk emissions of one stream.
+  double chunk_gap_p50_ms = 0.0;
+  double chunk_gap_p99_ms = 0.0;
+  double chunk_gap_max_ms = 0.0;
+};
+
 /// \brief Snapshot of the async pipeline's state.
 struct AsyncStats {
   LaneStats warm;
   LaneStats cold;
+  StreamStats stream;
   size_t workers = 0;
   size_t cold_in_flight = 0;  ///< cold leaders running right now
   /// Cold tasks parked behind an in-flight same-key plan instead of
@@ -134,6 +177,20 @@ class AsyncQueryEngine {
       std::vector<QueryRequest> batch,
       const BatchOptions& options = BatchOptions());
 
+  /// Enqueues one request for chunked delivery and returns the stream
+  /// handle immediately. A worker admits it (ε charged atomically, all
+  /// noise drawn — header() resolves then) and produces chunks into
+  /// the stream's bounded buffer, parking whenever the consumer lags
+  /// so production never holds a worker the consumer isn't keeping
+  /// busy. Refusals mirror SubmitAsync, delivered through the handle:
+  /// a full queue under kReject resolves the stream terminal with
+  /// kUnavailable, shutdown with kCancelled (under kBlock a full queue
+  /// blocks the caller instead). Chunk concatenation matches the
+  /// synchronous Submit answer bit-for-bit for the same engine state
+  /// and seed.
+  std::shared_ptr<ResultStream> SubmitStreamAsync(
+      QueryRequest request, StreamOptions options = StreamOptions());
+
   /// Workers stop popping (accepted work is held, submissions still
   /// accepted until the queue fills). For quiescing and deterministic
   /// tests; pairs with Resume().
@@ -169,6 +226,20 @@ class AsyncQueryEngine {
     bool lane_cold = false;
     std::string cold_key;  ///< plan-cache key; empty when warm
     Clock::time_point enqueue_time;
+    /// Queue slots currently held (set at enqueue, released at pop; a
+    /// resumed stream producer re-enters the queue holding none).
+    size_t held_slots = 0;
+
+    // ---- stream-task state (stream != nullptr) ----
+    std::shared_ptr<ResultStream> stream;
+    StreamOptions stream_options;
+    std::unique_ptr<ChunkCursor> cursor;  ///< set at admission
+    bool admitted = false;
+    /// Chunk that hit a full buffer; emitted first on resume.
+    std::optional<StreamChunk> pending_chunk;
+    bool emitted_any = false;
+    Clock::time_point last_emit;
+
     size_t slots() const { return requests.size(); }
   };
   using TaskPtr = std::unique_ptr<Task>;
@@ -214,6 +285,26 @@ class AsyncQueryEngine {
   /// parked same-key tasks into their (re-classified) lanes.
   void FinishCold(const std::string& key);
 
+  /// How a stream task left the pipeline, for StreamStats.
+  enum class StreamOutcome { kCompleted, kCancelled, kFailed };
+
+  /// Drives a stream task on a worker: admission (once; the cold key
+  /// is released right after, so a long stream never single-flights
+  /// behind itself), then the produce loop. Parks the task inside
+  /// `parked_streams_` when the chunk buffer is full — the worker
+  /// returns to the pool and the consumer's next pop re-enqueues the
+  /// task via the stream's space hook. Called without the lock.
+  void RunStreamTask(TaskPtr task, bool cold_leader);
+
+  /// Space-hook target: moves the parked task back into the warm
+  /// queue (admission already done — the work left is warm), or
+  /// resolves it with kCancelled if the pipeline is stopping.
+  void OnStreamSpace(const Task* key);
+
+  /// Terminal bookkeeping for a stream task (exactly once per
+  /// accepted stream): outcome counters, outstanding_ decrement.
+  void FinishStreamTask(TaskPtr task, StreamOutcome outcome);
+
   size_t DepthLocked(bool cold) const;
 
   QueryEngine engine_;
@@ -234,6 +325,22 @@ class AsyncQueryEngine {
   /// Cold tasks parked behind an in-flight same-key leader. Their
   /// queue slots stay held (they are queued work, just not runnable).
   std::unordered_map<std::string, std::vector<TaskPtr>> parked_;
+  /// Stream producers parked on a full chunk buffer, keyed by task
+  /// identity. No queue slots held (the submission was admitted); the
+  /// stream's space hook or the shutdown sweep takes them out.
+  std::unordered_map<const Task*, TaskPtr> parked_streams_;
+
+  /// Lifetime gate for space hooks. A hook lives inside a
+  /// ResultStream, and stream handles legally outlive the engine — so
+  /// a hook must never touch the engine raw. Hooks capture this
+  /// shared gate; Shutdown nulls `engine` under the gate's mutex as
+  /// its last act, which both blocks until any in-flight hook has
+  /// left the engine and turns every later firing into a no-op.
+  struct HookGate {
+    std::mutex mu;
+    AsyncQueryEngine* engine = nullptr;
+  };
+  std::shared_ptr<HookGate> hook_gate_;
   std::unordered_set<std::string> cold_inflight_keys_;
   size_t cold_inflight_ = 0;
   size_t queued_slots_ = 0;  ///< accepted entries not yet started
@@ -249,6 +356,21 @@ class AsyncQueryEngine {
 
   LaneCounters warm_counters_;
   LaneCounters cold_counters_;
+
+  /// Stream accounting (plain counters guarded by mu_; digests and
+  /// chunk counts are recorded lock-free by producers).
+  struct StreamCounters {
+    uint64_t accepted = 0;   // guarded by mu_
+    uint64_t completed = 0;  // guarded by mu_
+    uint64_t cancelled = 0;  // guarded by mu_
+    uint64_t failed = 0;     // guarded by mu_
+    uint64_t rejected = 0;   // guarded by mu_
+    uint64_t parks = 0;      // guarded by mu_
+    std::atomic<uint64_t> chunks{0};
+    LatencyDigest ttfc;
+    LatencyDigest chunk_gap;
+  };
+  StreamCounters stream_counters_;
 
   std::vector<std::thread> workers_;
 };

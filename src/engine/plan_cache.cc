@@ -1,5 +1,6 @@
 #include "engine/plan_cache.h"
 
+#include <algorithm>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -20,12 +21,38 @@ std::string PlanCache::MakeKey(const std::string& policy_name,
          (prefer_data_dependent ? "dd" : "di");
 }
 
+void PlanCache::EnforceBudgetLocked() {
+  while (bytes_ > byte_budget_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::shared_ptr<const Plan> PlanCache::Insert(
     const std::string& key, std::shared_ptr<const Plan> plan) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  auto [it, inserted] = entries_.emplace(key, std::move(plan));
-  (void)inserted;  // a racing insert already published an equal plan
-  return it->second;
+  Entry entry;
+  entry.bytes = std::max(plan->approx_bytes, sizeof(Plan));
+  entry.last_used = ++clock_;
+  entry.plan = std::move(plan);
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  if (inserted) {
+    bytes_ += it->second.bytes;
+    if (byte_budget_ != 0) {
+      // LRU sweep, the incoming entry last: resident bytes never
+      // exceed the budget, and a plan larger than the whole budget is
+      // handed to its caller but not retained.
+      std::shared_ptr<const Plan> keep = it->second.plan;
+      EnforceBudgetLocked();
+      return keep;
+    }
+  }
+  return it->second.plan;
 }
 
 size_t PlanCache::Invalidate(const std::string& policy_name) {
@@ -34,12 +61,14 @@ size_t PlanCache::Invalidate(const std::string& policy_name) {
   size_t removed = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      bytes_ -= it->second.bytes;
       it = entries_.erase(it);
       ++removed;
     } else {
       ++it;
     }
   }
+  invalidations_.fetch_add(removed, std::memory_order_relaxed);
   return removed;
 }
 
@@ -49,13 +78,25 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrCompute(
   // Counters are bumped exactly once per call, only after the call's
   // role is known — never "miss now, correct later", which would race
   // a concurrent Clear() into underflow.
-  {
+  if (byte_budget_ == 0) {
+    // Unbounded: recency is meaningless, so the probe stays a shared
+    // (concurrent) read.
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       *cache_hit = true;
-      return it->second;
+      return it->second.plan;
+    }
+  } else {
+    // Budgeted: the probe stamps recency, which needs the write lock.
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.last_used = ++clock_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      *cache_hit = true;
+      return it->second.plan;
     }
   }
   // Join or open the in-flight planning.
@@ -63,11 +104,12 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrCompute(
   bool leader = false;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
-    // A leader may have published between the shared probe and here.
+    // A leader may have published between the first probe and here.
     if (auto it = entries_.find(key); it != entries_.end()) {
+      if (byte_budget_ != 0) it->second.last_used = ++clock_;
       hits_.fetch_add(1, std::memory_order_relaxed);
       *cache_hit = true;
-      return it->second;
+      return it->second.plan;
     }
     auto [it, inserted] = inflight_.emplace(key, nullptr);
     if (inserted) {
@@ -121,18 +163,25 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrCompute(
 void PlanCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   entries_.clear();
+  bytes_ = 0;
   // Reset accounting with the entries: post-Clear stats must describe
-  // the repopulated cache, not hit rates against dropped plans.
+  // the repopulated cache, not hit/eviction rates against dropped
+  // plans.
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  invalidations_.store(0, std::memory_order_relaxed);
 }
 
 PlanCache::Stats PlanCache::stats() const {
   Stats stats;
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
   std::shared_lock<std::shared_mutex> lock(mu_);
   stats.entries = entries_.size();
+  stats.bytes = bytes_;
   return stats;
 }
 

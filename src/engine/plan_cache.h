@@ -11,6 +11,16 @@
 //
 // Keys embed the registry entry's version, so Replace()d policies
 // never serve stale plans even before Invalidate() runs.
+//
+// Retention. By default the cache is unbounded. Constructed with a
+// byte budget it becomes an LRU: every entry carries the plan's
+// modeled footprint (Plan::approx_bytes) and an insert evicts
+// least-recently-used entries — the incoming plan last — until the
+// budget holds again, so resident bytes never exceed the budget (a
+// plan larger than the whole budget is returned to its caller but not
+// retained). Eviction is observable: Stats splits `evictions` (LRU
+// removals) from `invalidations` (lifecycle removals via
+// Invalidate/Clear), and hits + misses == lookups holds throughout.
 
 #ifndef BLOWFISH_ENGINE_PLAN_CACHE_H_
 #define BLOWFISH_ENGINE_PLAN_CACHE_H_
@@ -33,10 +43,22 @@ namespace blowfish {
 /// accounting.
 class PlanCache {
  public:
+  /// `byte_budget` of 0 keeps the historical unbounded behavior.
+  explicit PlanCache(size_t byte_budget = 0) : byte_budget_(byte_budget) {}
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// LRU removals forced by the byte budget (0 when unbounded).
+    uint64_t evictions = 0;
+    /// Lifecycle removals via Invalidate() sweeps. Clear() does not
+    /// count here — it resets every counter, this one included, so
+    /// post-Clear stats describe only the repopulated cache.
+    uint64_t invalidations = 0;
     size_t entries = 0;
+    /// Modeled resident bytes of the cached plans (never exceeds a
+    /// non-zero budget).
+    size_t bytes = 0;
   };
 
   /// Cache key for a registry entry at a given version and planner
@@ -74,10 +96,21 @@ class PlanCache {
   Stats stats() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    size_t bytes = 0;
+    uint64_t last_used = 0;  ///< recency stamp; meaningful when budgeted
+  };
+
   /// Publishes a plan under `key` (the key's single-flight leader is
-  /// the only caller, so the emplace never races another insert).
+  /// the only caller, so the emplace never races another insert),
+  /// then enforces the byte budget.
   std::shared_ptr<const Plan> Insert(const std::string& key,
                                      std::shared_ptr<const Plan> plan);
+
+  /// Evicts LRU entries (the most recent last) until bytes_ fits the
+  /// budget. Requires `mu_` held exclusively; no-op when unbounded.
+  void EnforceBudgetLocked();
 
   /// One in-progress planning; followers wait on `cv`.
   struct Flight {
@@ -88,11 +121,16 @@ class PlanCache {
     std::shared_ptr<const Plan> plan;
   };
 
+  const size_t byte_budget_;
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const Plan>> entries_;
+  std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
+  size_t bytes_ = 0;      // guarded by mu_
+  uint64_t clock_ = 0;    // guarded by mu_ (exclusive); recency source
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace blowfish

@@ -1,5 +1,6 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <random>
 #include <utility>
 
@@ -61,7 +62,8 @@ Status CheckDomain(const RequestShape& shape, const RegisteredPolicy& entry) {
 
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(options),
-      seed_(options.seed.has_value() ? *options.seed : EntropySeed()) {}
+      seed_(options.seed.has_value() ? *options.seed : EntropySeed()),
+      plan_cache_(options.plan_cache_bytes) {}
 
 // Spreads precompute keys (consecutive versions) across shards.
 size_t QueryEngine::PrecomputeShardOf(uint64_t key) {
@@ -169,8 +171,50 @@ void QueryEngine::DropTransformed(const RegisteredPolicy& entry) {
   for (uint64_t key : {base, base | 1u}) {
     PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
     std::unique_lock<std::shared_mutex> lock(shard.mu);
-    shard.entries.erase(key);
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      transform_bytes_.fetch_sub(it->second.bytes,
+                                 std::memory_order_relaxed);
+      shard.entries.erase(it);
+    }
     shard.gates.erase(key);
+  }
+}
+
+void QueryEngine::EnforceTransformBudget(uint64_t protect_key) {
+  const size_t budget = options_.transform_cache_bytes;
+  // Evict the *globally* least-recently-used entry until the budget
+  // holds, scanning shards one lock at a time (never nested, so
+  // concurrent inserts cannot deadlock; the scan is approximate under
+  // concurrency, exact when quiet). The protected (just-inserted,
+  // presumably hot) entry is spared until everything else is gone,
+  // then evicted itself if it alone breaks the budget.
+  for (const bool allow_protected : {false, true}) {
+    while (transform_bytes_.load(std::memory_order_relaxed) > budget) {
+      size_t victim_shard = kPrecomputeShards;
+      uint64_t victim_key = 0;
+      uint64_t victim_stamp = ~0ull;
+      for (size_t s = 0; s < kPrecomputeShards; ++s) {
+        std::shared_lock<std::shared_mutex> lock(precompute_shards_[s].mu);
+        for (const auto& [entry_key, entry] : precompute_shards_[s].entries) {
+          if (!allow_protected && entry_key == protect_key) continue;
+          if (entry.last_used < victim_stamp) {
+            victim_stamp = entry.last_used;
+            victim_key = entry_key;
+            victim_shard = s;
+          }
+        }
+      }
+      if (victim_shard == kPrecomputeShards) break;  // nothing evictable
+      PrecomputeShard& shard = precompute_shards_[victim_shard];
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      auto it = shard.entries.find(victim_key);
+      if (it == shard.entries.end()) continue;  // raced away; rescan
+      transform_bytes_.fetch_sub(it->second.bytes,
+                                 std::memory_order_relaxed);
+      shard.entries.erase(it);
+      transform_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (transform_bytes_.load(std::memory_order_relaxed) <= budget) return;
   }
 }
 
@@ -179,13 +223,26 @@ QueryEngine::PrecomputePtr QueryEngine::GetOrPrecompute(
     bool prefer_data_dependent) {
   const uint64_t key =
       (entry.version << 1) | (prefer_data_dependent ? 1u : 0u);
+  const bool budgeted = options_.transform_cache_bytes != 0;
   PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
-  {
+  if (!budgeted) {
+    // Unbounded: recency is meaningless, the probe stays a shared
+    // (concurrent) read — the historical warm path, unchanged.
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     // A cached null is a memoized "mechanism has no precompute
     // split": the submit falls back to Run() at one map probe.
-    if (it != shard.entries.end()) return it->second;
+    if (it != shard.entries.end()) return it->second.pre;
+  } else {
+    // Budgeted: the hit must stamp recency, which needs the write
+    // lock (still sharded — only same-shard submits contend).
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      it->second.last_used =
+          transform_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+      return it->second.pre;
+    }
   }
   // Per-key single-flight: a cold-policy herd must not run the CG
   // solve once per submitter, and a cold policy must not block
@@ -195,7 +252,7 @@ QueryEngine::PrecomputePtr QueryEngine::GetOrPrecompute(
   {
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     if (auto it = shard.entries.find(key); it != shard.entries.end()) {
-      return it->second;
+      return it->second.pre;
     }
     std::shared_ptr<std::mutex>& slot = shard.gates[key];
     if (slot == nullptr) slot = std::make_shared<std::mutex>();
@@ -205,24 +262,46 @@ QueryEngine::PrecomputePtr QueryEngine::GetOrPrecompute(
   {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
-    if (it != shard.entries.end()) return it->second;
+    if (it != shard.entries.end()) return it->second.pre;
   }
   PrecomputePtr pre = plan.mechanism->PrecomputeRelease(entry.data);
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
-  shard.gates.erase(key);
-  // Cache only while this snapshot is still the registry's current
-  // version: a submit that lost a Replace/Unregister race must not
-  // re-insert an entry DropTransformed just erased (nothing would
-  // ever evict it again). The check and the insert share the shard
-  // lock with DropTransformed, and the lifecycle ops publish the new
-  // version *before* dropping — so either the check fails here, or
-  // the pending drop runs after this insert and erases it.
-  Result<std::shared_ptr<const RegisteredPolicy>> current =
-      registry_.Get(entry.name);
-  if (!current.ok() || current.ValueOrDie()->version != entry.version) {
-    return pre;
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.gates.erase(key);
+    // Cache only while this snapshot is still the registry's current
+    // version: a submit that lost a Replace/Unregister race must not
+    // re-insert an entry DropTransformed just erased (nothing would
+    // ever evict it again). The check and the insert share the shard
+    // lock with DropTransformed, and the lifecycle ops publish the new
+    // version *before* dropping — so either the check fails here, or
+    // the pending drop runs after this insert and erases it.
+    Result<std::shared_ptr<const RegisteredPolicy>> current =
+        registry_.Get(entry.name);
+    if (!current.ok() || current.ValueOrDie()->version != entry.version) {
+      return pre;
+    }
+    PrecomputeEntry cached;
+    // A memoized null ("no precompute split") still occupies a map
+    // slot; charge it a nominal footprint so the accounting stays
+    // monotone.
+    const size_t bytes =
+        pre != nullptr ? pre->ApproxBytes() : sizeof(PrecomputeEntry);
+    cached.bytes = bytes;
+    cached.last_used =
+        transform_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    cached.pre = pre;
+    // A straggler holding a stale gate can lose the insert to a fresh
+    // leader; counting its bytes anyway would inflate the global
+    // accounting forever (nothing ever subtracts a failed insert).
+    const auto [it, inserted] = shard.entries.emplace(key, std::move(cached));
+    (void)it;
+    if (inserted) {
+      transform_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    }
   }
-  shard.entries.emplace(key, pre);
+  // Budget enforcement locks shards one at a time, so it must run
+  // outside this shard's lock.
+  if (budgeted) EnforceTransformBudget(key);
   return pre;
 }
 
@@ -261,6 +340,17 @@ size_t QueryEngine::transform_cache_entries() const {
     total += shard.entries.size();
   }
   return total;
+}
+
+QueryEngine::TransformCacheStats QueryEngine::transform_cache_stats() const {
+  TransformCacheStats stats;
+  for (const PrecomputeShard& shard : precompute_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    stats.entries += shard.entries.size();
+  }
+  stats.bytes = transform_bytes_.load(std::memory_order_relaxed);
+  stats.evictions = transform_evictions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Status QueryEngine::OpenSession(const std::string& session_id,
@@ -400,7 +490,185 @@ QueryResult QueryEngine::Release(const QueryRequest& request,
   return result;
 }
 
-Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
+namespace {
+
+/// Streams the θ>=2 grid fast path: the core cursor holds this
+/// submit's noisy releases; the shared plan keeps the mechanism (and
+/// so the cursor's back-pointer) alive.
+class GridStreamCursor : public ChunkCursor {
+ public:
+  GridStreamCursor(std::shared_ptr<const Plan> plan,
+                   std::unique_ptr<GridThetaRangeMechanism::RangeCursor> core,
+                   size_t chunk_queries)
+      : plan_(std::move(plan)),
+        core_(std::move(core)),
+        chunk_queries_(chunk_queries) {}
+
+  std::optional<StreamChunk> NextChunk() override {
+    if (core_->done()) return std::nullopt;
+    StreamChunk chunk;
+    chunk.offset = core_->position();
+    core_->AnswerNext(chunk_queries_, &chunk.values);
+    return chunk;
+  }
+  size_t total_answers() const override { return core_->total(); }
+
+ private:
+  std::shared_ptr<const Plan> plan_;
+  std::unique_ptr<GridThetaRangeMechanism::RangeCursor> core_;
+  size_t chunk_queries_;
+};
+
+/// Streams range answers off a released histogram estimate: the
+/// summed-area table is built once, each chunk answers a block of
+/// queries from it (identical arithmetic to RangeWorkload::Answer).
+class SatStreamCursor : public ChunkCursor {
+ public:
+  SatStreamCursor(RangeWorkload workload, const Vector& estimate,
+                  size_t chunk_queries)
+      : workload_(std::move(workload)),
+        answerer_(workload_.domain(), estimate),
+        chunk_queries_(chunk_queries) {}
+
+  std::optional<StreamChunk> NextChunk() override {
+    if (next_ >= workload_.num_queries()) return std::nullopt;
+    const size_t end =
+        std::min(next_ + chunk_queries_, workload_.num_queries());
+    StreamChunk chunk;
+    chunk.offset = next_;
+    chunk.values.reserve(end - next_);
+    for (; next_ < end; ++next_) {
+      chunk.values.push_back(answerer_.Answer(workload_.queries()[next_]));
+    }
+    return chunk;
+  }
+  size_t total_answers() const override { return workload_.num_queries(); }
+
+ private:
+  RangeWorkload workload_;
+  SummedAreaAnswerer answerer_;
+  size_t chunk_queries_;
+  size_t next_ = 0;
+};
+
+/// Streams a dense `W x̂` in row blocks: each row is the same CSR dot
+/// MultiplyVector performs, so chunk concatenation is bit-identical
+/// to the materialized product.
+class DenseStreamCursor : public ChunkCursor {
+ public:
+  DenseStreamCursor(Workload workload, Vector estimate, size_t chunk_queries)
+      : workload_(std::move(workload)),
+        estimate_(std::move(estimate)),
+        chunk_queries_(chunk_queries) {}
+
+  std::optional<StreamChunk> NextChunk() override {
+    if (next_ >= workload_.num_queries()) return std::nullopt;
+    const size_t end =
+        std::min(next_ + chunk_queries_, workload_.num_queries());
+    StreamChunk chunk;
+    chunk.offset = next_;
+    chunk.values.reserve(end - next_);
+    for (; next_ < end; ++next_) {
+      chunk.values.push_back(workload_.matrix().RowDot(next_, estimate_));
+    }
+    return chunk;
+  }
+  size_t total_answers() const override { return workload_.num_queries(); }
+
+ private:
+  Workload workload_;
+  Vector estimate_;
+  size_t chunk_queries_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ChunkCursor> QueryEngine::BuildCursor(
+    QueryRequest request, const Admission& admission,
+    const StreamOptions& options, StreamHeader* header) {
+  const RegisteredPolicy& entry = *admission.entry;
+  const Plan& plan = *admission.plan;
+  // Same per-submit private rng stream as Release(): with a fixed
+  // seed, the n-th admission draws the n-th stream whether it
+  // materializes or streams — the equivalence the stream tests pin.
+  const uint64_t stream = submit_counter_.fetch_add(1) + 1;
+  Rng rng(seed_ ^ (kStreamStep * stream));
+
+  header->plan_kind = plan.kind;
+  header->plan_cache_hit = admission.cache_hit;
+  header->session_remaining = admission.remaining[0];
+  header->policy_remaining = admission.remaining[1];
+  header->total_answers = admission.num_queries;
+
+  const size_t chunk_queries = std::max<size_t>(1, options.chunk_queries);
+  if (admission.has_ranges && plan.range_mechanism != nullptr &&
+      request.ranges->domain().dims() == entry.policy.domain.dims()) {
+    // Fast path: BeginRanges draws the submit's slab/line releases now
+    // (everything the charge covers); the cursor then reconstructs
+    // per query, exactly the increments AnswerRangesOnTransformed
+    // runs internally.
+    header->range_fast_path = true;
+    header->guarantee = plan.range_mechanism->Guarantee(request.epsilon);
+    const PrecomputePtr pre =
+        GetOrPrecompute(entry, plan, request.prefer_data_dependent);
+    const auto* slab =
+        dynamic_cast<const GridThetaHistogramAdapter::SlabPrecompute*>(
+            pre.get());
+    std::unique_ptr<GridThetaRangeMechanism::RangeCursor> core =
+        slab != nullptr
+            ? plan.range_mechanism->BeginRanges(std::move(*request.ranges),
+                                                slab->xg, slab->n,
+                                                request.epsilon, &rng)
+            // Safety net (the adapter always splits): transform per
+            // submit, mirroring Release()'s AnswerRanges fallback.
+            : plan.range_mechanism->BeginRanges(
+                  std::move(*request.ranges),
+                  plan.range_mechanism->PrecomputeTransformed(entry.data),
+                  Sum(entry.data), request.epsilon, &rng);
+    return std::make_unique<GridStreamCursor>(admission.plan,
+                                              std::move(core), chunk_queries);
+  }
+
+  // Histogram-release paths: the noisy estimate x̂ is the release (and
+  // is domain-sized, not workload-sized); the stream avoids
+  // materializing the q-sized answer vector.
+  const PrecomputePtr pre =
+      GetOrPrecompute(entry, plan, request.prefer_data_dependent);
+  Vector estimate =
+      pre != nullptr
+          ? plan.mechanism->RunPrecomputed(*pre, request.epsilon, &rng)
+          : plan.mechanism->Run(entry.data, request.epsilon, &rng);
+  header->guarantee = plan.mechanism->Guarantee(request.epsilon);
+  if (admission.has_ranges) {
+    return std::make_unique<SatStreamCursor>(std::move(*request.ranges),
+                                             estimate, chunk_queries);
+  }
+  return std::make_unique<DenseStreamCursor>(
+      std::move(request.workload), std::move(estimate), chunk_queries);
+}
+
+Result<std::unique_ptr<ChunkCursor>> QueryEngine::AdmitStream(
+    QueryRequest request, const StreamOptions& options,
+    StreamHeader* header) {
+  Result<Admission> admitted = Admit(request);
+  if (!admitted.ok()) return admitted.status();
+  return BuildCursor(std::move(request), admitted.ValueOrDie(), options,
+                     header);
+}
+
+Result<std::shared_ptr<ResultStream>> QueryEngine::SubmitStream(
+    QueryRequest request, const StreamOptions& options) {
+  StreamHeader header;
+  Result<std::unique_ptr<ChunkCursor>> cursor =
+      AdmitStream(std::move(request), options, &header);
+  if (!cursor.ok()) return cursor.status();
+  return ResultStream::MakeInline(std::move(cursor).ValueOrDie(),
+                                  std::move(header));
+}
+
+Result<QueryEngine::Admission> QueryEngine::Admit(
+    const QueryRequest& request) {
   RequestShape shape;
   BF_RETURN_NOT_OK(ValidateShape(request, &shape));
 
@@ -422,34 +690,42 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
       request.policy_handle.valid() ? registry_.Get(request.policy_handle)
                                     : registry_.Get(request.policy);
   if (!lookup.ok()) return lookup.status();
-  const std::shared_ptr<const RegisteredPolicy> entry =
-      std::move(lookup).ValueOrDie();
 
-  BF_RETURN_NOT_OK(CheckDomain(shape, *entry));
+  Admission admission;
+  admission.entry = std::move(lookup).ValueOrDie();
+  admission.has_ranges = shape.has_ranges;
+  admission.num_queries = shape.num_queries;
+
+  BF_RETURN_NOT_OK(CheckDomain(shape, *admission.entry));
 
   // Plan first (data-independent, costs no budget), charge second, and
   // only then draw noise: a refused query releases nothing.
-  bool cache_hit = false;
-  Result<std::shared_ptr<const Plan>> plan_result =
-      GetOrPlan(entry, request.prefer_data_dependent, &cache_hit);
+  Result<std::shared_ptr<const Plan>> plan_result = GetOrPlan(
+      admission.entry, request.prefer_data_dependent, &admission.cache_hit);
   if (!plan_result.ok()) return plan_result.status();
-  const std::shared_ptr<const Plan> plan =
-      std::move(plan_result).ValueOrDie();
+  admission.plan = std::move(plan_result).ValueOrDie();
 
-  const LedgerHandle ledgers[2] = {session_ledger, entry->ledger};
-  double remaining[2] = {0.0, 0.0};
+  const LedgerHandle ledgers[2] = {session_ledger,
+                                   admission.entry->ledger};
   ChargeTag tag;
   tag.workload = *shape.workload_name;
-  tag.context = plan->audit_context;
-  BF_RETURN_NOT_OK(
-      accountant_.Charge(ledgers, 2, request.epsilon, tag, remaining));
+  tag.context = admission.plan->audit_context;
+  BF_RETURN_NOT_OK(accountant_.Charge(ledgers, 2, request.epsilon, tag,
+                                      admission.remaining));
+  return admission;
+}
 
-  QueryResult result =
-      Release(request, *entry, *plan, cache_hit, shape.has_ranges);
+Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
+  Result<Admission> admitted = Admit(request);
+  if (!admitted.ok()) return admitted.status();
+  const Admission admission = std::move(admitted).ValueOrDie();
+
+  QueryResult result = Release(request, *admission.entry, *admission.plan,
+                               admission.cache_hit, admission.has_ranges);
   // Balances observed atomically inside the charge — a ledger closed
   // right after still reports the value this submit actually saw.
-  result.session_remaining = remaining[0];
-  result.policy_remaining = remaining[1];
+  result.session_remaining = admission.remaining[0];
+  result.policy_remaining = admission.remaining[1];
   return result;
 }
 

@@ -67,6 +67,7 @@
 #include "engine/budget_accountant.h"
 #include "engine/plan_cache.h"
 #include "engine/policy_registry.h"
+#include "engine/stream.h"
 #include "workload/workload.h"
 
 namespace blowfish {
@@ -87,6 +88,23 @@ struct EngineOptions {
   /// Plan (and precompute the release transform) at registration time
   /// so the first submit is already warm.
   bool warm_plan_cache = false;
+  /// Byte budget for the plan cache (modeled plan footprints; 0 =
+  /// unbounded, the historical behavior). When set, the cache evicts
+  /// least-recently-used plans so resident bytes never exceed the
+  /// budget; evicted plans simply re-plan on next contact. Snapshot
+  /// plan slots are unaffected (at most two plans per live policy,
+  /// dying with the snapshot).
+  size_t plan_cache_bytes = 0;
+  /// Byte budget for the per-(policy, version) noise-free transform
+  /// cache (0 = unbounded). An insert that pushes the global total
+  /// over budget evicts globally least-recently-used entries (shard
+  /// locks taken one at a time), sparing the just-inserted entry
+  /// until the very last resort — so resident bytes return under
+  /// budget before the insert returns, stale idle entries in any
+  /// shard age out, and a hot new transform is never thrashed by cold
+  /// resident ones. Evicted transforms recompute on next contact
+  /// (single-flight, as on first touch).
+  size_t transform_cache_bytes = 0;
 
   // ---- AsyncQueryEngine knobs (ignored by the synchronous engine) ----
 
@@ -210,6 +228,32 @@ class QueryEngine {
   /// any noise is drawn, so a refusal releases nothing).
   Result<QueryResult> Submit(const QueryRequest& request);
 
+  /// Executes one request as a result stream instead of a
+  /// materialized answer vector. Admission — validate, resolve, plan,
+  /// charge ε atomically — is identical to Submit, and *all* noise is
+  /// drawn before this returns, so the stream's chunks are pure
+  /// post-processing of releases the charge already covers. The
+  /// returned stream is in inline mode: Next() computes the next
+  /// chunk on the consumer's own thread (use
+  /// AsyncQueryEngine::SubmitStreamAsync for a worker-produced,
+  /// flow-controlled channel). Concatenating every chunk is
+  /// bit-identical to Submit's answer vector for the same engine
+  /// state and seed. Cancelling mid-stream keeps the ledger charge.
+  /// Errors mirror Submit's.
+  Result<std::shared_ptr<ResultStream>> SubmitStream(
+      QueryRequest request, const StreamOptions& options = StreamOptions());
+
+  /// Streaming admission primitive behind SubmitStream (also used by
+  /// the async pipeline): performs the full Submit admission — ε is
+  /// spent here — draws the submit's noise, fills `header`, and
+  /// returns the resumable cursor over the answers. The request is
+  /// taken by value so its workload moves into the cursor instead of
+  /// being deep-copied (a dense W can be large — streaming exists to
+  /// avoid duplicating exactly that).
+  Result<std::unique_ptr<ChunkCursor>> AdmitStream(
+      QueryRequest request, const StreamOptions& options,
+      StreamHeader* header);
+
   /// Executes a batch; entry i is the outcome of request i. Requests
   /// are grouped by (session, policy, planner options): each group
   /// resolves its registry snapshot and plan once and charges the
@@ -251,9 +295,43 @@ class QueryEngine {
   /// Cached noise-free release precomputes across all shards (tests).
   size_t transform_cache_entries() const;
 
+  /// \brief Observability for the byte-budgeted transform cache.
+  struct TransformCacheStats {
+    size_t entries = 0;
+    size_t bytes = 0;        ///< Σ ApproxBytes of resident precomputes
+    uint64_t evictions = 0;  ///< LRU removals (0 when unbounded)
+  };
+  TransformCacheStats transform_cache_stats() const;
+
  private:
   using PrecomputePtr =
       std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>;
+
+  /// Everything Submit establishes before any noise is drawn: the
+  /// resolved snapshot, the plan, and the already-committed charge.
+  struct Admission {
+    std::shared_ptr<const RegisteredPolicy> entry;
+    std::shared_ptr<const Plan> plan;
+    bool cache_hit = false;
+    bool has_ranges = false;
+    size_t num_queries = 0;
+    double remaining[2] = {0.0, 0.0};  ///< post-charge session/policy
+  };
+
+  /// The shared admission path of Submit and SubmitStream: validate →
+  /// resolve session and policy → domain check → get-or-plan → atomic
+  /// two-ledger charge. On success ε is spent; the caller must
+  /// release (materialized or streamed).
+  Result<Admission> Admit(const QueryRequest& request);
+
+  /// Draws the submit's noise (its private rng stream) and wraps the
+  /// incremental remainder of the release in a cursor; mirrors
+  /// Release()'s dispatch (grid fast path / summed-area / dense
+  /// rows). Consumes the request's workload (moved into the cursor).
+  std::unique_ptr<ChunkCursor> BuildCursor(QueryRequest request,
+                                           const Admission& admission,
+                                           const StreamOptions& options,
+                                           StreamHeader* header);
 
   /// Per-snapshot plan slot fast path, falling back to the
   /// single-flight string-keyed cache on cold misses.
@@ -301,14 +379,35 @@ class QueryEngine {
   /// keys: versions are registry-unique, so no name string is ever
   /// built. The gates map holds one per-key mutex per in-progress
   /// cold precompute (single-flight without blocking other policies'
-  /// first touches).
+  /// first touches). When EngineOptions::transform_cache_bytes is
+  /// set, entries carry recency stamps and the inserting shard evicts
+  /// oldest-first until the *global* byte budget holds (see
+  /// EnforceTransformBudgetLocked).
   static constexpr size_t kPrecomputeShards = 8;
+  struct PrecomputeEntry {
+    PrecomputePtr pre;       ///< may be null: memoized "no split"
+    size_t bytes = 0;        ///< ApproxBytes at insert
+    uint64_t last_used = 0;  ///< recency stamp; used when budgeted
+  };
   struct PrecomputeShard {
     mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, PrecomputePtr> entries;
+    std::unordered_map<uint64_t, PrecomputeEntry> entries;
     std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> gates;
   };
   PrecomputeShard precompute_shards_[kPrecomputeShards];
+
+  /// Brings the transform cache back under its global byte budget
+  /// after an insert: repeatedly evicts the globally least-recently-
+  /// used entry (shard locks taken one at a time — never nested, so
+  /// concurrent inserts cannot deadlock). The entry under
+  /// `protect_key` — the one just inserted, presumably hot — is
+  /// spared until everything else is gone, then evicted itself if it
+  /// alone exceeds the budget.
+  void EnforceTransformBudget(uint64_t protect_key);
+
+  std::atomic<uint64_t> transform_clock_{0};
+  std::atomic<size_t> transform_bytes_{0};
+  std::atomic<uint64_t> transform_evictions_{0};
 
   std::atomic<uint64_t> submit_counter_{0};
   /// Serializes policy lifecycle ops (register/replace/unregister) so

@@ -1,0 +1,235 @@
+// Result streaming: chunked delivery of workload answers.
+//
+// A Submit materializes the full `W x̂` answer vector before the
+// caller sees anything — a million-range workload holds a worker and
+// one contiguous allocation until the last element is computed. But
+// every execution path in this engine is already incremental after
+// its noise is drawn: the θ>=2 grid fast path reconstructs answers
+// query by query from the noisy slab releases, the summed-area path
+// answers ranges one inclusion-exclusion probe at a time, and a dense
+// `W x̂` is a row-by-row sparse dot. Streaming exposes that: ε is
+// charged atomically at admission exactly as for Submit, all noise is
+// drawn immediately after the charge, and the answers then flow to
+// the consumer in configurable chunks as pure post-processing of the
+// already-released noisy vectors.
+//
+// Privacy semantics. Admission is the release: the charge covers the
+// noisy slab/line/histogram releases drawn at cursor construction,
+// and every chunk is post-processing of those releases. Cancelling a
+// stream mid-way therefore keeps the ledger charge — the privacy was
+// spent when the releases were drawn, not when the answers were read.
+//
+// Two producer modes share one consumer API:
+//
+//   inline (QueryEngine::SubmitStream)      Next() runs the resumable
+//     cursor on the consumer's own thread; chunks are never buffered.
+//   channel (AsyncQueryEngine::SubmitStreamAsync)   a worker produces
+//     into a bounded chunk buffer; when the consumer lags, the
+//     producer *parks* — TryPush returns kFull, the worker installs a
+//     space hook and returns to the pool, and the next Next()/Cancel()
+//     fires the hook so the async engine re-enqueues the producer
+//     (by then warm). A slow consumer never holds a worker.
+//
+// Terminal contract (matching the async future contract): every
+// stream reaches exactly one terminal state — kDone (all chunks
+// delivered), or a sticky error status (kCancelled for consumer
+// Cancel() and engine shutdown, or the admission failure). Next()
+// first drains buffered chunks, then reports the terminal state on
+// every subsequent call.
+
+#ifndef BLOWFISH_ENGINE_STREAM_H_
+#define BLOWFISH_ENGINE_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/vector_ops.h"
+#include "mech/mechanism.h"
+
+namespace blowfish {
+
+class QueryEngine;
+class AsyncQueryEngine;
+
+/// \brief Per-stream shaping knobs, passed alongside the QueryRequest.
+struct StreamOptions {
+  /// Answers per chunk (the final chunk may be shorter). Must be >= 1.
+  size_t chunk_queries = 256;
+  /// Bound on produced-but-unconsumed chunks (channel mode only): the
+  /// producer parks once this many chunks are buffered. Must be >= 1.
+  size_t max_buffered_chunks = 4;
+};
+
+/// \brief One contiguous block of answers: values[i] is the answer to
+/// workload query `offset + i`.
+struct StreamChunk {
+  size_t offset = 0;
+  Vector values;
+};
+
+/// \brief Admission metadata — QueryResult minus the answers, known as
+/// soon as the charge lands and the noise is drawn.
+struct StreamHeader {
+  std::string plan_kind;
+  bool plan_cache_hit = false;
+  bool range_fast_path = false;
+  PrivacyGuarantee guarantee;
+  /// Post-charge balances, observed atomically inside the admission
+  /// charge (same contract as QueryResult).
+  std::optional<double> session_remaining;
+  std::optional<double> policy_remaining;
+  /// Total answers the stream will deliver across all chunks.
+  size_t total_answers = 0;
+};
+
+/// \brief Outcome of a Next()/TryNext() call that did not fail.
+enum class StreamNext {
+  kChunk,    ///< *out holds the next chunk
+  kPending,  ///< nothing buffered yet (TryNext on a channel stream)
+  kDone,     ///< all chunks delivered; the stream is complete
+};
+
+/// \brief Resumable producer state: emits the answer vector strictly
+/// in order, one chunk per call. Implementations hold everything the
+/// production needs (plan, noisy releases, workload copy) so the
+/// originating request may die first. Not thread-safe; the stream
+/// serializes access.
+class ChunkCursor {
+ public:
+  virtual ~ChunkCursor() = default;
+  /// The next chunk in order, or nullopt once exhausted.
+  virtual std::optional<StreamChunk> NextChunk() = 0;
+  /// Total answers across the whole stream.
+  virtual size_t total_answers() const = 0;
+};
+
+/// \brief Consumer handle over a bounded chunk channel. Thread-safe:
+/// any number of threads may call Next/TryNext/Cancel concurrently
+/// (chunks are handed out exactly once, in order).
+class ResultStream {
+ public:
+  ResultStream(const ResultStream&) = delete;
+  ResultStream& operator=(const ResultStream&) = delete;
+
+  /// Blocks until a chunk, the end, or a terminal error. On an inline
+  /// stream this computes the chunk on the calling thread.
+  Result<StreamNext> Next(StreamChunk* out);
+
+  /// Never blocks on a channel stream: kPending when the producer has
+  /// not caught up. On an inline stream production *is* the call, so
+  /// TryNext behaves like Next and never returns kPending.
+  Result<StreamNext> TryNext(StreamChunk* out);
+
+  /// Abandons the stream: buffered chunks are dropped, the producer is
+  /// released at its next emit (or immediately if parked), and every
+  /// later Next() returns kCancelled. The admission's ε charge is
+  /// kept — privacy was spent when the noise was drawn at admission,
+  /// and the released chunks were already observable. Idempotent; a
+  /// Cancel after completion is a no-op.
+  void Cancel();
+
+  /// Admission metadata; blocks until the admission resolves (a sync
+  /// stream is admitted before the handle exists; an async stream
+  /// resolves when a worker picks the task up). An admission failure
+  /// (bad request, exhausted budget, shutdown) is returned here and as
+  /// the stream's terminal status.
+  Result<StreamHeader> header() const;
+
+  /// True once the terminal state is reached (chunks may still be
+  /// buffered for draining).
+  bool finished() const;
+
+  /// Chunks currently buffered (channel mode; 0 for inline streams).
+  size_t buffered() const;
+
+  /// High-water mark of chunk payload bytes resident in the stream:
+  /// the buffered chunks (channel mode), or — for inline streams,
+  /// which never buffer — the largest chunk produced. The
+  /// stream-vs-materialize bench reports this against the full answer
+  /// vector's footprint.
+  size_t peak_resident_bytes() const;
+
+ private:
+  friend class QueryEngine;
+  friend class AsyncQueryEngine;
+
+  /// Producer-side outcome of TryPush.
+  enum class Push {
+    kOk,      ///< chunk accepted
+    kFull,    ///< buffer at capacity — install a hook and park
+    kClosed,  ///< stream cancelled/terminal — drop the cursor, stop
+  };
+
+  ResultStream() = default;
+
+  /// Sync factory: admission already happened; Next() drives `cursor`
+  /// on the consumer thread.
+  static std::shared_ptr<ResultStream> MakeInline(
+      std::unique_ptr<ChunkCursor> cursor, StreamHeader header);
+
+  /// Async factory: a worker will admit and produce; consumers block
+  /// on header()/Next() until then.
+  static std::shared_ptr<ResultStream> MakeChannel(size_t max_buffered);
+
+  /// Publishes the admission outcome (exactly once).
+  void ResolveHeader(Result<StreamHeader> header);
+
+  /// Refusal before any production (queue full, shutdown, admission
+  /// failure): resolves the header and the terminal status together.
+  void Abort(Status status);
+
+  /// Channel producers: moves *chunk into the buffer on kOk; leaves it
+  /// untouched on kFull/kClosed.
+  Push TryPush(StreamChunk* chunk);
+
+  /// Arms the one-shot space hook. Returns false — without storing the
+  /// hook — when space is already available or the stream is terminal,
+  /// in which case the caller should retry TryPush instead of parking.
+  /// The hook fires (exactly once, outside the stream lock) on the
+  /// next consumer pop, Cancel, or Close.
+  bool InstallSpaceHook(std::function<void()> hook);
+
+  /// Terminal transition; OK() = graceful end-of-stream (buffered
+  /// chunks still drain), error = sticky failure. First caller wins
+  /// (a later Close after Cancel is a no-op).
+  void Close(Status terminal);
+
+  /// Producers poll this between chunks to stop early.
+  bool cancelled() const;
+
+  Result<StreamNext> ProduceInline(StreamChunk* out);
+  /// Pops under `lock` held; fires the space hook after unlock.
+  Result<StreamNext> PopLocked(StreamChunk* out,
+                               std::unique_lock<std::mutex>* lock);
+  /// Terminal report under lock: terminal error, or kDone.
+  Result<StreamNext> TerminalLocked() const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable data_cv_;    ///< consumers wait here
+  mutable std::condition_variable header_cv_;  ///< header() waits here
+  std::deque<StreamChunk> buffer_;
+  size_t capacity_ = 0;  ///< 0 = inline mode (never buffers)
+  std::optional<Result<StreamHeader>> header_;
+  bool closed_ = false;
+  bool cancel_requested_ = false;
+  Status terminal_ = Status::OK();
+  std::function<void()> space_hook_;
+  size_t resident_bytes_ = 0;
+  size_t peak_resident_bytes_ = 0;
+
+  /// Inline mode: serializes cursor runs across concurrent consumers;
+  /// the cursor is only touched under this mutex.
+  std::mutex produce_mu_;
+  std::unique_ptr<ChunkCursor> inline_cursor_;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_STREAM_H_

@@ -43,35 +43,43 @@ Vector SummedAreaTable(const DomainShape& domain, const Vector& x) {
 
 }  // namespace
 
-Vector RangeWorkload::Answer(const Vector& x) const {
+SummedAreaAnswerer::SummedAreaAnswerer(DomainShape domain, const Vector& x)
+    : domain_(std::move(domain)) {
   BF_CHECK_EQ(x.size(), domain_.size());
-  const Vector sat = SummedAreaTable(domain_, x);
+  sat_ = SummedAreaTable(domain_, x);
+}
+
+double SummedAreaAnswerer::Answer(const RangeQuery& q) const {
   const size_t d = domain_.num_dims();
-  Vector out(queries_.size(), 0.0);
   std::vector<size_t> corner(d);
-  for (size_t qi = 0; qi < queries_.size(); ++qi) {
-    const RangeQuery& q = queries_[qi];
-    double acc = 0.0;
-    // Inclusion-exclusion over the 2^d corners of the box.
-    for (size_t mask = 0; mask < (size_t{1} << d); ++mask) {
-      bool valid = true;
-      int sign = 1;
-      for (size_t dim = 0; dim < d; ++dim) {
-        if (mask & (size_t{1} << dim)) {
-          sign = -sign;
-          if (q.lo[dim] == 0) {
-            valid = false;
-            break;
-          }
-          corner[dim] = q.lo[dim] - 1;
-        } else {
-          corner[dim] = q.hi[dim];
+  double acc = 0.0;
+  // Inclusion-exclusion over the 2^d corners of the box.
+  for (size_t mask = 0; mask < (size_t{1} << d); ++mask) {
+    bool valid = true;
+    int sign = 1;
+    for (size_t dim = 0; dim < d; ++dim) {
+      if (mask & (size_t{1} << dim)) {
+        sign = -sign;
+        if (q.lo[dim] == 0) {
+          valid = false;
+          break;
         }
+        corner[dim] = q.lo[dim] - 1;
+      } else {
+        corner[dim] = q.hi[dim];
       }
-      if (!valid) continue;
-      acc += sign * sat[domain_.Flatten(corner)];
     }
-    out[qi] = acc;
+    if (!valid) continue;
+    acc += sign * sat_[domain_.Flatten(corner)];
+  }
+  return acc;
+}
+
+Vector RangeWorkload::Answer(const Vector& x) const {
+  const SummedAreaAnswerer answerer(domain_, x);
+  Vector out(queries_.size(), 0.0);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    out[qi] = answerer.Answer(queries_[qi]);
   }
   return out;
 }

@@ -53,6 +53,27 @@ struct RangeQuery {
   std::vector<size_t> hi;
 };
 
+/// \brief A summed-area table over one histogram, reusable across any
+/// number of range queries on the same domain. Building the table is
+/// the O(domain · d) part of range answering; holding it lets chunked
+/// consumers (the engine's result streams) answer query blocks in
+/// O(q · 2^d) without re-scanning the histogram per chunk. Immutable
+/// after construction and safe to share across threads.
+class SummedAreaAnswerer {
+ public:
+  SummedAreaAnswerer(DomainShape domain, const Vector& x);
+
+  /// The exact answer to one inclusive range query; identical
+  /// arithmetic (inclusion-exclusion corner order) to
+  /// RangeWorkload::Answer, so chunked answers concatenate
+  /// bit-identically to the one-shot call.
+  double Answer(const RangeQuery& query) const;
+
+ private:
+  DomainShape domain_;
+  Vector sat_;
+};
+
 /// \brief Implicit workload of d-dimensional range queries.
 class RangeWorkload {
  public:
