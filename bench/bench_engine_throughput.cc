@@ -625,7 +625,13 @@ int main(int argc, char** argv) {
   {
     const size_t k = smoke ? 64 : 256;
     const size_t num_ranges = smoke ? 1000 : 10000;
-    QueryEngine engine(EngineOptions{/*seed=*/2015, false});
+    EngineOptions stream_engine_options;
+    stream_engine_options.seed = 2015;
+    // Sample every submit so the telemetry dump below carries stage
+    // traces (this section is few submits; sampling is not on the
+    // timed inner loops above).
+    stream_engine_options.trace_sample_rate = 1.0;
+    QueryEngine engine(stream_engine_options);
     engine
         .RegisterPolicy("streamed", GridPolicy(DomainShape({k, k}), 4),
                         Ramp(k * k), 1e9)
@@ -694,6 +700,24 @@ int main(int argc, char** argv) {
                    "materialized latency %.2f ms\n",
                    stream_ttfc_ms, materialize_ms);
       failed = true;
+    }
+
+    if (write_json) {
+      // Telemetry artifacts from this section's engine: the unified
+      // metrics snapshot and the ε-audit JSONL (what CI uploads).
+      const auto dump = [](const char* path, const std::string& body) {
+        FILE* f = std::fopen(path, "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot write %s\n", path);
+          return;
+        }
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("  wrote %s\n", path);
+      };
+      dump("BENCH_engine_metrics.json",
+           engine.telemetry().metrics().SnapshotJson());
+      dump("BENCH_engine_audit.jsonl", engine.telemetry().audit().ExportJsonl());
     }
   }
 

@@ -275,5 +275,28 @@ int main() {
               static_cast<unsigned long long>(stats.misses), stats.entries);
   std::printf("\nalice's audit trail:\n%s\n",
               engine.SessionAudit("alice").ValueOrDie().c_str());
+
+  std::printf("\nround 8 — telemetry (the whole service in two dumps):\n");
+  // Every component above fed one registry: submits, ε charged,
+  // refusals, cache levels, async lane latencies, stream parks. The
+  // snapshot is what a /metrics endpoint would serve; the ε-audit
+  // JSONL is the crash-exportable spend record — one line per charge
+  // or refusal, with post-charge balances, replayable against the
+  // accountant bit-for-bit.
+  const EngineTelemetry& telemetry = engine.telemetry();
+  std::printf("metrics snapshot:\n%s\n",
+              telemetry.metrics().SnapshotJson().c_str());
+  std::printf("last epsilon-audit events (of %llu):\n",
+              static_cast<unsigned long long>(
+                  telemetry.audit().total_events()));
+  // Print only the tail; ExportJsonl() is what a service would
+  // persist on crash or rotation.
+  const std::vector<AuditEvent> events = telemetry.audit().Snapshot();
+  std::string tail;
+  for (size_t i = events.size() > 3 ? events.size() - 3 : 0;
+       i < events.size(); ++i) {
+    EpsilonAuditLog::AppendJsonl(events[i], &tail);
+  }
+  std::printf("%s", tail.c_str());
   return 0;
 }

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace blowfish {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes the stderr writes: engine workers log concurrently, and
+// two interleaved fprintf calls would shear their lines. The line is
+// composed outside the lock; only the single write holds it.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,7 +38,15 @@ namespace internal {
 
 void EmitLog(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_min_level.load()) return;
-  std::fprintf(stderr, "[blowfish %s] %s\n", LevelName(level), msg.c_str());
+  std::string line;
+  line.reserve(msg.size() + 24);
+  line.append("[blowfish ");
+  line.append(LevelName(level));
+  line.append("] ");
+  line.append(msg);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace internal

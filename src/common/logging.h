@@ -1,6 +1,8 @@
 // Lightweight leveled logging to stderr. Used by mechanisms to report
 // budget accounting and by benches to narrate sweeps; quiet by default
-// above kInfo.
+// above kInfo. Thread-safe: the level is atomic and each log line is
+// emitted as one serialized write, so concurrent engine workers never
+// shear each other's lines.
 
 #ifndef BLOWFISH_COMMON_LOGGING_H_
 #define BLOWFISH_COMMON_LOGGING_H_

@@ -1,70 +1,59 @@
 #include "engine/async_engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <utility>
 
 namespace blowfish {
 
 namespace {
 constexpr const char* kShutdownMsg = "engine shut down before the request ran";
+
+double MsSince(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
 }  // namespace
-
-// ------------------------------------------------------------ digest
-
-void AsyncQueryEngine::LatencyDigest::Record(double ms) {
-  const uint64_t us =
-      ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
-  const size_t bucket =
-      us == 0 ? 0
-              : std::min<size_t>(kBuckets - 1,
-                                 64 - __builtin_clzll(us));
-  buckets[bucket].fetch_add(1, std::memory_order_relaxed);
-  uint64_t prev = max_us.load(std::memory_order_relaxed);
-  while (prev < us && !max_us.compare_exchange_weak(
-                          prev, us, std::memory_order_relaxed)) {
-  }
-}
-
-void AsyncQueryEngine::LatencyDigest::Snapshot(double* p50_ms, double* p99_ms,
-                                               double* max_ms) const {
-  uint64_t counts[kBuckets];
-  uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  *max_ms = static_cast<double>(max_us.load(std::memory_order_relaxed)) /
-            1000.0;
-  if (total == 0) {
-    *p50_ms = *p99_ms = 0.0;
-    return;
-  }
-  const auto percentile = [&](double q) {
-    uint64_t rank = static_cast<uint64_t>(
-        std::ceil(q * static_cast<double>(total)));
-    if (rank == 0) rank = 1;
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-      seen += counts[i];
-      if (seen >= rank) {
-        // Bucket i holds microsecond values with bit-width i, so its
-        // upper bound is 2^i - 1 us; the digest reports ~2x-resolution
-        // upper bounds, clamped to the exact observed max.
-        const double upper_ms =
-            static_cast<double>(i >= 63 ? ~0ull : (1ull << i)) / 1000.0;
-        return std::min(upper_ms, *max_ms);
-      }
-    }
-    return *max_ms;
-  };
-  *p50_ms = percentile(0.50);
-  *p99_ms = percentile(0.99);
-}
 
 // ------------------------------------------------------- construction
 
 AsyncQueryEngine::AsyncQueryEngine(EngineOptions options) : engine_(options) {
+  // The lane digests live in the owned engine's registry, so one
+  // metrics snapshot covers the whole pipeline. Pointers are stable
+  // for the registry's lifetime; updates are lock-free.
+  MetricsRegistry& metrics = engine_.telemetry().metrics();
+  warm_counters_.latency = metrics.histogram("engine_async_warm_latency_ms");
+  warm_counters_.queue_wait =
+      metrics.histogram("engine_async_queue_wait_warm_ms");
+  cold_counters_.latency = metrics.histogram("engine_async_cold_latency_ms");
+  cold_counters_.queue_wait =
+      metrics.histogram("engine_async_queue_wait_cold_ms");
+  h_cold_coalesce_wait_ =
+      metrics.histogram("engine_async_cold_coalesce_wait_ms");
+  h_stream_park_wait_ = metrics.histogram("engine_stream_park_wait_ms");
+  stream_counters_.chunks = metrics.counter("engine_stream_chunks_total");
+  stream_counters_.ttfc = metrics.histogram("engine_stream_ttfc_ms");
+  stream_counters_.chunk_gap = metrics.histogram("engine_stream_chunk_gap_ms");
+  metrics.gauge_callback("engine_async_warm_depth", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(DepthLocked(/*cold=*/false));
+  });
+  metrics.gauge_callback("engine_async_cold_depth", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(DepthLocked(/*cold=*/true));
+  });
+  metrics.gauge_callback("engine_async_cold_in_flight", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(cold_inflight_);
+  });
+  metrics.gauge_callback("engine_async_parked_streams", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(parked_streams_.size());
+  });
+  metrics.gauge_callback("engine_async_cold_plans_coalesced", [this] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<double>(cold_coalesced_);
+  });
+
   hook_gate_ = std::make_shared<HookGate>();
   hook_gate_->engine = this;
   num_workers_ = options.async_workers != 0
@@ -127,6 +116,15 @@ Status AsyncQueryEngine::AcquireSlots(std::unique_lock<std::mutex>* lock,
   return Status::OK();
 }
 
+void AsyncQueryEngine::RecordFirstPop(Task* task) {
+  if (task->popped_once) return;
+  task->popped_once = true;
+  const double wait_ms = MsSince(task->enqueue_time, Clock::now());
+  LaneCounters& lane = task->lane_cold ? cold_counters_ : warm_counters_;
+  lane.queue_wait->Record(wait_ms);
+  task->trace.Record(TraceStage::kQueueWait, wait_ms);
+}
+
 size_t AsyncQueryEngine::DepthLocked(bool cold) const {
   if (!cold) return warm_queue_.size();
   size_t parked = 0;
@@ -156,6 +154,9 @@ std::future<Result<QueryResult>> AsyncQueryEngine::SubmitAsync(
   task->requests.push_back(std::move(request));
   task->promises.emplace_back();
   std::future<Result<QueryResult>> future = task->promises[0].get_future();
+  // Sampling decides here so the span covers the queue wait too; the
+  // worker carries the span into Submit and finishes it.
+  task->trace = engine_.telemetry().MaybeStartTrace();
   Classify(task.get());
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -218,6 +219,7 @@ std::shared_ptr<ResultStream> AsyncQueryEngine::SubmitStreamAsync(
   task->requests.push_back(std::move(request));
   task->stream = stream;
   task->stream_options = options;
+  task->trace = engine_.telemetry().MaybeStartTrace();
   Classify(task.get());
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -257,14 +259,17 @@ void AsyncQueryEngine::WorkerLoop() {
       if (!warm_queue_.empty()) {
         task = std::move(warm_queue_.front());
         warm_queue_.pop_front();
+        RecordFirstPop(task.get());
       } else {
         task = std::move(cold_queue_.front());
         cold_queue_.pop_front();
+        RecordFirstPop(task.get());
         if (cold_inflight_keys_.count(task->cold_key) != 0) {
           // Same-key plan already in flight: park instead of blocking
           // this worker on the leader's planning. The task's queue
           // slots stay held (it is still queued work).
           ++cold_coalesced_;
+          task->parked_at = Clock::now();
           parked_[task->cold_key].push_back(std::move(task));
           continue;
         }
@@ -313,7 +318,7 @@ void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
     // The request moves into the cursor — the task carried it only to
     // reach admission (classification used it at submit time).
     Result<std::unique_ptr<ChunkCursor>> cursor = engine_.AdmitStream(
-        std::move(t->requests[0]), t->stream_options, &header);
+        std::move(t->requests[0]), t->stream_options, &header, &t->trace);
     if (cold_leader) {
       // The plan and transform are cached (or planning failed) the
       // moment admission returns: release the single-flight key now,
@@ -348,17 +353,12 @@ void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
         const Clock::time_point now = Clock::now();
         if (!t->emitted_any) {
           t->emitted_any = true;
-          stream_counters_.ttfc.Record(
-              std::chrono::duration<double, std::milli>(now -
-                                                        t->enqueue_time)
-                  .count());
+          stream_counters_.ttfc->Record(MsSince(t->enqueue_time, now));
         } else {
-          stream_counters_.chunk_gap.Record(
-              std::chrono::duration<double, std::milli>(now - t->last_emit)
-                  .count());
+          stream_counters_.chunk_gap->Record(MsSince(t->last_emit, now));
         }
         t->last_emit = now;
-        stream_counters_.chunks.fetch_add(1, std::memory_order_relaxed);
+        stream_counters_.chunks->Add(1);
         continue;
       }
       case ResultStream::Push::kClosed:
@@ -379,6 +379,7 @@ void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
           stopping = stopping_;
           if (!stopping) {
             ++stream_counters_.parks;
+            t->parked_at = Clock::now();
             parked_streams_.emplace(key, std::move(task));
           }
         }
@@ -415,10 +416,17 @@ void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
           task = std::move(it->second);
           parked_streams_.erase(it);
         }
+        RecordStreamUnpark(task.get());
         continue;  // retry the push (t is valid again)
       }
     }
   }
+}
+
+void AsyncQueryEngine::RecordStreamUnpark(Task* task) {
+  const double wait_ms = MsSince(task->parked_at, Clock::now());
+  h_stream_park_wait_->Record(wait_ms);
+  task->trace.Record(TraceStage::kStreamPark, wait_ms);
 }
 
 void AsyncQueryEngine::OnStreamSpace(const Task* key) {
@@ -429,6 +437,7 @@ void AsyncQueryEngine::OnStreamSpace(const Task* key) {
     if (it == parked_streams_.end()) return;  // already resumed/swept
     task = std::move(it->second);
     parked_streams_.erase(it);
+    RecordStreamUnpark(task.get());
     if (!stopping_) {
       // Resume in the warm lane: admission is long done, the plan and
       // transform are cached — the remaining production is warm work.
@@ -448,6 +457,8 @@ void AsyncQueryEngine::OnStreamSpace(const Task* key) {
 }
 
 void AsyncQueryEngine::FinishStreamTask(TaskPtr task, StreamOutcome outcome) {
+  engine_.telemetry().FinishTrace(&task->trace,
+                                  outcome == StreamOutcome::kCompleted);
   task.reset();  // the stream handle stays with the consumer
   std::lock_guard<std::mutex> lock(mu_);
   switch (outcome) {
@@ -466,11 +477,19 @@ void AsyncQueryEngine::FinishStreamTask(TaskPtr task, StreamOutcome outcome) {
 
 void AsyncQueryEngine::Process(Task* task) {
   std::vector<Result<QueryResult>> results;
+  bool ok = true;
   if (task->is_batch) {
+    // Batches are not stage-traced (grouped charges interleave the
+    // entries' stages); their trace is inactive by construction.
     results = engine_.SubmitBatch(task->requests, task->batch_options);
+    for (const Result<QueryResult>& result : results) ok = ok && result.ok();
   } else {
-    results.emplace_back(engine_.Submit(task->requests[0]));
+    // The task's span (queue wait already stamped) rides through the
+    // engine's admission stages; this overload never finishes it.
+    results.emplace_back(engine_.Submit(task->requests[0], &task->trace));
+    ok = results[0].ok();
   }
+  engine_.telemetry().FinishTrace(&task->trace, ok);
   // Completion stats are recorded *before* the promises resolve, so a
   // caller woken by get() observes its own task already counted.
   // Stats attribute to the lane the task was *accepted* into: a cold
@@ -478,10 +497,7 @@ void AsyncQueryEngine::Process(Task* task) {
   // cold wait, and must not pollute the warm latency digest.
   LaneCounters& lane = task->lane_cold ? cold_counters_ : warm_counters_;
   lane.completed.fetch_add(1, std::memory_order_relaxed);
-  lane.latency.Record(
-      std::chrono::duration<double, std::milli>(Clock::now() -
-                                                task->enqueue_time)
-          .count());
+  lane.latency->Record(MsSince(task->enqueue_time, Clock::now()));
   for (size_t i = 0; i < results.size(); ++i) {
     task->promises[i].set_value(std::move(results[i]));
   }
@@ -509,7 +525,13 @@ void AsyncQueryEngine::FinishCold(const std::string& key) {
   // serial leaders (sharing nothing stale). Re-enqueue keeps the
   // original enqueue stamp (latency is submit-to-resolve) and lane
   // attribution; only the runnable queue changes.
-  for (TaskPtr& task : parked) Classify(task.get());
+  const Clock::time_point unparked = Clock::now();
+  for (TaskPtr& task : parked) {
+    const double wait_ms = MsSince(task->parked_at, unparked);
+    h_cold_coalesce_wait_->Record(wait_ms);
+    task->trace.Record(TraceStage::kColdCoalesceWait, wait_ms);
+    Classify(task.get());
+  }
   bool cancel_parked = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -667,7 +689,10 @@ AsyncStats AsyncQueryEngine::stats() const {
     lane->peak_depth = counters.peak_depth;
     lane->depth = depth;
     lane->completed = counters.completed.load(std::memory_order_relaxed);
-    counters.latency.Snapshot(&lane->p50_ms, &lane->p99_ms, &lane->max_ms);
+    const HistogramSnapshot latency = counters.latency->Snapshot();
+    lane->p50_ms = latency.p50_ms;
+    lane->p99_ms = latency.p99_ms;
+    lane->max_ms = latency.max_ms;
   };
   fill(warm_counters_, DepthLocked(/*cold=*/false), &out.warm);
   fill(cold_counters_, DepthLocked(/*cold=*/true), &out.cold);
@@ -678,14 +703,15 @@ AsyncStats AsyncQueryEngine::stats() const {
   out.stream.rejected = stream_counters_.rejected;
   out.stream.producer_parks = stream_counters_.parks;
   out.stream.parked_now = parked_streams_.size();
-  out.stream.chunks_emitted =
-      stream_counters_.chunks.load(std::memory_order_relaxed);
-  stream_counters_.ttfc.Snapshot(&out.stream.ttfc_p50_ms,
-                                 &out.stream.ttfc_p99_ms,
-                                 &out.stream.ttfc_max_ms);
-  stream_counters_.chunk_gap.Snapshot(&out.stream.chunk_gap_p50_ms,
-                                      &out.stream.chunk_gap_p99_ms,
-                                      &out.stream.chunk_gap_max_ms);
+  out.stream.chunks_emitted = stream_counters_.chunks->value();
+  const HistogramSnapshot ttfc = stream_counters_.ttfc->Snapshot();
+  out.stream.ttfc_p50_ms = ttfc.p50_ms;
+  out.stream.ttfc_p99_ms = ttfc.p99_ms;
+  out.stream.ttfc_max_ms = ttfc.max_ms;
+  const HistogramSnapshot gap = stream_counters_.chunk_gap->Snapshot();
+  out.stream.chunk_gap_p50_ms = gap.p50_ms;
+  out.stream.chunk_gap_p99_ms = gap.p99_ms;
+  out.stream.chunk_gap_max_ms = gap.max_ms;
   out.workers = num_workers_;
   out.cold_in_flight = cold_inflight_;
   out.cold_plans_coalesced = cold_coalesced_;

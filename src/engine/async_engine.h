@@ -87,6 +87,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "engine/telemetry.h"
 
 namespace blowfish {
 
@@ -240,19 +241,20 @@ class AsyncQueryEngine {
     bool emitted_any = false;
     Clock::time_point last_emit;
 
+    // ---- telemetry ----
+    /// Sampled stage span, started at submission; the worker that
+    /// finishes the task records it. Inactive when unsampled.
+    RequestTrace trace;
+    /// First pop already recorded its queue wait (a re-enqueued task
+    /// pops more than once; only the first pop is submission latency).
+    bool popped_once = false;
+    /// Set when the task parks (cold coalesce / stream buffer full);
+    /// the wait ends when the task is taken back out.
+    Clock::time_point parked_at;
+
     size_t slots() const { return requests.size(); }
   };
   using TaskPtr = std::unique_ptr<Task>;
-
-  /// Lock-free log2-microsecond latency digest (TSan-clean: buckets
-  /// are atomics, recorded by workers without the queue lock).
-  struct LatencyDigest {
-    static constexpr size_t kBuckets = 40;
-    std::atomic<uint64_t> buckets[kBuckets] = {};
-    std::atomic<uint64_t> max_us{0};
-    void Record(double ms);
-    void Snapshot(double* p50_ms, double* p99_ms, double* max_ms) const;
-  };
 
   struct LaneCounters {
     uint64_t enqueued = 0;   // guarded by mu_
@@ -260,7 +262,10 @@ class AsyncQueryEngine {
     uint64_t cancelled = 0;  // guarded by mu_
     size_t peak_depth = 0;   // guarded by mu_
     std::atomic<uint64_t> completed{0};
-    LatencyDigest latency;
+    /// Registry-owned histograms (engine_async_*_ms), recorded by
+    /// workers lock-free without mu_.
+    LatencyHistogram* latency = nullptr;
+    LatencyHistogram* queue_wait = nullptr;
   };
 
   /// Classifies (outside the queue lock): cold iff any entry's plan
@@ -306,6 +311,15 @@ class AsyncQueryEngine {
   void FinishStreamTask(TaskPtr task, StreamOutcome outcome);
 
   size_t DepthLocked(bool cold) const;
+
+  /// Records the submission-to-first-pop queue wait into the lane's
+  /// histogram and the task's trace (once; re-enqueued tasks pop again
+  /// but only the first pop is queue wait).
+  void RecordFirstPop(Task* task);
+
+  /// Records the time a stream producer spent parked on a full chunk
+  /// buffer (parked_at to now).
+  void RecordStreamUnpark(Task* task);
 
   QueryEngine engine_;
   size_t num_workers_ = 0;
@@ -357,8 +371,9 @@ class AsyncQueryEngine {
   LaneCounters warm_counters_;
   LaneCounters cold_counters_;
 
-  /// Stream accounting (plain counters guarded by mu_; digests and
-  /// chunk counts are recorded lock-free by producers).
+  /// Stream accounting (plain counters guarded by mu_; histograms and
+  /// the chunk counter live in the registry and are recorded lock-free
+  /// by producers).
   struct StreamCounters {
     uint64_t accepted = 0;   // guarded by mu_
     uint64_t completed = 0;  // guarded by mu_
@@ -366,11 +381,17 @@ class AsyncQueryEngine {
     uint64_t failed = 0;     // guarded by mu_
     uint64_t rejected = 0;   // guarded by mu_
     uint64_t parks = 0;      // guarded by mu_
-    std::atomic<uint64_t> chunks{0};
-    LatencyDigest ttfc;
-    LatencyDigest chunk_gap;
+    Counter* chunks = nullptr;
+    LatencyHistogram* ttfc = nullptr;
+    LatencyHistogram* chunk_gap = nullptr;
   };
   StreamCounters stream_counters_;
+
+  /// Wait histograms recorded for every request (the timestamps
+  /// already exist on these paths); sampled traces additionally fold
+  /// the same waits into the engine_stage_* histograms.
+  LatencyHistogram* h_cold_coalesce_wait_ = nullptr;
+  LatencyHistogram* h_stream_park_wait_ = nullptr;
 
   std::vector<std::thread> workers_;
 };

@@ -155,10 +155,14 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
   }
   // Validate everything before committing anything. A repeated handle
   // composes sequentially within the charge, so a ledger named n
-  // times must afford n*epsilon.
+  // times must afford n*epsilon. Refusals are audited (still under
+  // the shard locks, like spends) — a refused query releases nothing,
+  // but the refusal itself is part of the spend record.
   for (size_t i = 0; i < count; ++i) {
     const Slot* slot = SlotFor(handles[i]);
     if (slot == nullptr) {
+      RecordAudit(handles, count, epsilon, tag, /*charged=*/false,
+                  StatusCode::kNotFound, nullptr);
       return Status::NotFound("ledger handle is stale or closed");
     }
     size_t times = 1;
@@ -166,6 +170,8 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
       if (handles[j] == handles[i]) ++times;
     }
     if (!slot->budget->CanSpend(static_cast<double>(times) * epsilon)) {
+      RecordAudit(handles, count, epsilon, tag, /*charged=*/false,
+                  StatusCode::kOutOfRange, nullptr);
       return Status::OutOfRange(
           "ledger '" + slot->id + "': budget exceeded by '" +
           std::string(tag.workload) +
@@ -175,14 +181,45 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
           std::to_string(slot->budget->total()));
     }
   }
+  double balances[AuditEvent::kMaxLedgers];
   for (size_t i = 0; i < count; ++i) {
     Slot* slot = SlotFor(handles[i]);
     slot->budget
         ->SpendTagged(epsilon, tag.workload, tag.context, tag.parallel_count)
         .Check();
-    if (remaining != nullptr) remaining[i] = slot->budget->remaining();
+    const double balance = slot->budget->remaining();
+    if (remaining != nullptr) remaining[i] = balance;
+    if (i < AuditEvent::kMaxLedgers) balances[i] = balance;
   }
+  // Still under every involved shard lock: the append's position in
+  // the log matches this charge's position in each ledger's spend
+  // order, which is what makes the JSONL replayable bit-for-bit.
+  RecordAudit(handles, count, epsilon, tag, /*charged=*/true, StatusCode::kOk,
+              balances);
   return Status::OK();
+}
+
+void BudgetAccountant::RecordAudit(const LedgerHandle* handles, size_t count,
+                                   double epsilon, const ChargeTag& tag,
+                                   bool charged, StatusCode refusal,
+                                   const double* balances) {
+  if (audit_log_ == nullptr || !audit_log_->enabled()) return;
+  AuditEvent event;
+  event.charged = charged;
+  event.refusal = refusal;
+  event.epsilon = epsilon;
+  event.parallel_count = tag.parallel_count;
+  event.workload.assign(tag.workload.data(), tag.workload.size());
+  event.context = tag.context;
+  for (size_t i = 0; i < count && i < AuditEvent::kMaxLedgers; ++i) {
+    const Slot* slot = SlotFor(handles[i]);
+    if (slot == nullptr) continue;  // stale handle on a refusal
+    AuditEvent::LedgerLine& line = event.ledgers[event.num_ledgers++];
+    line.id = slot->id;
+    line.remaining =
+        balances != nullptr ? balances[i] : slot->budget->remaining();
+  }
+  audit_log_->Append(std::move(event));
 }
 
 Status BudgetAccountant::Charge(const std::vector<std::string>& ids,

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/telemetry.h"
 #include "mech/budget.h"
 
 namespace blowfish {
@@ -148,6 +149,15 @@ class BudgetAccountant {
   /// The ledger's human-readable audit trail; kNotFound if absent.
   Result<std::string> Audit(const std::string& id) const;
 
+  /// Attaches the engine's ε-audit event log (not owned; the engine
+  /// guarantees it outlives the accountant). Charge() appends one
+  /// spend event per successful charge and one refusal event per
+  /// budget/stale refusal *while still holding the involved shard
+  /// locks* — so the log's per-ledger event order is exactly each
+  /// ledger's spend order, and replaying `spent += ε` over a ledger's
+  /// events reproduces its balance bit-for-bit. Null detaches.
+  void SetAuditLog(EpsilonAuditLog* log) { audit_log_ = log; }
+
  private:
   struct Slot {
     std::optional<PrivacyBudget> budget;  ///< nullopt = closed/free
@@ -170,7 +180,15 @@ class BudgetAccountant {
   Slot* SlotFor(LedgerHandle handle);
   const Slot* SlotFor(LedgerHandle handle) const;
 
+  /// Builds and appends one audit event for a charge outcome; caller
+  /// holds every involved shard lock. `balances` are post-charge
+  /// (spends); refusals read the untouched balances off the slots.
+  void RecordAudit(const LedgerHandle* handles, size_t count, double epsilon,
+                   const ChargeTag& tag, bool charged, StatusCode refusal,
+                   const double* balances);
+
   Shard shards_[kShardCount];
+  EpsilonAuditLog* audit_log_ = nullptr;
 };
 
 }  // namespace blowfish

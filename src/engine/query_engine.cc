@@ -1,6 +1,7 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <random>
 #include <utility>
 
@@ -63,7 +64,63 @@ Status CheckDomain(const RequestShape& shape, const RegisteredPolicy& entry) {
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(options),
       seed_(options.seed.has_value() ? *options.seed : EntropySeed()),
-      plan_cache_(options.plan_cache_bytes) {}
+      telemetry_(options.trace_sample_rate, options.audit_log_capacity),
+      plan_cache_(options.plan_cache_bytes) {
+  // Every spend/refusal the accountant decides lands in the audit
+  // ring, appended under the charge's shard locks (see telemetry.h
+  // for the ordering guarantee that buys).
+  accountant_.SetAuditLog(&telemetry_.audit());
+
+  MetricsRegistry& metrics = telemetry_.metrics();
+  m_submits_ = metrics.counter("engine_submits_total");
+  m_failures_ = metrics.counter("engine_submit_failures_total");
+  m_refused_budget_ = metrics.counter("engine_refused_budget_total");
+  m_batches_ = metrics.counter("engine_batches_total");
+  m_batch_entries_ = metrics.counter("engine_batch_entries_total");
+  m_streams_ = metrics.counter("engine_streams_total");
+  m_eps_charged_ = metrics.double_counter("engine_epsilon_charged_total");
+  m_submit_latency_ = metrics.histogram("engine_submit_latency_ms");
+
+  // Component levels, read at snapshot time from the stats the
+  // components already maintain (no second bookkeeping).
+  metrics.gauge_callback("engine_plan_cache_hits", [this] {
+    return static_cast<double>(plan_cache_.stats().hits);
+  });
+  metrics.gauge_callback("engine_plan_cache_misses", [this] {
+    return static_cast<double>(plan_cache_.stats().misses);
+  });
+  metrics.gauge_callback("engine_plan_cache_evictions", [this] {
+    return static_cast<double>(plan_cache_.stats().evictions);
+  });
+  metrics.gauge_callback("engine_plan_cache_entries", [this] {
+    return static_cast<double>(plan_cache_.stats().entries);
+  });
+  metrics.gauge_callback("engine_plan_cache_bytes", [this] {
+    return static_cast<double>(plan_cache_.stats().bytes);
+  });
+  metrics.gauge_callback("engine_transform_cache_entries", [this] {
+    return static_cast<double>(transform_cache_stats().entries);
+  });
+  metrics.gauge_callback("engine_transform_cache_bytes", [this] {
+    return static_cast<double>(transform_cache_stats().bytes);
+  });
+  metrics.gauge_callback("engine_transform_cache_evictions", [this] {
+    return static_cast<double>(transform_cache_stats().evictions);
+  });
+  metrics.gauge_callback("engine_policies", [this] {
+    return static_cast<double>(registry_.size());
+  });
+  metrics.gauge_callback("engine_sessions", [this] {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    return static_cast<double>(sessions_.size());
+  });
+  metrics.gauge_callback("engine_audit_events_total", [this] {
+    return static_cast<double>(telemetry_.audit().total_events());
+  });
+  metrics.gauge_callback("engine_audit_events_dropped", [this] {
+    return static_cast<double>(telemetry_.audit().dropped());
+  });
+}
 
 // Spreads precompute keys (consecutive versions) across shards.
 size_t QueryEngine::PrecomputeShardOf(uint64_t key) {
@@ -649,10 +706,15 @@ std::unique_ptr<ChunkCursor> QueryEngine::BuildCursor(
 }
 
 Result<std::unique_ptr<ChunkCursor>> QueryEngine::AdmitStream(
-    QueryRequest request, const StreamOptions& options,
-    StreamHeader* header) {
-  Result<Admission> admitted = Admit(request);
+    QueryRequest request, const StreamOptions& options, StreamHeader* header,
+    RequestTrace* trace) {
+  m_streams_->Add(1);
+  Result<Admission> admitted = Admit(request, trace);
   if (!admitted.ok()) return admitted.status();
+  // The release stage covers the noise draw at cursor construction
+  // (chunk production afterwards is pure post-processing, timed by
+  // the stream digests instead).
+  TraceStageTimer timer(trace, TraceStage::kRelease);
   return BuildCursor(std::move(request), admitted.ValueOrDie(), options,
                      header);
 }
@@ -660,77 +722,125 @@ Result<std::unique_ptr<ChunkCursor>> QueryEngine::AdmitStream(
 Result<std::shared_ptr<ResultStream>> QueryEngine::SubmitStream(
     QueryRequest request, const StreamOptions& options) {
   StreamHeader header;
+  RequestTrace trace = telemetry_.MaybeStartTrace();
   Result<std::unique_ptr<ChunkCursor>> cursor =
-      AdmitStream(std::move(request), options, &header);
+      AdmitStream(std::move(request), options, &header, &trace);
+  telemetry_.FinishTrace(&trace, cursor.ok());
   if (!cursor.ok()) return cursor.status();
   return ResultStream::MakeInline(std::move(cursor).ValueOrDie(),
                                   std::move(header));
 }
 
-Result<QueryEngine::Admission> QueryEngine::Admit(
-    const QueryRequest& request) {
+Result<QueryEngine::Admission> QueryEngine::Admit(const QueryRequest& request,
+                                                  RequestTrace* trace) {
   RequestShape shape;
-  BF_RETURN_NOT_OK(ValidateShape(request, &shape));
-
-  // Session first: a submit against an unknown session must not plan.
-  // This is a resolution, not a budget probe — the charge below is the
-  // single point that touches the ledger (no redundant lock/probe).
-  LedgerHandle session_ledger = request.session_handle;
-  if (!session_ledger.valid()) {
-    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
-    auto it = sessions_.find(request.session);
-    if (it == sessions_.end()) {
-      return Status::NotFound("session '" + request.session +
-                              "' is not open");
-    }
-    session_ledger = it->second;
+  {
+    TraceStageTimer timer(trace, TraceStage::kValidate);
+    BF_RETURN_NOT_OK(ValidateShape(request, &shape));
   }
 
-  Result<std::shared_ptr<const RegisteredPolicy>> lookup =
-      request.policy_handle.valid() ? registry_.Get(request.policy_handle)
-                                    : registry_.Get(request.policy);
-  if (!lookup.ok()) return lookup.status();
-
   Admission admission;
-  admission.entry = std::move(lookup).ValueOrDie();
-  admission.has_ranges = shape.has_ranges;
-  admission.num_queries = shape.num_queries;
+  {
+    TraceStageTimer timer(trace, TraceStage::kResolve);
+    // Session first: a submit against an unknown session must not
+    // plan. This is a resolution, not a budget probe — the charge
+    // below is the single point that touches the ledger (no redundant
+    // lock/probe).
+    LedgerHandle session_ledger = request.session_handle;
+    if (!session_ledger.valid()) {
+      std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+      auto it = sessions_.find(request.session);
+      if (it == sessions_.end()) {
+        return Status::NotFound("session '" + request.session +
+                                "' is not open");
+      }
+      session_ledger = it->second;
+    }
+    admission.session_ledger = session_ledger;
 
-  BF_RETURN_NOT_OK(CheckDomain(shape, *admission.entry));
+    Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+        request.policy_handle.valid() ? registry_.Get(request.policy_handle)
+                                      : registry_.Get(request.policy);
+    if (!lookup.ok()) return lookup.status();
+
+    admission.entry = std::move(lookup).ValueOrDie();
+    admission.has_ranges = shape.has_ranges;
+    admission.num_queries = shape.num_queries;
+
+    BF_RETURN_NOT_OK(CheckDomain(shape, *admission.entry));
+  }
 
   // Plan first (data-independent, costs no budget), charge second, and
   // only then draw noise: a refused query releases nothing.
-  Result<std::shared_ptr<const Plan>> plan_result = GetOrPlan(
-      admission.entry, request.prefer_data_dependent, &admission.cache_hit);
-  if (!plan_result.ok()) return plan_result.status();
-  admission.plan = std::move(plan_result).ValueOrDie();
+  {
+    TraceStageTimer timer(trace, TraceStage::kPlan);
+    Result<std::shared_ptr<const Plan>> plan_result = GetOrPlan(
+        admission.entry, request.prefer_data_dependent, &admission.cache_hit);
+    if (!plan_result.ok()) return plan_result.status();
+    admission.plan = std::move(plan_result).ValueOrDie();
+  }
 
-  const LedgerHandle ledgers[2] = {session_ledger,
-                                   admission.entry->ledger};
-  ChargeTag tag;
-  tag.workload = *shape.workload_name;
-  tag.context = admission.plan->audit_context;
-  BF_RETURN_NOT_OK(accountant_.Charge(ledgers, 2, request.epsilon, tag,
-                                      admission.remaining));
+  {
+    TraceStageTimer timer(trace, TraceStage::kCharge);
+    const LedgerHandle ledgers[2] = {admission.session_ledger,
+                                     admission.entry->ledger};
+    ChargeTag tag;
+    tag.workload = *shape.workload_name;
+    tag.context = admission.plan->audit_context;
+    const Status charged = accountant_.Charge(ledgers, 2, request.epsilon,
+                                              tag, admission.remaining);
+    if (!charged.ok()) {
+      if (charged.code() == StatusCode::kOutOfRange) {
+        m_refused_budget_->Add(1);
+      }
+      return charged;
+    }
+    m_eps_charged_->Add(request.epsilon);
+  }
   return admission;
 }
 
 Result<QueryResult> QueryEngine::Submit(const QueryRequest& request) {
-  Result<Admission> admitted = Admit(request);
-  if (!admitted.ok()) return admitted.status();
+  RequestTrace trace = telemetry_.MaybeStartTrace();
+  Result<QueryResult> result = Submit(request, &trace);
+  telemetry_.FinishTrace(&trace, result.ok());
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Submit(const QueryRequest& request,
+                                        RequestTrace* trace) {
+  const auto start = std::chrono::steady_clock::now();
+  m_submits_->Add(1);
+  Result<Admission> admitted = Admit(request, trace);
+  if (!admitted.ok()) {
+    m_failures_->Add(1);
+    m_submit_latency_->Record(std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count());
+    return admitted.status();
+  }
   const Admission admission = std::move(admitted).ValueOrDie();
 
-  QueryResult result = Release(request, *admission.entry, *admission.plan,
-                               admission.cache_hit, admission.has_ranges);
+  QueryResult result;
+  {
+    TraceStageTimer timer(trace, TraceStage::kRelease);
+    result = Release(request, *admission.entry, *admission.plan,
+                     admission.cache_hit, admission.has_ranges);
+  }
   // Balances observed atomically inside the charge — a ledger closed
   // right after still reports the value this submit actually saw.
   result.session_remaining = admission.remaining[0];
   result.policy_remaining = admission.remaining[1];
+  m_submit_latency_->Record(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
   return result;
 }
 
 std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
     const std::vector<QueryRequest>& batch, const BatchOptions& options) {
+  m_batches_->Add(1);
+  m_batch_entries_->Add(batch.size());
   std::vector<Result<QueryResult>> results(
       batch.size(),
       Result<QueryResult>(Status::Internal("batch entry not processed")));
@@ -842,15 +952,20 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
         // The combined sequential charge does not fit. Degrade to
         // per-entry charges in batch order so the budget admits
         // exactly the prefix individual Submits would have admitted.
+        // (Each retried entry counts and audits as its own Submit.)
         for (size_t i : group.indices) results[i] = Submit(batch[i]);
       } else {
         // A disjoint-domain charge is indivisible (parallel
         // composition covers the whole set or none); resolution
         // failures apply to every entry alike.
+        if (charged.code() == StatusCode::kOutOfRange) {
+          m_refused_budget_->Add(1);
+        }
         for (size_t i : group.indices) results[i] = charged;
       }
       continue;
     }
+    m_eps_charged_->Add(epsilon);
     for (size_t i : group.indices) {
       QueryResult result = Release(batch[i], *group.entry, *plan, cache_hit,
                                    batch[i].ranges.has_value());

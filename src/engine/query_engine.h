@@ -68,6 +68,7 @@
 #include "engine/plan_cache.h"
 #include "engine/policy_registry.h"
 #include "engine/stream.h"
+#include "engine/telemetry.h"
 #include "workload/workload.h"
 
 namespace blowfish {
@@ -119,6 +120,18 @@ struct EngineOptions {
   /// Destructor behavior: false (default) resolves still-queued
   /// futures with kCancelled; true drains the queue first.
   bool async_drain_on_destruct = false;
+
+  // ---- telemetry knobs (see engine/telemetry.h) ----
+
+  /// Fraction of submits carrying a full per-stage trace (validate →
+  /// resolve → plan → charge → release, plus the async waits). 0 (the
+  /// default) turns the sampler into a single load — no clocks, no
+  /// allocation on the hot path; small rates (0.01) are cheap enough
+  /// to stay on in production.
+  double trace_sample_rate = 0.0;
+  /// Events retained by the ε-audit ring (spends and refusals, with
+  /// post-charge balances). 0 disables audit capture entirely.
+  size_t audit_log_capacity = 4096;
 };
 
 /// \brief One query: a linear workload against a registered policy,
@@ -228,6 +241,14 @@ class QueryEngine {
   /// any noise is drawn, so a refusal releases nothing).
   Result<QueryResult> Submit(const QueryRequest& request);
 
+  /// Submit with a caller-owned trace span (the async pipeline passes
+  /// the span it started at enqueue so queue-wait and admission
+  /// stages land on one trace). The caller keeps ownership: this
+  /// overload records admission/release stages into `trace` but never
+  /// finishes it. Plain Submit == MaybeStartTrace + this + FinishTrace.
+  Result<QueryResult> Submit(const QueryRequest& request,
+                             RequestTrace* trace);
+
   /// Executes one request as a result stream instead of a
   /// materialized answer vector. Admission — validate, resolve, plan,
   /// charge ε atomically — is identical to Submit, and *all* noise is
@@ -251,8 +272,8 @@ class QueryEngine {
   /// being deep-copied (a dense W can be large — streaming exists to
   /// avoid duplicating exactly that).
   Result<std::unique_ptr<ChunkCursor>> AdmitStream(
-      QueryRequest request, const StreamOptions& options,
-      StreamHeader* header);
+      QueryRequest request, const StreamOptions& options, StreamHeader* header,
+      RequestTrace* trace = nullptr);
 
   /// Executes a batch; entry i is the outcome of request i. Requests
   /// are grouped by (session, policy, planner options): each group
@@ -289,6 +310,13 @@ class QueryEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// The engine's observability bundle: metrics registry (every
+  /// component registers here — the async pipeline adds its lane
+  /// metrics to the same registry), the ε-audit event log, and the
+  /// trace sampler/ring. See engine/telemetry.h.
+  EngineTelemetry& telemetry() { return telemetry_; }
+  const EngineTelemetry& telemetry() const { return telemetry_; }
+
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t num_policies() const { return registry_.size(); }
   std::vector<std::string> Names() const { return registry_.Names(); }
@@ -312,6 +340,7 @@ class QueryEngine {
   struct Admission {
     std::shared_ptr<const RegisteredPolicy> entry;
     std::shared_ptr<const Plan> plan;
+    LedgerHandle session_ledger;
     bool cache_hit = false;
     bool has_ranges = false;
     size_t num_queries = 0;
@@ -321,8 +350,9 @@ class QueryEngine {
   /// The shared admission path of Submit and SubmitStream: validate →
   /// resolve session and policy → domain check → get-or-plan → atomic
   /// two-ledger charge. On success ε is spent; the caller must
-  /// release (materialized or streamed).
-  Result<Admission> Admit(const QueryRequest& request);
+  /// release (materialized or streamed). Stages are stamped into
+  /// `trace` when it is active.
+  Result<Admission> Admit(const QueryRequest& request, RequestTrace* trace);
 
   /// Draws the submit's noise (its private rng stream) and wraps the
   /// incremental remainder of the release in a cursor; mirrors
@@ -366,9 +396,24 @@ class QueryEngine {
 
   EngineOptions options_;
   uint64_t seed_;  ///< resolved from options_.seed or entropy
+  /// Declared before the accountant: the accountant holds a raw
+  /// pointer to the audit log and appends during Charge, so the
+  /// telemetry bundle must be destroyed after it.
+  EngineTelemetry telemetry_;
   PolicyRegistry registry_;
   PlanCache plan_cache_;
   BudgetAccountant accountant_;
+
+  // Hot-path metric handles (registered once in the constructor;
+  // updates are relaxed atomics — see MetricsRegistry).
+  Counter* m_submits_;           ///< Submit attempts (incl. refused)
+  Counter* m_failures_;          ///< Submit attempts that failed
+  Counter* m_refused_budget_;    ///< failures that were kOutOfRange
+  Counter* m_batches_;           ///< SubmitBatch calls
+  Counter* m_batch_entries_;     ///< entries across all batches
+  Counter* m_streams_;           ///< stream admissions attempted
+  DoubleCounter* m_eps_charged_; ///< Σε across successful charges
+  LatencyHistogram* m_submit_latency_;  ///< every Submit, end to end
 
   /// session id -> ledger handle; lets string-id submits reach the
   /// accountant without building the "session/…" ledger id.

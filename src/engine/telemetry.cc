@@ -1,0 +1,512 @@
+#include "engine/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace blowfish {
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// %.17g: the shortest printf format guaranteed to round-trip an IEEE
+/// double exactly — the audit log's balances must reconcile bit-level
+/// after a JSONL round trip.
+void AppendDouble(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+/// Minimal JSON string escape (quotes, backslash, control characters —
+/// policy ledger ids embed '\x1f').
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- histogram
+
+void LatencyHistogram::Record(double ms) {
+  const uint64_t us = ms <= 0.0 ? 0 : static_cast<uint64_t>(ms * 1000.0);
+  const size_t bucket =
+      us == 0 ? 0 : std::min<size_t>(kBuckets - 1, 64 - __builtin_clzll(us));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_ms_.load(std::memory_order_relaxed);
+  while (!sum_ms_.compare_exchange_weak(sum, sum + (ms > 0.0 ? ms : 0.0),
+                                        std::memory_order_relaxed)) {
+  }
+  uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (prev < us &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot out;
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  out.count = total;
+  out.sum_ms = sum_ms_.load(std::memory_order_relaxed);
+  out.max_ms =
+      static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1000.0;
+  if (total == 0) return out;
+  const auto percentile = [&](double q) {
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += counts[i];
+      if (seen >= rank) {
+        // Bucket i holds microsecond values with bit width i, so its
+        // upper bound is 2^i µs; report ~2x-resolution upper bounds
+        // clamped to the exact observed max.
+        const double upper_ms =
+            static_cast<double>(i >= 63 ? ~0ull : (1ull << i)) / 1000.0;
+        return std::min(upper_ms, out.max_ms);
+      }
+    }
+    return out.max_ms;
+  };
+  out.p50_ms = percentile(0.50);
+  out.p99_ms = percentile(0.99);
+  return out;
+}
+
+uint64_t LatencyHistogram::CumulativeBuckets(uint64_t out[kBuckets]) const {
+  uint64_t running = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return running;
+}
+
+// ----------------------------------------------------------- registry
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    BF_CHECK_MSG(entry.double_counter == nullptr && entry.gauge == nullptr &&
+                     entry.histogram == nullptr && entry.callback == nullptr,
+                 "metric '" << name << "' registered with another type");
+    entry.counter = std::make_unique<Counter>();
+  }
+  return entry.counter.get();
+}
+
+DoubleCounter* MetricsRegistry::double_counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.double_counter == nullptr) {
+    BF_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr &&
+                     entry.histogram == nullptr && entry.callback == nullptr,
+                 "metric '" << name << "' registered with another type");
+    entry.double_counter = std::make_unique<DoubleCounter>();
+  }
+  return entry.double_counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
+                     entry.histogram == nullptr && entry.callback == nullptr,
+                 "metric '" << name << "' registered with another type");
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return entry.gauge.get();
+}
+
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
+                     entry.gauge == nullptr && entry.callback == nullptr,
+                 "metric '" << name << "' registered with another type");
+    entry.histogram = std::make_unique<LatencyHistogram>();
+  }
+  return entry.histogram.get();
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name,
+                                     std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
+                   entry.gauge == nullptr && entry.histogram == nullptr,
+               "metric '" << name << "' registered with another type");
+  entry.callback = std::move(fn);
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  // entries_ is an ordered map, so the exposition is deterministic.
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr || entry.double_counter != nullptr) {
+      if (!counters.empty()) counters.append(",");
+      AppendJsonString(name, &counters);
+      counters.append(":");
+      if (entry.counter != nullptr) {
+        AppendU64(entry.counter->value(), &counters);
+      } else {
+        AppendDouble(entry.double_counter->value(), &counters);
+      }
+    } else if (entry.gauge != nullptr || entry.callback != nullptr) {
+      if (!gauges.empty()) gauges.append(",");
+      AppendJsonString(name, &gauges);
+      gauges.append(":");
+      if (entry.gauge != nullptr) {
+        AppendI64(entry.gauge->value(), &gauges);
+      } else {
+        AppendDouble(entry.callback(), &gauges);
+      }
+    } else if (entry.histogram != nullptr) {
+      const HistogramSnapshot snap = entry.histogram->Snapshot();
+      if (!histograms.empty()) histograms.append(",");
+      AppendJsonString(name, &histograms);
+      histograms.append(":{\"count\":");
+      AppendU64(snap.count, &histograms);
+      histograms.append(",\"sum_ms\":");
+      AppendDouble(snap.sum_ms, &histograms);
+      histograms.append(",\"p50_ms\":");
+      AppendDouble(snap.p50_ms, &histograms);
+      histograms.append(",\"p99_ms\":");
+      AppendDouble(snap.p99_ms, &histograms);
+      histograms.append(",\"max_ms\":");
+      AppendDouble(snap.max_ms, &histograms);
+      histograms.append("}");
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out.append(counters);
+  out.append("},\"gauges\":{");
+  out.append(gauges);
+  out.append("},\"histograms\":{");
+  out.append(histograms);
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr || entry.double_counter != nullptr) {
+      out.append("# TYPE ").append(name).append(" counter\n");
+      out.append(name).append(" ");
+      if (entry.counter != nullptr) {
+        AppendU64(entry.counter->value(), &out);
+      } else {
+        AppendDouble(entry.double_counter->value(), &out);
+      }
+      out.append("\n");
+    } else if (entry.gauge != nullptr || entry.callback != nullptr) {
+      out.append("# TYPE ").append(name).append(" gauge\n");
+      out.append(name).append(" ");
+      if (entry.gauge != nullptr) {
+        AppendI64(entry.gauge->value(), &out);
+      } else {
+        AppendDouble(entry.callback(), &out);
+      }
+      out.append("\n");
+    } else if (entry.histogram != nullptr) {
+      uint64_t cumulative[LatencyHistogram::kBuckets];
+      const uint64_t total = entry.histogram->CumulativeBuckets(cumulative);
+      const HistogramSnapshot snap = entry.histogram->Snapshot();
+      out.append("# TYPE ").append(name).append(" histogram\n");
+      uint64_t last = 0;
+      for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        // Only emit buckets that add information (the log2 ladder is
+        // 40 rungs; quiet histograms would otherwise dominate the
+        // exposition). The +Inf bucket always closes the series.
+        if (cumulative[i] == last && i + 1 < LatencyHistogram::kBuckets) {
+          continue;
+        }
+        last = cumulative[i];
+        out.append(name).append("_bucket{le=\"");
+        AppendDouble(static_cast<double>(1ull << i) / 1000.0, &out);
+        out.append("\"} ");
+        AppendU64(cumulative[i], &out);
+        out.append("\n");
+      }
+      out.append(name).append("_bucket{le=\"+Inf\"} ");
+      AppendU64(total, &out);
+      out.append("\n");
+      out.append(name).append("_sum ");
+      AppendDouble(snap.sum_ms, &out);
+      out.append("\n");
+      out.append(name).append("_count ");
+      AppendU64(total, &out);
+      out.append("\n");
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ tracing
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kValidate: return "validate";
+    case TraceStage::kResolve: return "resolve";
+    case TraceStage::kPlan: return "plan";
+    case TraceStage::kCharge: return "charge";
+    case TraceStage::kRelease: return "release";
+    case TraceStage::kQueueWait: return "queue_wait";
+    case TraceStage::kColdCoalesceWait: return "cold_coalesce_wait";
+    case TraceStage::kStreamPark: return "stream_park";
+    case TraceStage::kCount: break;
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ ε audit
+
+EpsilonAuditLog::EpsilonAuditLog(size_t capacity) : capacity_(capacity) {
+  // Pre-size the ring so steady-state appends reuse slots (their
+  // strings keep capacity) instead of growing the vector mid-charge.
+  ring_.reserve(capacity_);
+}
+
+void EpsilonAuditLog::Append(AuditEvent event) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = ++total_;
+  event.wall_micros = WallMicros();
+  const size_t slot = static_cast<size_t>((event.seq - 1) % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(event);
+  } else {
+    ring_.push_back(std::move(event));
+  }
+  if (sink_) sink_(ring_[slot]);
+}
+
+void EpsilonAuditLog::SetSink(std::function<void(const AuditEvent&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<AuditEvent> EpsilonAuditLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  // Wrapped: the oldest retained event sits right after the newest.
+  const size_t start = static_cast<size_t>(total_ % capacity_);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t EpsilonAuditLog::total_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t EpsilonAuditLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void EpsilonAuditLog::AppendJsonl(const AuditEvent& event, std::string* out) {
+  out->append("{\"seq\":");
+  AppendU64(event.seq, out);
+  out->append(",\"t_us\":");
+  AppendI64(event.wall_micros, out);
+  out->append(",\"outcome\":");
+  out->append(event.charged ? "\"charged\"" : "\"refused\"");
+  if (!event.charged) {
+    out->append(",\"refusal\":");
+    out->append(event.refusal == StatusCode::kOutOfRange
+                    ? "\"budget_exhausted\""
+                    : "\"ledger_closed\"");
+  }
+  out->append(",\"eps\":");
+  AppendDouble(event.epsilon, out);
+  out->append(",\"composition\":");
+  out->append(event.parallel_count > 1 ? "\"parallel\"" : "\"sequential\"");
+  if (event.parallel_count > 1) {
+    out->append(",\"parallel_count\":");
+    AppendU64(event.parallel_count, out);
+  }
+  out->append(",\"workload\":");
+  AppendJsonString(event.workload, out);
+  if (event.context != nullptr) {
+    out->append(",\"context\":");
+    AppendJsonString(*event.context, out);
+  }
+  out->append(",\"ledgers\":[");
+  for (size_t i = 0; i < event.num_ledgers; ++i) {
+    if (i > 0) out->append(",");
+    out->append("{\"id\":");
+    AppendJsonString(event.ledgers[i].id, out);
+    out->append(",\"remaining\":");
+    AppendDouble(event.ledgers[i].remaining, out);
+    out->append("}");
+  }
+  out->append("]}\n");
+}
+
+std::string EpsilonAuditLog::ExportJsonl() const {
+  std::string out;
+  for (const AuditEvent& event : Snapshot()) {
+    AppendJsonl(event, &out);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- facade
+
+EngineTelemetry::EngineTelemetry(double trace_sample_rate,
+                                 size_t audit_capacity,
+                                 size_t trace_ring_capacity)
+    : audit_(audit_capacity),
+      sample_every_(trace_sample_rate <= 0.0
+                        ? 0
+                        : std::max<uint64_t>(
+                              1, static_cast<uint64_t>(
+                                     std::llround(1.0 / std::min(
+                                                            1.0,
+                                                            trace_sample_rate))))),
+      trace_capacity_(trace_ring_capacity) {
+  for (size_t i = 0; i < kTraceStageCount; ++i) {
+    stage_hist_[i] = metrics_.histogram(
+        std::string("engine_stage_") +
+        TraceStageName(static_cast<TraceStage>(i)) + "_ms");
+  }
+  trace_ring_.reserve(trace_capacity_);
+}
+
+RequestTrace EngineTelemetry::MaybeStartTrace() {
+  RequestTrace trace;
+  if (sample_every_ == 0) return trace;
+  const uint64_t n = sample_clock_.fetch_add(1, std::memory_order_relaxed);
+  if (n % sample_every_ != 0) return trace;
+  trace.owner_ = this;
+  trace.trace_id_ = next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return trace;
+}
+
+void EngineTelemetry::FinishTrace(RequestTrace* trace, bool ok) {
+  if (trace == nullptr || !trace->active()) return;
+  TraceRecord record;
+  record.trace_id = trace->trace_id_;
+  record.wall_micros = WallMicros();
+  record.ok = ok;
+  for (size_t i = 0; i < kTraceStageCount; ++i) {
+    record.stage_ms[i] = trace->stage_ms_[i];
+    if (record.stage_ms[i] >= 0.0) {
+      stage_hist_[i]->Record(record.stage_ms[i]);
+    }
+  }
+  trace->Reset();
+  if (trace_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  const size_t slot = static_cast<size_t>(trace_total_++ % trace_capacity_);
+  if (slot < trace_ring_.size()) {
+    trace_ring_[slot] = record;
+  } else {
+    trace_ring_.push_back(record);
+  }
+}
+
+std::vector<TraceRecord> EngineTelemetry::SnapshotTraces() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  std::vector<TraceRecord> out;
+  out.reserve(trace_ring_.size());
+  if (trace_total_ <= trace_capacity_) {
+    out.assign(trace_ring_.begin(), trace_ring_.end());
+    return out;
+  }
+  const size_t start = static_cast<size_t>(trace_total_ % trace_capacity_);
+  for (size_t i = 0; i < trace_ring_.size(); ++i) {
+    out.push_back(trace_ring_[(start + i) % trace_ring_.size()]);
+  }
+  return out;
+}
+
+std::string EngineTelemetry::TracesJsonl() const {
+  std::string out;
+  for (const TraceRecord& record : SnapshotTraces()) {
+    out.append("{\"trace_id\":");
+    AppendU64(record.trace_id, &out);
+    out.append(",\"t_us\":");
+    AppendI64(record.wall_micros, &out);
+    out.append(",\"ok\":");
+    out.append(record.ok ? "true" : "false");
+    out.append(",\"stages\":{");
+    bool first = true;
+    for (size_t i = 0; i < kTraceStageCount; ++i) {
+      if (record.stage_ms[i] < 0.0) continue;
+      if (!first) out.append(",");
+      first = false;
+      AppendJsonString(TraceStageName(static_cast<TraceStage>(i)), &out);
+      out.append(":");
+      AppendDouble(record.stage_ms[i], &out);
+    }
+    out.append("}}\n");
+  }
+  return out;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,416 @@
+// Engine observability: one registry for every component's metrics,
+// sampled per-request stage traces, and a replayable ε-audit log.
+//
+// The paper's subject is *accounting* — policy-aware ε spent per
+// release — and before this layer the engine could only report it
+// through ad-hoc per-component stats (AsyncStats, PlanCache::Stats,
+// transform_cache_stats()) with no record of which tenant spent which
+// budget when, or where a request's latency went. Three pieces fix
+// that:
+//
+//   MetricsRegistry    named counters / gauges / log2-bucket latency
+//                      histograms (the digest async_engine.cc used to
+//                      hand-roll, generalized). Registration takes a
+//                      mutex once at setup; every update after that is
+//                      a relaxed atomic op — hot paths hold raw metric
+//                      pointers and never lock or allocate. Snapshots
+//                      export as JSON or Prometheus text exposition.
+//
+//   RequestTrace       a sampled per-request stage span. The engine
+//                      decides at submit time (one counter increment;
+//                      EngineOptions::trace_sample_rate = 0 is a
+//                      single load and costs nothing) and, when
+//                      sampled, stamps each admission stage
+//                      (validate → resolve → plan → charge → release)
+//                      plus the async pipeline's waits (queue wait,
+//                      cold-coalesce wait, stream park). Finished
+//                      traces feed per-stage histograms and a bounded
+//                      ring of recent structured traces.
+//
+//   EpsilonAuditLog    a bounded ring of structured spend/refusal
+//                      events. BudgetAccountant::Charge appends while
+//                      still holding the involved shard locks, so the
+//                      log's per-ledger event order *is* each ledger's
+//                      spend order: replaying `spent += ε` over a
+//                      ledger's events in seq order reproduces its
+//                      PrivacyBudget balance bit-for-bit (the
+//                      reconciliation engine_telemetry_test pins, and
+//                      the property a durable-state ledger replay
+//                      needs). Events carry the post-charge balances,
+//                      a pluggable sink sees each event as it lands,
+//                      and ExportJsonl() emits crash-portable JSONL
+//                      (doubles printed with %.17g so they round-trip
+//                      exactly).
+//
+// Thread safety: metric updates are lock-free; the audit ring and the
+// trace ring take their own short mutexes (never while holding any
+// engine lock other than the accountant's shard locks, which order
+// strictly before the audit mutex).
+
+#ifndef BLOWFISH_ENGINE_TELEMETRY_H_
+#define BLOWFISH_ENGINE_TELEMETRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blowfish {
+
+// ------------------------------------------------------------ metrics
+
+/// \brief Monotone event count. Updates are relaxed atomics.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Monotone floating-point accumulator (Σε charged). C++17 has
+/// no atomic<double>::fetch_add, so Add is a CAS loop — still
+/// lock-free.
+class DoubleCounter {
+ public:
+  void Add(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Point-in-time level (queue depth, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Percentile summary of one histogram (percentiles are bucket
+/// upper bounds — ~2x resolution — clamped to the exact observed max).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// \brief Lock-free log2-microsecond latency histogram — the digest
+/// the async lanes hand-rolled before PR 6, generalized and shared:
+/// values are milliseconds, bucket i holds microsecond values of bit
+/// width i (upper bound 2^i µs). TSan-clean: buckets are atomics,
+/// recorded without any lock.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(double ms);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Cumulative bucket counts for Prometheus exposition:
+  /// out[i] = #values <= 2^i µs; returns the total.
+  uint64_t CumulativeBuckets(uint64_t out[kBuckets]) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> max_us_{0};
+  std::atomic<double> sum_ms_{0.0};
+};
+
+/// \brief Name -> metric directory. Get-or-create registration locks;
+/// the returned pointers are stable for the registry's lifetime and
+/// update lock-free. Names follow Prometheus conventions
+/// (`engine_submits_total`).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  DoubleCounter* double_counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  LatencyHistogram* histogram(const std::string& name);
+  /// A gauge whose value is computed at snapshot time (plan-cache
+  /// stats, queue depths — levels a component already tracks under
+  /// its own lock). `fn` runs on the snapshotting thread and may take
+  /// that component's locks; it must not call back into the registry.
+  void gauge_callback(const std::string& name, std::function<double()> fn);
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {count, sum_ms, p50_ms, p99_ms, max_ms}}} — keys sorted.
+  std::string SnapshotJson() const;
+  /// Prometheus text exposition: counters and gauges as-is,
+  /// histograms as cumulative `_bucket{le="..."}` series (le in ms)
+  /// plus `_sum` / `_count`.
+  std::string PrometheusText() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<DoubleCounter> double_counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+    std::function<double()> callback;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+// ------------------------------------------------------------ tracing
+
+/// \brief The stages a sampled request is timed through. The first
+/// five are Submit's admission + release pipeline; the rest are the
+/// async pipeline's waits, stamped by the worker that carries the
+/// task.
+enum class TraceStage : size_t {
+  kValidate = 0,       ///< shape validation (no allocation, no locks)
+  kResolve,            ///< session + policy resolution, domain check
+  kPlan,               ///< get-or-plan (cold: the planner runs here)
+  kCharge,             ///< atomic two-ledger ε charge
+  kRelease,            ///< noise draw + workload answering
+  kQueueWait,          ///< async: submission to first worker pop
+  kColdCoalesceWait,   ///< async: parked behind a same-key cold leader
+  kStreamPark,         ///< async stream: producer parked on a full buffer
+  kCount,
+};
+constexpr size_t kTraceStageCount = static_cast<size_t>(TraceStage::kCount);
+const char* TraceStageName(TraceStage stage);
+
+/// \brief One completed sampled trace, as kept in the bounded ring.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  int64_t wall_micros = 0;  ///< completion wall time
+  bool ok = false;          ///< the traced request succeeded
+  /// Stage durations; < 0 = stage not reached on this request.
+  double stage_ms[kTraceStageCount];
+};
+
+class EngineTelemetry;
+
+/// \brief Sampled per-request stage span. Inactive spans (the
+/// trace_sample_rate = 0 hot path) are a null pointer and two loads —
+/// no clocks, no allocation. Movable; stack-carried through Submit or
+/// moved into an async Task.
+class RequestTrace {
+ public:
+  RequestTrace() { Reset(); }
+  RequestTrace(RequestTrace&& other) noexcept { *this = std::move(other); }
+  RequestTrace& operator=(RequestTrace&& other) noexcept {
+    owner_ = other.owner_;
+    trace_id_ = other.trace_id_;
+    for (size_t i = 0; i < kTraceStageCount; ++i) {
+      stage_ms_[i] = other.stage_ms_[i];
+    }
+    other.owner_ = nullptr;
+    return *this;
+  }
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  bool active() const { return owner_ != nullptr; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Accumulates `ms` into the stage (a re-enqueued task may wait in
+  /// the queue more than once).
+  void Record(TraceStage stage, double ms) {
+    if (owner_ == nullptr) return;
+    double& slot = stage_ms_[static_cast<size_t>(stage)];
+    slot = slot < 0.0 ? ms : slot + ms;
+  }
+
+ private:
+  friend class EngineTelemetry;
+  void Reset() {
+    owner_ = nullptr;
+    trace_id_ = 0;
+    for (double& ms : stage_ms_) ms = -1.0;
+  }
+
+  EngineTelemetry* owner_ = nullptr;
+  uint64_t trace_id_ = 0;
+  double stage_ms_[kTraceStageCount];
+};
+
+/// \brief RAII stage stopwatch: reads the clock only when the trace is
+/// active, records on destruction.
+class TraceStageTimer {
+ public:
+  TraceStageTimer(RequestTrace* trace, TraceStage stage) : stage_(stage) {
+    if (trace != nullptr && trace->active()) {
+      trace_ = trace;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~TraceStageTimer() {
+    if (trace_ != nullptr) {
+      trace_->Record(stage_,
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  TraceStageTimer(const TraceStageTimer&) = delete;
+  TraceStageTimer& operator=(const TraceStageTimer&) = delete;
+
+ private:
+  RequestTrace* trace_ = nullptr;
+  TraceStage stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ------------------------------------------------------------ ε audit
+
+/// \brief One structured spend/refusal event. Ledger ids are the
+/// accountant's durable names: "session/<id>" for tenant grants,
+/// "policy/<name>\x1f<version>" for policy caps (the version is baked
+/// into the id, so the event pins the exact data snapshot charged).
+struct AuditEvent {
+  /// Ledgers one engine charge touches (session + policy cap). Generic
+  /// accountant charges may name more; the event records the first
+  /// kMaxLedgers.
+  static constexpr size_t kMaxLedgers = 4;
+
+  struct LedgerLine {
+    std::string id;
+    /// Post-charge balance (spend events) / untouched balance at the
+    /// refusing ledger (refusal events), read under the shard lock.
+    double remaining = 0.0;
+  };
+
+  uint64_t seq = 0;         ///< assigned at append; dense, starts at 1
+  int64_t wall_micros = 0;  ///< system clock at append
+  bool charged = false;     ///< spend (true) or refusal (false)
+  /// kOutOfRange (budget exhausted) or kNotFound (stale/closed
+  /// ledger) on refusals; kOk on spends.
+  StatusCode refusal = StatusCode::kOk;
+  double epsilon = 0.0;  ///< ε requested; charged to every ledger iff
+                         ///< `charged`
+  /// > 1 declares a parallel-composition charge covering that many
+  /// disjoint-domain releases at max-ε cost; 1 = sequential.
+  uint32_t parallel_count = 1;
+  std::string workload;  ///< per-request label (ChargeTag::workload)
+  /// Shared per-(policy, plan) description (ChargeTag::context).
+  std::shared_ptr<const std::string> context;
+  LedgerLine ledgers[kMaxLedgers];
+  size_t num_ledgers = 0;
+};
+
+/// \brief Bounded ring of audit events with a pluggable sink and a
+/// JSONL exporter. Appends are serialized by one mutex; the
+/// accountant calls Append while holding the charge's shard locks,
+/// which is what makes per-ledger event order identical to spend
+/// order (shard locks order strictly before this mutex; the sink runs
+/// under it and must be fast and never re-enter the engine).
+class EpsilonAuditLog {
+ public:
+  /// capacity = 0 disables capture entirely (Append is one branch).
+  explicit EpsilonAuditLog(size_t capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  void Append(AuditEvent event);
+
+  /// Observes every appended event (even once the ring wraps). Replace
+  /// with nullptr to detach.
+  void SetSink(std::function<void(const AuditEvent&)> sink);
+
+  /// Retained events, oldest first (seq order).
+  std::vector<AuditEvent> Snapshot() const;
+  /// Events ever appended; ring keeps the last min(total, capacity).
+  uint64_t total_events() const;
+  /// Events overwritten by ring wrap-around.
+  uint64_t dropped() const;
+
+  /// One JSON object per line, seq order, doubles exact (%.17g).
+  std::string ExportJsonl() const;
+  static void AppendJsonl(const AuditEvent& event, std::string* out);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<AuditEvent> ring_;  ///< index = (seq - 1) % capacity
+  uint64_t total_ = 0;
+  std::function<void(const AuditEvent&)> sink_;
+};
+
+// ------------------------------------------------------------- facade
+
+/// \brief Per-engine bundle: the registry, the audit log, the trace
+/// sampler, and the bounded ring of completed traces. Owned by
+/// QueryEngine; AsyncQueryEngine registers its lane metrics into the
+/// same registry so one snapshot covers the whole pipeline.
+class EngineTelemetry {
+ public:
+  EngineTelemetry(double trace_sample_rate, size_t audit_capacity,
+                  size_t trace_ring_capacity = 256);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  EpsilonAuditLog& audit() { return audit_; }
+  const EpsilonAuditLog& audit() const { return audit_; }
+
+  /// Per-submit sampling decision. Rate 0: one member load, returns an
+  /// inactive span — no clock, no atomics, no allocation. Rate r > 0:
+  /// every round(1/r)-th submit gets an active span.
+  RequestTrace MaybeStartTrace();
+
+  /// Records the span's stages into the per-stage histograms, appends
+  /// a TraceRecord to the ring, and deactivates the span. No-op for
+  /// inactive spans.
+  void FinishTrace(RequestTrace* trace, bool ok);
+
+  /// The per-stage histogram (registered as
+  /// `engine_stage_<name>_ms`) — async components record waits into
+  /// these directly for *every* request, sampled or not, since the
+  /// timestamps already exist on their paths.
+  LatencyHistogram* stage_histogram(TraceStage stage) {
+    return stage_hist_[static_cast<size_t>(stage)];
+  }
+
+  /// Completed sampled traces, oldest first.
+  std::vector<TraceRecord> SnapshotTraces() const;
+  /// JSONL: one {"trace_id", "t_us", "ok", "stages": {...}} per line.
+  std::string TracesJsonl() const;
+
+ private:
+  MetricsRegistry metrics_;
+  EpsilonAuditLog audit_;
+
+  const uint64_t sample_every_;  ///< 0 = tracing off
+  std::atomic<uint64_t> sample_clock_{0};
+  std::atomic<uint64_t> next_trace_id_{0};
+  LatencyHistogram* stage_hist_[kTraceStageCount];
+
+  const size_t trace_capacity_;
+  mutable std::mutex trace_mu_;
+  std::vector<TraceRecord> trace_ring_;
+  uint64_t trace_total_ = 0;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_TELEMETRY_H_

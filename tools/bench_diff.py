@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_engine.json runs and flag throughput regressions.
+
+Usage: bench_diff.py BASELINE.json CURRENT.json
+
+Computes the geometric mean of warm single-thread QPS across the
+subjects present in both files and prints the ratio. A drop of more
+than 20% emits a GitHub Actions ::warning:: annotation (never a
+failure: CI runners have noisy neighbors, so the gate is advisory —
+the hard perf floors live in the bench binary itself, which exits
+nonzero in full mode).
+"""
+
+import json
+import math
+import sys
+
+
+def warm_qps(doc):
+    return {s["name"]: s["warm_qps_x1"] for s in doc.get("subjects", [])}
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_diff.py BASELINE.json CURRENT.json",
+              file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = warm_qps(json.load(f))
+    with open(sys.argv[2]) as f:
+        current = warm_qps(json.load(f))
+
+    shared = sorted(set(baseline) & set(current))
+    usable = [n for n in shared if baseline[n] > 0 and current[n] > 0]
+    if not usable:
+        print("bench_diff: no comparable subjects; skipping")
+        return 0
+
+    for name in usable:
+        ratio = current[name] / baseline[name]
+        print(f"  {name:<28} {baseline[name]:>10.1f} -> "
+              f"{current[name]:>10.1f} qps ({ratio:.2f}x)")
+
+    g = geomean([current[n] / baseline[n] for n in usable])
+    print(f"bench_diff: warm-qps geomean ratio {g:.3f} "
+          f"({len(usable)} subjects)")
+    if g < 0.8:
+        print(f"::warning title=engine throughput regression::warm single-"
+              f"thread QPS geomean fell to {g:.2f}x of the checked-in "
+              f"baseline (threshold 0.80x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

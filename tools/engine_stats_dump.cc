@@ -1,0 +1,190 @@
+// engine_stats_dump — exercise the engine's telemetry layer and dump
+// every surface it exports: the unified metrics registry (JSON or
+// Prometheus text exposition), the ε-audit event log (JSONL), and the
+// sampled per-request stage traces (JSONL).
+//
+// Usage:
+//   engine_stats_dump [--format json|prom] [--out <prefix>]
+//                     [--requests <n>] [--sample-rate <r>]
+//
+// Without --out everything prints to stdout, section-separated. With
+// --out the tool writes <prefix>.metrics.json (or .prom),
+// <prefix>.audit.jsonl and <prefix>.traces.jsonl — the files a crash
+// handler or a scrape endpoint would serve.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/async_engine.h"
+#include "workload/builders.h"
+
+namespace {
+
+using namespace blowfish;
+
+[[noreturn]] void Usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: engine_stats_dump [--format json|prom] "
+               "[--out PREFIX] [--requests N] [--sample-rate R]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::string format = "json";
+  std::string out;
+  int requests = 64;
+  double sample_rate = 1.0;
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(("missing value for " + flag).c_str());
+      return argv[++i];
+    };
+    if (flag == "--format") {
+      args.format = value();
+      if (args.format != "json" && args.format != "prom") {
+        Usage("--format must be json or prom");
+      }
+    } else if (flag == "--out") {
+      args.out = value();
+    } else if (flag == "--requests") {
+      args.requests = std::atoi(value());
+      if (args.requests < 1) Usage("--requests must be >= 1");
+    } else if (flag == "--sample-rate") {
+      args.sample_rate = std::atof(value());
+    } else {
+      Usage(("unknown flag " + flag).c_str());
+    }
+  }
+  return args;
+}
+
+Vector Ramp(size_t n, size_t mod) {
+  Vector x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % mod);
+  return x;
+}
+
+void WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), body.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = Parse(argc, argv);
+
+  EngineOptions options;
+  options.seed = 2015;  // reproducible demo traffic
+  options.trace_sample_rate = args.sample_rate;
+  {
+    AsyncQueryEngine async(options);
+    QueryEngine& engine = async.engine();
+
+    engine.RegisterPolicy("salaries", LinePolicy(16), Ramp(16, 13), 4.0)
+        .Check();
+    engine
+        .RegisterPolicy("mobility", GridPolicy(DomainShape({16, 16}), 4),
+                        Ramp(256, 17), 4.0)
+        .Check();
+    engine.OpenSession("alice", 3.0).Check();
+    engine.OpenSession("bob", 0.4).Check();
+
+    // Warm + cold synchronous traffic.
+    QueryRequest request;
+    request.session = "alice";
+    request.policy = "salaries";
+    request.workload = IdentityWorkload(16);
+    request.epsilon = 0.01;
+    for (int i = 0; i < args.requests; ++i) engine.Submit(request).status().Check();
+
+    // A grouped batch (one atomic charge for the group).
+    std::vector<QueryRequest> batch(4, request);
+    for (auto& entry : batch) entry.epsilon = 0.005;
+    for (const auto& outcome : engine.SubmitBatch(batch)) outcome.status().Check();
+
+    // Async lanes: a cold plan (fresh policy) racing warm submits.
+    engine
+        .RegisterPolicy("roads", Theta1DPolicy(256, 4), Ramp(256, 23), 4.0)
+        .Check();
+    QueryRequest cold;
+    cold.session = "alice";
+    cold.policy = "roads";
+    cold.workload = IdentityWorkload(256);
+    cold.epsilon = 0.05;
+    std::future<Result<QueryResult>> cold_future = async.SubmitAsync(cold);
+    std::vector<std::future<Result<QueryResult>>> warm_futures;
+    for (int i = 0; i < 8; ++i) warm_futures.push_back(async.SubmitAsync(request));
+    for (auto& future : warm_futures) future.get().status().Check();
+    cold_future.get().status().Check();
+
+    // A chunked stream with a tiny buffer, so the producer parks.
+    std::vector<RangeQuery> cells;
+    for (size_t r = 0; r < 16; ++r)
+      for (size_t c = 0; c < 16; ++c) cells.push_back({{r, c}, {r, c}});
+    QueryRequest scan;
+    scan.session = "alice";
+    scan.policy = "mobility";
+    scan.ranges = RangeWorkload("full-scan", DomainShape({16, 16}),
+                                std::move(cells));
+    scan.epsilon = 0.05;
+    StreamOptions stream_options;
+    stream_options.chunk_queries = 32;
+    stream_options.max_buffered_chunks = 2;
+    std::shared_ptr<ResultStream> stream =
+        async.SubmitStreamAsync(scan, stream_options);
+    StreamChunk chunk;
+    while (stream->Next(&chunk).ValueOrDie() != StreamNext::kDone) {
+    }
+
+    // Budget refusals land in the audit log too.
+    QueryRequest greedy = request;
+    greedy.session = "bob";
+    greedy.epsilon = 1.0;
+    if (engine.Submit(greedy).ok()) {
+      std::fprintf(stderr, "error: refusal demo unexpectedly admitted\n");
+      return 1;
+    }
+
+    async.Drain();
+
+    const EngineTelemetry& telemetry = engine.telemetry();
+    const std::string metrics = args.format == "prom"
+                                    ? telemetry.metrics().PrometheusText()
+                                    : telemetry.metrics().SnapshotJson();
+    const std::string audit = telemetry.audit().ExportJsonl();
+    const std::string traces = telemetry.TracesJsonl();
+
+    if (args.out.empty()) {
+      std::printf("==== metrics (%s) ====\n%s\n", args.format.c_str(),
+                  metrics.c_str());
+      std::printf("==== audit (jsonl) ====\n%s", audit.c_str());
+      std::printf("==== traces (jsonl) ====\n%s", traces.c_str());
+    } else {
+      const char* ext = args.format == "prom" ? ".metrics.prom"
+                                              : ".metrics.json";
+      WriteFile(args.out + ext, metrics);
+      WriteFile(args.out + ".audit.jsonl", audit);
+      WriteFile(args.out + ".traces.jsonl", traces);
+    }
+    async.Shutdown(AsyncQueryEngine::ShutdownMode::kDrain);
+  }
+  return 0;
+}
