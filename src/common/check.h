@@ -6,6 +6,13 @@
 // failing expression with source location and abort, which is the
 // behaviour database engines prefer over throwing from deep inside
 // numerical kernels.
+//
+// BF_DCHECK / BF_DCHECK_OK are the debug-only variants: identical to
+// BF_CHECK in debug builds, compiled to nothing under NDEBUG (the
+// arguments are not evaluated). Use them on hot paths — lock-boundary
+// invariants, handle-decoding sanity, per-chunk stream bookkeeping —
+// where a release-build branch per call would be measurable but a
+// debug/sanitizer build should still trap the violation.
 
 #ifndef BLOWFISH_COMMON_CHECK_H_
 #define BLOWFISH_COMMON_CHECK_H_
@@ -65,5 +72,46 @@ class CheckMessageBuilder {
 #define BF_CHECK_LE(a, b) BF_CHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
 #define BF_CHECK_GT(a, b) BF_CHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
 #define BF_CHECK_GE(a, b) BF_CHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+// Debug-only variants. Under NDEBUG the condition is not evaluated at
+// all (the `false &&` keeps the expression compiled-but-dead so it
+// cannot bit-rot, then folds away).
+#ifdef NDEBUG
+#define BF_DCHECK(expr) \
+  do {                  \
+    (void)sizeof(expr); \
+  } while (0)
+#define BF_DCHECK_MSG(expr, ...) \
+  do {                           \
+    (void)sizeof(expr);          \
+  } while (0)
+#else
+#define BF_DCHECK(expr) BF_CHECK(expr)
+#define BF_DCHECK_MSG(expr, ...) BF_CHECK_MSG(expr, __VA_ARGS__)
+#endif
+
+#define BF_DCHECK_EQ(a, b) BF_DCHECK_MSG((a) == (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_DCHECK_NE(a, b) BF_DCHECK_MSG((a) != (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_DCHECK_LT(a, b) BF_DCHECK_MSG((a) < (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_DCHECK_LE(a, b) BF_DCHECK_MSG((a) <= (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_DCHECK_GT(a, b) BF_DCHECK_MSG((a) > (b), "(" << (a) << " vs " << (b) << ")")
+#define BF_DCHECK_GE(a, b) BF_DCHECK_MSG((a) >= (b), "(" << (a) << " vs " << (b) << ")")
+
+// Debug-only "this Status must be OK": evaluates `expr` exactly once
+// in debug builds and aborts with the status text on failure; under
+// NDEBUG the expression is still evaluated (side effects like an
+// actual Spend must not vanish) but the check is skipped.
+#ifdef NDEBUG
+#define BF_DCHECK_OK(expr)        \
+  do {                            \
+    (void)(expr);                 \
+  } while (0)
+#else
+#define BF_DCHECK_OK(expr)                                              \
+  do {                                                                  \
+    const auto bf_dst__ = (expr);                                       \
+    BF_CHECK_MSG(bf_dst__.ok(), bf_dst__.ToString());                   \
+  } while (0)
+#endif
 
 #endif  // BLOWFISH_COMMON_CHECK_H_

@@ -31,7 +31,12 @@ enum class StatusCode {
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
 /// message. `Status::OK()` is the success value.
-class Status {
+///
+/// The class is [[nodiscard]]: any API returning a Status (or a
+/// Result<T>) flags call sites that drop the outcome on the floor.
+/// Intentional discards must be spelled `(void)expr;` — or, where the
+/// success is an invariant, `BF_DCHECK_OK(expr)` / `.Check()`.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -84,7 +89,7 @@ class Status {
 
 /// \brief Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}           // NOLINT implicit
   Result(Status status) : status_(std::move(status)) {    // NOLINT implicit

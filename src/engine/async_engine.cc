@@ -55,7 +55,12 @@ AsyncQueryEngine::AsyncQueryEngine(EngineOptions options) : engine_(options) {
   });
 
   hook_gate_ = std::make_shared<HookGate>();
-  hook_gate_->engine = this;
+  {
+    // Uncontended (the gate is not shared yet), but taking the lock
+    // keeps the guarded write checkable.
+    std::lock_guard<std::mutex> gate(hook_gate_->mu);
+    hook_gate_->engine = this;
+  }
   num_workers_ = options.async_workers != 0
                      ? options.async_workers
                      : std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -106,9 +111,11 @@ Status AsyncQueryEngine::AcquireSlots(std::unique_lock<std::mutex>* lock,
                                  std::to_string(capacity_) + ")");
     }
     ++blocked_submitters_;
-    space_cv_.wait(*lock, [&] {
-      return !accepting_ || queued_slots_ + slots <= capacity_;
-    });
+    // Explicit wait loop: the guarded reads stay in this function's
+    // scope, where the analysis knows mu_ is held.
+    while (accepting_ && queued_slots_ + slots > capacity_) {
+      space_cv_.wait(*lock);
+    }
     --blocked_submitters_;
     if (blocked_submitters_ == 0) drain_cv_.notify_all();
     if (!accepting_) return Status::Cancelled(kShutdownMsg);
@@ -132,12 +139,21 @@ size_t AsyncQueryEngine::DepthLocked(bool cold) const {
   return cold_queue_.size() + parked;
 }
 
+bool AsyncQueryEngine::RunnableLocked() const {
+  if (stopping_) return true;
+  if (paused_) return false;
+  if (!warm_queue_.empty()) return true;
+  return !cold_queue_.empty() && cold_inflight_ < cold_limit_;
+}
+
 void AsyncQueryEngine::EnqueueLocked(TaskPtr task) {
   const bool cold = task->cold;
   task->enqueue_time = Clock::now();
   task->lane_cold = cold;
   task->held_slots = task->slots();
   queued_slots_ += task->held_slots;
+  // AcquireSlots admitted this task under the same hold of mu_.
+  BF_DCHECK_LE(queued_slots_, capacity_);
   ++outstanding_;
   LaneCounters& lane = cold ? cold_counters_ : warm_counters_;
   // Stream tasks ride the lanes (scheduling, cold single-flight) but
@@ -249,12 +265,7 @@ void AsyncQueryEngine::WorkerLoop() {
     bool cold_leader = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        if (stopping_) return true;
-        if (paused_) return false;
-        if (!warm_queue_.empty()) return true;
-        return !cold_queue_.empty() && cold_inflight_ < cold_limit_;
-      });
+      while (!RunnableLocked()) work_cv_.wait(lock);
       if (stopping_) return;
       if (!warm_queue_.empty()) {
         task = std::move(warm_queue_.front());
@@ -277,6 +288,7 @@ void AsyncQueryEngine::WorkerLoop() {
         ++cold_inflight_;
         cold_leader = true;
       }
+      BF_DCHECK_GE(queued_slots_, task->held_slots);
       queued_slots_ -= task->held_slots;
       task->held_slots = 0;
       space_cv_.notify_all();
@@ -589,7 +601,7 @@ void AsyncQueryEngine::Resume() {
 
 void AsyncQueryEngine::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  while (outstanding_ != 0) drain_cv_.wait(lock);
 }
 
 void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
@@ -604,7 +616,7 @@ void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
     if (mode == ShutdownMode::kDrain) {
       paused_ = false;
       work_cv_.notify_all();
-      drain_cv_.wait(lock, [&] { return outstanding_ == 0; });
+      while (outstanding_ != 0) drain_cv_.wait(lock);
     } else {
       for (TaskPtr& task : warm_queue_) doomed.push_back(std::move(task));
       warm_queue_.clear();
@@ -663,7 +675,7 @@ void AsyncQueryEngine::Shutdown(ShutdownMode mode) {
   // has left the lock and only touches its own task from there on.
   {
     std::unique_lock<std::mutex> lock(mu_);
-    drain_cv_.wait(lock, [&] { return blocked_submitters_ == 0; });
+    while (blocked_submitters_ != 0) drain_cv_.wait(lock);
   }
   // Last act: close the hook gate. A consumer draining a surviving
   // ResultStream may fire its parked-producer space hook at any time

@@ -86,6 +86,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/query_engine.h"
 #include "engine/telemetry.h"
 
@@ -256,6 +257,9 @@ class AsyncQueryEngine {
   };
   using TaskPtr = std::unique_ptr<Task>;
 
+  /// (The per-field "guarded by mu_" discipline stays in comments: a
+  /// nested type's members cannot GUARDED_BY the outer engine's mu_ —
+  /// the attribute has no way to name the enclosing instance.)
   struct LaneCounters {
     uint64_t enqueued = 0;   // guarded by mu_
     uint64_t rejected = 0;   // guarded by mu_
@@ -273,14 +277,17 @@ class AsyncQueryEngine {
   /// entry.
   void Classify(Task* task) const;
 
-  /// Acquires `slots` queue slots under `lock`, honoring the
-  /// queue-full policy. OK on success; kUnavailable / kCancelled
-  /// without side effects otherwise.
-  Status AcquireSlots(std::unique_lock<std::mutex>* lock, size_t slots);
+  /// Acquires `slots` queue slots under `lock` (which must wrap mu_,
+  /// held on entry and on return — the kBlock path releases/reacquires
+  /// it inside the capacity wait), honoring the queue-full policy. OK
+  /// on success; kUnavailable / kCancelled without side effects
+  /// otherwise.
+  Status AcquireSlots(std::unique_lock<std::mutex>* lock, size_t slots)
+      REQUIRES(mu_);
 
   /// Enqueues an accepted task (lock held): stamps the clock, bumps
   /// lane counters, pushes to its lane, wakes one worker.
-  void EnqueueLocked(TaskPtr task);
+  void EnqueueLocked(TaskPtr task) REQUIRES(mu_);
 
   void WorkerLoop();
   /// Runs the task on the engine, resolves its promises, records
@@ -310,7 +317,11 @@ class AsyncQueryEngine {
   /// accepted stream): outcome counters, outstanding_ decrement.
   void FinishStreamTask(TaskPtr task, StreamOutcome outcome);
 
-  size_t DepthLocked(bool cold) const;
+  size_t DepthLocked(bool cold) const REQUIRES(mu_);
+
+  /// Worker wake predicate: stopping, or unpaused runnable work (warm
+  /// task, or a cold task with a free leader slot).
+  bool RunnableLocked() const REQUIRES(mu_);
 
   /// Records the submission-to-first-pop queue wait into the lane's
   /// histogram and the task's trace (once; re-enqueued tasks pop again
@@ -334,15 +345,16 @@ class AsyncQueryEngine {
   std::condition_variable work_cv_;   ///< workers wait for work
   std::condition_variable space_cv_;  ///< kBlock submitters wait for room
   std::condition_variable drain_cv_;  ///< Drain/Shutdown wait for quiet
-  std::deque<TaskPtr> warm_queue_;
-  std::deque<TaskPtr> cold_queue_;
+  std::deque<TaskPtr> warm_queue_ GUARDED_BY(mu_);
+  std::deque<TaskPtr> cold_queue_ GUARDED_BY(mu_);
   /// Cold tasks parked behind an in-flight same-key leader. Their
   /// queue slots stay held (they are queued work, just not runnable).
-  std::unordered_map<std::string, std::vector<TaskPtr>> parked_;
+  std::unordered_map<std::string, std::vector<TaskPtr>> parked_
+      GUARDED_BY(mu_);
   /// Stream producers parked on a full chunk buffer, keyed by task
   /// identity. No queue slots held (the submission was admitted); the
   /// stream's space hook or the shutdown sweep takes them out.
-  std::unordered_map<const Task*, TaskPtr> parked_streams_;
+  std::unordered_map<const Task*, TaskPtr> parked_streams_ GUARDED_BY(mu_);
 
   /// Lifetime gate for space hooks. A hook lives inside a
   /// ResultStream, and stream handles legally outlive the engine — so
@@ -352,21 +364,23 @@ class AsyncQueryEngine {
   /// left the engine and turns every later firing into a no-op.
   struct HookGate {
     std::mutex mu;
-    AsyncQueryEngine* engine = nullptr;
+    AsyncQueryEngine* engine GUARDED_BY(mu) = nullptr;
   };
   std::shared_ptr<HookGate> hook_gate_;
-  std::unordered_set<std::string> cold_inflight_keys_;
-  size_t cold_inflight_ = 0;
-  size_t queued_slots_ = 0;  ///< accepted entries not yet started
-  size_t outstanding_ = 0;   ///< accepted tasks not yet resolved
+  std::unordered_set<std::string> cold_inflight_keys_ GUARDED_BY(mu_);
+  size_t cold_inflight_ GUARDED_BY(mu_) = 0;
+  /// Accepted entries not yet started.
+  size_t queued_slots_ GUARDED_BY(mu_) = 0;
+  /// Accepted tasks not yet resolved.
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
   /// Submitters inside the kBlock capacity wait. Shutdown must not
   /// return (and the object must not die) until every one of them has
   /// woken and released mu_ — they still touch members on the way out.
-  size_t blocked_submitters_ = 0;
-  uint64_t cold_coalesced_ = 0;
-  bool accepting_ = true;
-  bool paused_ = false;
-  bool stopping_ = false;
+  size_t blocked_submitters_ GUARDED_BY(mu_) = 0;
+  uint64_t cold_coalesced_ GUARDED_BY(mu_) = 0;
+  bool accepting_ GUARDED_BY(mu_) = true;
+  bool paused_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
 
   LaneCounters warm_counters_;
   LaneCounters cold_counters_;

@@ -184,6 +184,9 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
   double balances[AuditEvent::kMaxLedgers];
   for (size_t i = 0; i < count; ++i) {
     Slot* slot = SlotFor(handles[i]);
+    // Validated above under the same (still-held) shard locks, so the
+    // slot cannot have gone stale between the two loops.
+    BF_DCHECK(slot != nullptr);
     slot->budget
         ->SpendTagged(epsilon, tag.workload, tag.context, tag.parallel_count)
         .Check();

@@ -124,8 +124,10 @@ Result<std::shared_ptr<const Plan>> PlanCache::GetOrCompute(
   }
   if (!leader) {
     *cache_hit = true;
+    // Explicit wait loop (not the predicate overload): the analysis
+    // can then see `done` is only read with flight->mu held.
     std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    while (!flight->done) flight->cv.wait(lock);
     if (!flight->status.ok()) return flight->status;
     return flight->plan;
   }

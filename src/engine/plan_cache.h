@@ -35,6 +35,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "core/planner.h"
 
 namespace blowfish {
@@ -110,23 +111,24 @@ class PlanCache {
 
   /// Evicts LRU entries (the most recent last) until bytes_ fits the
   /// budget. Requires `mu_` held exclusively; no-op when unbounded.
-  void EnforceBudgetLocked();
+  void EnforceBudgetLocked() REQUIRES(mu_);
 
   /// One in-progress planning; followers wait on `cv`.
   struct Flight {
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    Status status = Status::OK();
-    std::shared_ptr<const Plan> plan;
+    bool done GUARDED_BY(mu) = false;
+    Status status GUARDED_BY(mu) = Status::OK();
+    std::shared_ptr<const Plan> plan GUARDED_BY(mu);
   };
 
   const size_t byte_budget_;
   mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_;
-  size_t bytes_ = 0;      // guarded by mu_
-  uint64_t clock_ = 0;    // guarded by mu_ (exclusive); recency source
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<Flight>> inflight_
+      GUARDED_BY(mu_);
+  size_t bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t clock_ GUARDED_BY(mu_) = 0;  ///< recency source (exclusive only)
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

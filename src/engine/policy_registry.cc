@@ -86,6 +86,7 @@ Status PolicyRegistry::Register(const std::string& name, Policy policy,
     slot_index = static_cast<uint32_t>(shard.slots.size());
     shard.slots.emplace_back();
   }
+  BF_DCHECK_LT(slot_index, shard.slots.size());
   shard.slots[slot_index].entry = std::move(entry);
   shard.by_name.emplace(name, slot_index);
   return Status::OK();

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/policy.h"
 #include "core/planner.h"
 #include "engine/budget_accountant.h"
@@ -168,9 +169,9 @@ class PolicyRegistry {
   };
   struct Shard {
     mutable std::shared_mutex mu;
-    std::vector<Slot> slots;
-    std::vector<uint32_t> free_slots;
-    std::unordered_map<std::string, uint32_t> by_name;
+    std::vector<Slot> slots GUARDED_BY(mu);
+    std::vector<uint32_t> free_slots GUARDED_BY(mu);
+    std::unordered_map<std::string, uint32_t> by_name GUARDED_BY(mu);
   };
 
   static size_t ShardOf(const std::string& name) {

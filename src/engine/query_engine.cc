@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <random>
 #include <utility>
 
 #include "core/grid_theta_adapter.h"
@@ -12,13 +11,8 @@ namespace blowfish {
 
 namespace {
 // SplitMix64-style odd multiplier: consecutive submit indices map to
-// well-separated mt19937_64 seeds.
+// well-separated Rng seeds.
 constexpr uint64_t kStreamStep = 0x9E3779B97F4A7C15ull;
-
-uint64_t EntropySeed() {
-  std::random_device device;
-  return (static_cast<uint64_t>(device()) << 32) ^ device();
-}
 
 /// Shape facts of one request, computed without any allocation.
 struct RequestShape {
@@ -63,7 +57,7 @@ Status CheckDomain(const RequestShape& shape, const RegisteredPolicy& entry) {
 
 QueryEngine::QueryEngine(EngineOptions options)
     : options_(options),
-      seed_(options.seed.has_value() ? *options.seed : EntropySeed()),
+      seed_(options.seed.has_value() ? *options.seed : Rng::EntropySeed()),
       telemetry_(options.trace_sample_rate, options.audit_log_capacity),
       plan_cache_(options.plan_cache_bytes) {
   // Every spend/refusal the accountant decides lands in the audit
@@ -502,6 +496,7 @@ QueryResult QueryEngine::Release(const QueryRequest& request,
                                  bool has_ranges) {
   // Private random stream per submit; immutable plan, caller-side rng.
   const uint64_t stream = submit_counter_.fetch_add(1) + 1;
+  // dp-lint: allow(charge-before-noise) Release is a post-admission executor; callers reach it only after Admit's Charge succeeded
   Rng rng(seed_ ^ (kStreamStep * stream));
 
   QueryResult result;
@@ -650,6 +645,7 @@ std::unique_ptr<ChunkCursor> QueryEngine::BuildCursor(
   // seed, the n-th admission draws the n-th stream whether it
   // materializes or streams — the equivalence the stream tests pin.
   const uint64_t stream = submit_counter_.fetch_add(1) + 1;
+  // dp-lint: allow(charge-before-noise) BuildCursor is a post-admission executor; cursors are built only after AdmitStream's Charge succeeded
   Rng rng(seed_ ^ (kStreamStep * stream));
 
   header->plan_kind = plan.kind;
@@ -907,6 +903,7 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
       group->prefer_data_dependent = request.prefer_data_dependent;
     }
     group->indices.push_back(i);
+    // dp-lint: allow(epsilon-confinement) composition pre-aggregation; the sum/max only shapes the batch charge handed to BudgetAccountant::Charge
     group->eps_sum += request.epsilon;
     group->eps_max = std::max(group->eps_max, request.epsilon);
   }

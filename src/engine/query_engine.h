@@ -64,6 +64,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "engine/budget_accountant.h"
 #include "engine/plan_cache.h"
 #include "engine/policy_registry.h"
@@ -83,7 +84,7 @@ struct EngineOptions {
   /// Root seed for the engine's per-submit random streams. Leave
   /// unset in deployments: a predictable seed lets an adversary
   /// regenerate the noise and undo the privacy guarantee, so the
-  /// default draws fresh entropy (std::random_device) per engine. Set
+  /// default draws fresh entropy (Rng::EntropySeed) per engine. Set
   /// it only for reproducible tests and benchmarks.
   std::optional<uint64_t> seed;
   /// Plan (and precompute the release transform) at registration time
@@ -418,7 +419,8 @@ class QueryEngine {
   /// session id -> ledger handle; lets string-id submits reach the
   /// accountant without building the "session/…" ledger id.
   mutable std::shared_mutex sessions_mu_;
-  std::unordered_map<std::string, LedgerHandle> sessions_;
+  std::unordered_map<std::string, LedgerHandle> sessions_
+      GUARDED_BY(sessions_mu_);
 
   /// Sharded (version << 1 | dd-option) -> precompute cache. Integer
   /// keys: versions are registry-unique, so no name string is ever
@@ -436,8 +438,9 @@ class QueryEngine {
   };
   struct PrecomputeShard {
     mutable std::shared_mutex mu;
-    std::unordered_map<uint64_t, PrecomputeEntry> entries;
-    std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> gates;
+    std::unordered_map<uint64_t, PrecomputeEntry> entries GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<std::mutex>> gates
+        GUARDED_BY(mu);
   };
   PrecomputeShard precompute_shards_[kPrecomputeShards];
 

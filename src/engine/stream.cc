@@ -12,6 +12,10 @@ constexpr const char* kCancelMsg = "stream cancelled by the consumer";
 std::shared_ptr<ResultStream> ResultStream::MakeInline(
     std::unique_ptr<ChunkCursor> cursor, StreamHeader header) {
   std::shared_ptr<ResultStream> stream(new ResultStream());
+  // Pre-publication (no other thread can hold the handle yet), but the
+  // locks keep the guarded writes checkable — both are uncontended.
+  std::lock_guard<std::mutex> produce(stream->produce_mu_);
+  std::lock_guard<std::mutex> lock(stream->mu_);
   stream->capacity_ = 0;
   stream->inline_cursor_ = std::move(cursor);
   stream->header_ = Result<StreamHeader>(std::move(header));
@@ -20,6 +24,7 @@ std::shared_ptr<ResultStream> ResultStream::MakeInline(
 
 std::shared_ptr<ResultStream> ResultStream::MakeChannel(size_t max_buffered) {
   std::shared_ptr<ResultStream> stream(new ResultStream());
+  std::lock_guard<std::mutex> lock(stream->mu_);
   stream->capacity_ = std::max<size_t>(1, max_buffered);
   return stream;
 }
@@ -133,7 +138,7 @@ void ResultStream::Cancel() {
 
 Result<StreamHeader> ResultStream::header() const {
   std::unique_lock<std::mutex> lock(mu_);
-  header_cv_.wait(lock, [&] { return header_.has_value(); });
+  while (!header_.has_value()) header_cv_.wait(lock);
   return *header_;
 }
 

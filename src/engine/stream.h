@@ -50,6 +50,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "linalg/vector_ops.h"
 #include "mech/mechanism.h"
 
@@ -205,29 +206,36 @@ class ResultStream {
   bool cancelled() const;
 
   Result<StreamNext> ProduceInline(StreamChunk* out);
-  /// Pops under `lock` held; fires the space hook after unlock.
+  /// Pops under `lock` held (which must wrap mu_); unlocks through the
+  /// pointer, then fires the space hook outside the lock. The
+  /// pointer-mediated unlock is invisible to the thread-safety
+  /// analysis, hence the opt-out; callers hold mu_ on entry and must
+  /// not touch guarded members after the call returns.
   Result<StreamNext> PopLocked(StreamChunk* out,
-                               std::unique_lock<std::mutex>* lock);
+                               std::unique_lock<std::mutex>* lock)
+      NO_THREAD_SAFETY_ANALYSIS;
   /// Terminal report under lock: terminal error, or kDone.
-  Result<StreamNext> TerminalLocked() const;
+  Result<StreamNext> TerminalLocked() const REQUIRES(mu_);
 
   mutable std::mutex mu_;
   mutable std::condition_variable data_cv_;    ///< consumers wait here
   mutable std::condition_variable header_cv_;  ///< header() waits here
-  std::deque<StreamChunk> buffer_;
-  size_t capacity_ = 0;  ///< 0 = inline mode (never buffers)
-  std::optional<Result<StreamHeader>> header_;
-  bool closed_ = false;
-  bool cancel_requested_ = false;
-  Status terminal_ = Status::OK();
-  std::function<void()> space_hook_;
-  size_t resident_bytes_ = 0;
-  size_t peak_resident_bytes_ = 0;
+  std::deque<StreamChunk> buffer_ GUARDED_BY(mu_);
+  /// 0 = inline mode (never buffers). Written only by the factories
+  /// (pre-publication, still under mu_ so the write is checkable).
+  size_t capacity_ GUARDED_BY(mu_) = 0;
+  std::optional<Result<StreamHeader>> header_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  bool cancel_requested_ GUARDED_BY(mu_) = false;
+  Status terminal_ GUARDED_BY(mu_) = Status::OK();
+  std::function<void()> space_hook_ GUARDED_BY(mu_);
+  size_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  size_t peak_resident_bytes_ GUARDED_BY(mu_) = 0;
 
   /// Inline mode: serializes cursor runs across concurrent consumers;
   /// the cursor is only touched under this mutex.
   std::mutex produce_mu_;
-  std::unique_ptr<ChunkCursor> inline_cursor_;
+  std::unique_ptr<ChunkCursor> inline_cursor_ GUARDED_BY(produce_mu_);
 };
 
 }  // namespace blowfish

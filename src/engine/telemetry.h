@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace blowfish {
 
@@ -176,7 +177,7 @@ class MetricsRegistry {
   };
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 // ------------------------------------------------------------ tracing
@@ -352,9 +353,10 @@ class EpsilonAuditLog {
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::vector<AuditEvent> ring_;  ///< index = (seq - 1) % capacity
-  uint64_t total_ = 0;
-  std::function<void(const AuditEvent&)> sink_;
+  /// index = (seq - 1) % capacity
+  std::vector<AuditEvent> ring_ GUARDED_BY(mu_);
+  uint64_t total_ GUARDED_BY(mu_) = 0;
+  std::function<void(const AuditEvent&)> sink_ GUARDED_BY(mu_);
 };
 
 // ------------------------------------------------------------- facade
@@ -407,8 +409,8 @@ class EngineTelemetry {
 
   const size_t trace_capacity_;
   mutable std::mutex trace_mu_;
-  std::vector<TraceRecord> trace_ring_;
-  uint64_t trace_total_ = 0;
+  std::vector<TraceRecord> trace_ring_ GUARDED_BY(trace_mu_);
+  uint64_t trace_total_ GUARDED_BY(trace_mu_) = 0;
 };
 
 }  // namespace blowfish

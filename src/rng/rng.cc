@@ -1,10 +1,17 @@
 #include "rng/rng.h"
 
 #include <cmath>
+#include <random>
 
 #include "common/check.h"
 
 namespace blowfish {
+
+uint64_t Rng::EntropySeed() {
+  // std::random_device may be 32-bit; fold two draws into one word.
+  std::random_device device;
+  return (static_cast<uint64_t>(device()) << 32) ^ device();
+}
 
 int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
   BF_CHECK_LE(lo, hi);

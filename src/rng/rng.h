@@ -66,6 +66,13 @@ inline const ExpZigguratTables kExpZig;
 /// draws.
 class Rng {
  public:
+  /// One 64-bit word of hardware/system entropy, for seeding engines
+  /// whose options did not pin a seed. This is the ONLY sanctioned
+  /// nondeterminism source in the library: dp_lint's `rng-discipline`
+  /// rule bans std::random_device (and every <random> engine) outside
+  /// src/rng/, so callers wanting a fresh seed must come through here.
+  static uint64_t EntropySeed();
+
   /// Constructs a generator from a 64-bit seed. The same seed always
   /// yields the same stream on every platform.
   explicit Rng(uint64_t seed = 0xB10F15Dull) {

@@ -1,0 +1,23 @@
+// dp_lint fixture: MUST fire charge-before-noise.
+// An engine-path release that draws its noise before the ledger charge
+// lands: if the charge is then refused, the noisy answer was already
+// computed from an unpaid release.
+// dp-lint: treat-as src/engine/bad_release.cc
+#include "rng/rng.h"
+
+namespace blowfish {
+
+class Accountant {
+ public:
+  bool Charge(double epsilon);
+};
+
+double ReleaseBeforeCharge(Accountant* accountant, double epsilon,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const double noisy = rng.Laplace(1.0 / epsilon);
+  if (!accountant->Charge(epsilon)) return 0.0;
+  return noisy;
+}
+
+}  // namespace blowfish

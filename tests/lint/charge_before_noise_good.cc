@@ -1,0 +1,21 @@
+// dp_lint fixture: must stay QUIET on charge-before-noise.
+// The sanctioned admission order: the charge lands first, the Rng is
+// constructed and drawn from only after it succeeds.
+// dp-lint: treat-as src/engine/good_release.cc
+#include "rng/rng.h"
+
+namespace blowfish {
+
+class Accountant {
+ public:
+  bool Charge(double epsilon);
+};
+
+double ChargeThenRelease(Accountant* accountant, double epsilon,
+                         uint64_t seed) {
+  if (!accountant->Charge(epsilon)) return 0.0;
+  Rng rng(seed);
+  return rng.Laplace(1.0 / epsilon);
+}
+
+}  // namespace blowfish

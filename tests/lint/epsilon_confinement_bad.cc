@@ -1,0 +1,17 @@
+// dp_lint fixture: MUST fire epsilon-confinement.
+// Hand-rolled budget bookkeeping outside PrivacyBudget/BudgetAccountant:
+// mutating an epsilon field directly skips CanSpend's slack-aware check
+// and the audit log.
+namespace blowfish {
+
+struct ShadowLedger {
+  double eps_spent = 0.0;
+  double epsilon_total = 1.0;
+};
+
+bool ShadowCharge(ShadowLedger* ledger, double epsilon) {
+  ledger->eps_spent += epsilon;
+  return ledger->eps_spent <= ledger->epsilon_total;
+}
+
+}  // namespace blowfish

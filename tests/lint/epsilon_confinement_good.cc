@@ -1,0 +1,25 @@
+// dp_lint fixture: must stay QUIET on epsilon-confinement.
+// Passing an epsilon through to the budget classes, comparing it, and
+// mechanism noise-scale math on a bare epsilon parameter are all fine —
+// the rule targets arithmetic on epsilon/budget *fields*.
+namespace blowfish {
+
+struct Request {
+  double epsilon = 0.0;
+};
+
+class Accountant {
+ public:
+  bool Charge(double epsilon);
+};
+
+bool Admit(Accountant* accountant, const Request& request) {
+  if (request.epsilon <= 0.0) return false;
+  return accountant->Charge(request.epsilon);
+}
+
+double NoiseScale(double sensitivity, double epsilon) {
+  return sensitivity / epsilon;
+}
+
+}  // namespace blowfish

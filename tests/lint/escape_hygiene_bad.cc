@@ -1,0 +1,13 @@
+// dp_lint fixture: MUST fire escape-hygiene.
+// An allow() escape with no reason after the ')': the escape hatch is
+// only valid when it documents why the exception is sound.
+#include <cstdlib>
+
+namespace blowfish {
+
+double BareEscape() {
+  // dp-lint: allow(rng-discipline)
+  return static_cast<double>(rand());
+}
+
+}  // namespace blowfish

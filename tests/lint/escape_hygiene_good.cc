@@ -1,0 +1,13 @@
+// dp_lint fixture: must stay QUIET (on every rule).
+// A well-formed escape: allow(rule) with a reason silences that rule on
+// the next line and raises no escape-hygiene complaint.
+#include <cstdlib>
+
+namespace blowfish {
+
+double ReasonedEscape() {
+  // dp-lint: allow(rng-discipline) fixture exercising the escape hatch
+  return static_cast<double>(rand());
+}
+
+}  // namespace blowfish

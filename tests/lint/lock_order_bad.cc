@@ -1,0 +1,26 @@
+// dp_lint fixture: MUST fire lock-order.
+// Shard 3 locked before shard 1: a concurrent charge locking ascending
+// order deadlocks against this, and the audit-log append order is no
+// longer the ledger spend order.
+#include <mutex>
+
+namespace blowfish {
+
+struct Shard {
+  std::mutex mu;
+};
+
+class ShardedThing {
+ public:
+  void DescendingLocks();
+
+ private:
+  Shard shards_[4];
+};
+
+void ShardedThing::DescendingLocks() {
+  std::unique_lock<std::mutex> first(shards_[3].mu);
+  std::unique_lock<std::mutex> second(shards_[1].mu);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,27 @@
+// dp_lint fixture: must stay QUIET on lock-order.
+// The sanctioned pattern (mirrors BudgetAccountant::Charge): ascending
+// index loop over the involved shards.
+#include <mutex>
+
+namespace blowfish {
+
+constexpr size_t kShardCount = 4;
+
+struct Shard {
+  std::mutex mu;
+};
+
+class ShardedThing {
+ public:
+  void AscendingLocks(const bool involved[kShardCount]) {
+    std::unique_lock<std::mutex> locks[kShardCount];
+    for (size_t s = 0; s < kShardCount; ++s) {
+      if (involved[s]) locks[s] = std::unique_lock<std::mutex>(shards_[s].mu);
+    }
+  }
+
+ private:
+  Shard shards_[kShardCount];
+};
+
+}  // namespace blowfish

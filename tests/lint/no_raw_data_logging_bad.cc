@@ -1,0 +1,23 @@
+// dp_lint fixture: MUST fire no-raw-data-logging.
+// Dataset counts and x-hat values flowing into a log line and a Status
+// message: both surfaces leave the privacy boundary unnoised.
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace blowfish {
+
+struct Dataset {
+  double* counts;
+};
+
+Status LeakyValidate(const Dataset& dataset, const double* xhat) {
+  BF_LOG(kInfo) << "first cell is " << dataset.counts[0];
+  if (xhat[0] < 0.0) {
+    return Status::Internal("negative x-hat: " + std::to_string(xhat[0]));
+  }
+  return Status::OK();
+}
+
+}  // namespace blowfish

@@ -1,0 +1,20 @@
+// dp_lint fixture: must stay QUIET on no-raw-data-logging.
+// Metadata is fine: sizes, epsilon totals, and ledger balances are
+// post-DP accounting, not data.
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace blowfish {
+
+Status MetadataOnly(size_t rows, double epsilon, double remaining) {
+  BF_LOG(kInfo) << "released " << rows << " rows at epsilon " << epsilon;
+  if (remaining < 0.0) {
+    return Status::OutOfRange("budget exhausted: remaining " +
+                              std::to_string(remaining));
+  }
+  return Status::OK();
+}
+
+}  // namespace blowfish

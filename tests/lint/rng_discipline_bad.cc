@@ -1,0 +1,15 @@
+// dp_lint fixture: MUST fire rng-discipline.
+// Unsanctioned randomness outside src/rng/: libc rand(), a <random>
+// engine, and std::random_device all bypass blowfish::Rng.
+#include <cstdlib>
+#include <random>
+
+namespace blowfish {
+
+double UnsanctionedNoise() {
+  std::random_device device;
+  std::mt19937 engine(device());
+  return static_cast<double>(engine()) + static_cast<double>(rand());
+}
+
+}  // namespace blowfish

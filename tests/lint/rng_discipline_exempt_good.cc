@@ -1,0 +1,14 @@
+// dp_lint fixture: must stay QUIET — the src/rng/ sanctuary may use
+// <random> primitives (this is where Rng::EntropySeed lives).
+// dp-lint: treat-as src/rng/entropy.cc
+#include <cstdint>
+#include <random>
+
+namespace blowfish {
+
+uint64_t SanctuaryEntropy() {
+  std::random_device device;
+  return (static_cast<uint64_t>(device()) << 32) ^ device();
+}
+
+}  // namespace blowfish

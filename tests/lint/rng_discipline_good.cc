@@ -1,0 +1,16 @@
+// dp_lint fixture: must stay QUIET on rng-discipline.
+// All randomness flows through blowfish::Rng; mentions of "rand" inside
+// identifiers, comments, and strings must not trip the rule.
+#include "rng/rng.h"
+
+namespace blowfish {
+
+// A brand-new operand strand: none of these words are rand() calls.
+double SanctionedNoise(Rng* rng) {
+  const char* operand = "rand() in a string literal is not a call";
+  double grand_total = rng->Laplace(1.0);
+  (void)operand;
+  return grand_total + rng->Uniform();
+}
+
+}  // namespace blowfish
