@@ -1,0 +1,52 @@
+#include "common/crc32c.h"
+
+namespace blowfish {
+
+namespace {
+
+/// Table for the reflected Castagnoli polynomial, built once at first
+/// use (constant-initialized would need C++20 constexpr loops to stay
+/// readable; a local static is race-free and costs one branch).
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const uint32_t* Table() {
+  static const Crc32cTable table;
+  return table.entries;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+  const uint32_t* table = Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cFinish(Crc32cExtend(Crc32cInit(), data, n));
+}
+
+uint32_t Crc32cMask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t Crc32cUnmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace blowfish

@@ -16,6 +16,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnavailableDurability: return "UnavailableDurability";
   }
   return "Unknown";
 }

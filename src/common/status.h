@@ -27,6 +27,12 @@ enum class StatusCode {
   kInternal,
   kUnavailable,  ///< transient refusal (e.g. a full submission queue)
   kCancelled,    ///< work abandoned before running (e.g. shutdown)
+  /// A charge was refused because its write-ahead journal record could
+  /// not be made durable (disk error, ENOSPC, failed fsync) within the
+  /// bounded retry budget. Distinct from kUnavailable: the engine is
+  /// *choosing* to fail closed — no budget was spent and no noise was
+  /// drawn — rather than admit a release the spend record might lose.
+  kUnavailableDurability,
 };
 
 /// \brief Outcome of a fallible operation: a code plus a human-readable
@@ -69,6 +75,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status UnavailableDurability(std::string msg) {
+    return Status(StatusCode::kUnavailableDurability, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

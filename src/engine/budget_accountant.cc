@@ -47,6 +47,23 @@ Result<LedgerHandle> BudgetAccountant::OpenLedger(const std::string& id,
   Slot& slot = shard.slots[slot_index];
   slot.budget.emplace(total_epsilon);
   slot.id = id;
+  // Re-opening an id the crash journal has a balance for: restore the
+  // pre-crash spent total onto the fresh ledger before any charge can
+  // see it. Consumed exactly once — the journal hands the balance out
+  // and forgets it (later checkpoints snapshot the live ledger).
+  if (journal_ != nullptr) {
+    RecoveredLedger recovered;
+    if (journal_->TakeRecovered(id, &recovered)) {
+      Status restored = slot.budget->RestoreSpent(recovered.spent);
+      if (!restored.ok()) {
+        slot.budget.reset();
+        slot.id.clear();
+        ++slot.generation;
+        shard.free_slots.push_back(slot_index);
+        return restored;
+      }
+    }
+  }
   shard.by_id.emplace(id, slot_index);
   return LedgerHandle(static_cast<uint32_t>(shard_index), slot_index,
                       slot.generation);
@@ -161,6 +178,10 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
   for (size_t i = 0; i < count; ++i) {
     const Slot* slot = SlotFor(handles[i]);
     if (slot == nullptr) {
+      // Refusals are journaled best-effort: losing one loses a line of
+      // history but spends nothing, so it must not block the refusal.
+      (void)AppendJournalCharge(handles, count, epsilon, tag,
+                                /*charged=*/false, StatusCode::kNotFound);
       RecordAudit(handles, count, epsilon, tag, /*charged=*/false,
                   StatusCode::kNotFound, nullptr);
       return Status::NotFound("ledger handle is stale or closed");
@@ -170,6 +191,8 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
       if (handles[j] == handles[i]) ++times;
     }
     if (!slot->budget->CanSpend(static_cast<double>(times) * epsilon)) {
+      (void)AppendJournalCharge(handles, count, epsilon, tag,
+                                /*charged=*/false, StatusCode::kOutOfRange);
       RecordAudit(handles, count, epsilon, tag, /*charged=*/false,
                   StatusCode::kOutOfRange, nullptr);
       return Status::OutOfRange(
@@ -179,6 +202,21 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
           "': spent " + std::to_string(slot->budget->spent()) + " + " +
           std::to_string(static_cast<double>(times) * epsilon) + " > " +
           std::to_string(slot->budget->total()));
+    }
+  }
+  // Write-ahead barrier: the spend record must be durable before the
+  // first ledger commits (and noise is drawn only after Charge returns
+  // OK — dp_lint's `journal-before-admit` and `charge-before-noise`
+  // rules pin the two halves of that ordering). A journal that cannot
+  // make the record durable refuses the whole charge here, with every
+  // ledger still untouched: the engine fails closed.
+  if (journal_ != nullptr) {
+    Status journaled = AppendJournalCharge(handles, count, epsilon, tag,
+                                           /*charged=*/true, StatusCode::kOk);
+    if (!journaled.ok()) {
+      RecordAudit(handles, count, epsilon, tag, /*charged=*/false,
+                  StatusCode::kUnavailableDurability, nullptr);
+      return journaled;
     }
   }
   double balances[AuditEvent::kMaxLedgers];
@@ -200,6 +238,61 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
   RecordAudit(handles, count, epsilon, tag, /*charged=*/true, StatusCode::kOk,
               balances);
   return Status::OK();
+}
+
+Status BudgetAccountant::AppendJournalCharge(const LedgerHandle* handles,
+                                             size_t count, double epsilon,
+                                             const ChargeTag& tag,
+                                             bool charged,
+                                             StatusCode refusal) {
+  if (journal_ == nullptr) return Status::OK();
+  LedgerJournal::ChargeLine lines[AuditEvent::kMaxLedgers];
+  size_t num_lines = 0;
+  for (size_t i = 0; i < count && num_lines < AuditEvent::kMaxLedgers; ++i) {
+    const Slot* slot = SlotFor(handles[i]);
+    if (slot == nullptr) continue;  // stale handle on a refusal
+    LedgerJournal::ChargeLine& line = lines[num_lines++];
+    line.id = &slot->id;
+    if (!charged) {
+      line.remaining = slot->budget->remaining();
+      continue;
+    }
+    // Prospective post-charge balance, computed by replaying the chain
+    // of spends the commit loop is about to perform on this ledger (a
+    // handle repeated n times composes sequentially). Same doubles in
+    // the same order as SpendTagged's `spent += ε`, so the journaled
+    // balance is bit-identical to what the ledger will hold — and to
+    // what recovery replays.
+    double prospective = slot->budget->spent();
+    for (size_t j = 0; j <= i; ++j) {
+      if (handles[j] == handles[i]) prospective += epsilon;
+    }
+    line.remaining = slot->budget->total() - prospective;
+  }
+  return journal_->AppendCharge(charged, refusal, epsilon, tag.parallel_count,
+                                tag.workload, tag.context.get(), lines,
+                                num_lines);
+}
+
+Status BudgetAccountant::WriteCheckpoint() {
+  if (journal_ == nullptr) return Status::OK();
+  // Every shard locked, ascending (the same deadlock-free order
+  // Charge uses), so the snapshot is one consistent cut: no charge can
+  // be mid-commit across it, and none can append to the journal while
+  // the checkpoint record is placed.
+  std::unique_lock<std::mutex> locks[kShardCount];
+  for (size_t s = 0; s < kShardCount; ++s) {
+    locks[s] = std::unique_lock<std::mutex>(shards_[s].mu);
+  }
+  std::vector<JournalRecord::CheckpointLine> snapshot;
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, slot_index] : shard.by_id) {
+      const Slot& slot = shard.slots[slot_index];
+      snapshot.push_back(JournalRecord::CheckpointLine{
+          id, slot.budget->total(), slot.budget->spent()});
+    }
+  }
+  return journal_->Checkpoint(snapshot);
 }
 
 void BudgetAccountant::RecordAudit(const LedgerHandle* handles, size_t count,

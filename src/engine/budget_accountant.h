@@ -45,6 +45,7 @@
 
 #include "common/status.h"
 #include "common/thread_annotations.h"
+#include "engine/ledger_journal.h"
 #include "engine/telemetry.h"
 #include "mech/budget.h"
 
@@ -164,6 +165,32 @@ class BudgetAccountant {
   /// events reproduces its balance bit-for-bit. Null detaches.
   void SetAuditLog(EpsilonAuditLog* log) { audit_log_ = log; }
 
+  /// Attaches the crash-safe spend journal (not owned; the engine
+  /// guarantees it outlives the accountant). With a journal attached:
+  ///
+  ///   - Charge() write-ahead-journals every spend (durably, fsync'd)
+  ///     BEFORE the first ledger commits — and refuses the whole
+  ///     charge with kUnavailableDurability if the record cannot be
+  ///     made durable, so no release ever outruns its spend record;
+  ///     refusals are journaled too (best-effort — a lost refusal
+  ///     record spends nothing);
+  ///   - OpenLedger() consumes the journal's recovered balance for the
+  ///     id, restoring the pre-crash spent total onto the fresh ledger
+  ///     (recovery never refills a budget).
+  ///
+  /// Like the audit append, the journal append happens under every
+  /// involved shard lock, so the journal's per-ledger record order is
+  /// exactly each ledger's spend order — the property that makes
+  /// replay bit-exact. Lock order: shard mutexes -> journal -> audit.
+  void SetJournal(LedgerJournal* journal) { journal_ = journal; }
+
+  /// Snapshots every open ledger (all shard locks, ascending) into a
+  /// journal checkpoint, letting the journal compact its segments.
+  /// No-op without a journal. (Analysis opt-out: locks the whole shard
+  /// array through a loop, which the checker cannot model; dp_lint's
+  /// `lock-order` rule pins the ascending acquisition.)
+  Status WriteCheckpoint() NO_THREAD_SAFETY_ANALYSIS;
+
  private:
   struct Slot {
     std::optional<PrivacyBudget> budget;  ///< nullopt = closed/free
@@ -197,8 +224,20 @@ class BudgetAccountant {
                    const ChargeTag& tag, bool charged, StatusCode refusal,
                    const double* balances) NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Write-ahead append of one charge decision to the journal; caller
+  /// holds every involved shard lock (same dynamic-set opt-out as
+  /// RecordAudit). For spends the recorded balances are *prospective*:
+  /// computed by simulating the commit loop's spend chain, so they
+  /// equal the post-charge balances bit-for-bit. Returns the journal's
+  /// verdict — kUnavailableDurability means the caller must refuse.
+  Status AppendJournalCharge(const LedgerHandle* handles, size_t count,
+                             double epsilon, const ChargeTag& tag,
+                             bool charged,
+                             StatusCode refusal) NO_THREAD_SAFETY_ANALYSIS;
+
   Shard shards_[kShardCount];
   EpsilonAuditLog* audit_log_ = nullptr;
+  LedgerJournal* journal_ = nullptr;
 };
 
 }  // namespace blowfish

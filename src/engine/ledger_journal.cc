@@ -1,0 +1,1046 @@
+#include "engine/ledger_journal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32c.h"
+
+namespace blowfish {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'F', 'L', 'J', 'R', 'N', 'L', '1'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 24;
+constexpr size_t kFrameOverhead = 8;  // u32 len + u32 masked crc
+// Far above any real record (a record is one charge: a handful of
+// ledger lines); a larger claimed length is garbage, not data.
+constexpr uint32_t kMaxRecordBytes = 1u << 26;
+
+// ------------------------------------------ little-endian wire encode
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutLenPrefixed(std::string* out, std::string_view s) {
+  // Ledger ids and workload tags are short by construction; a >64KiB
+  // tag is pathological and truncation only loses label detail, never
+  // accounting.
+  const size_t n = std::min<size_t>(s.size(), 0xFFFF);
+  PutU16(out, static_cast<uint16_t>(n));
+  out->append(s.data(), n);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(p[i]);
+  }
+  return v;
+}
+
+/// Bounds-checked record parser: every read that would run past the
+/// payload flips `ok` and yields zeros, so decode failure is a single
+/// flag check, never UB.
+struct ByteReader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  bool Take(size_t n) {
+    if (!ok || static_cast<size_t>(end - p) < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint8_t U8() {
+    if (!Take(1)) return 0;
+    return static_cast<uint8_t>(*p++);
+  }
+  uint16_t U16() {
+    if (!Take(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                                       (static_cast<uint8_t>(p[1]) << 8));
+    p += 2;
+    return v;
+  }
+  uint32_t U32() {
+    if (!Take(4)) return 0;
+    uint32_t v = GetU32(p);
+    p += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Take(8)) return 0;
+    uint64_t v = GetU64(p);
+    p += 8;
+    return v;
+  }
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Str(std::string* out) {
+    uint16_t n = U16();
+    if (!Take(n)) return false;
+    out->assign(p, n);
+    p += n;
+    return true;
+  }
+  bool done() const { return ok && p == end; }
+};
+
+bool DecodeRecord(const char* data, size_t n, JournalRecord* rec) {
+  ByteReader r{data, data + n};
+  const uint8_t type = r.U8();
+  if (type < 1 || type > 3) return false;
+  rec->type = static_cast<JournalRecord::Type>(type);
+  rec->seq = r.U64();
+  rec->wall_micros = static_cast<int64_t>(r.U64());
+  if (rec->type == JournalRecord::Type::kCheckpoint) {
+    const uint32_t count = r.U32();
+    for (uint32_t i = 0; i < count && r.ok; ++i) {
+      JournalRecord::CheckpointLine line;
+      if (!r.Str(&line.id)) return false;
+      line.total = r.F64();
+      line.spent = r.F64();
+      rec->checkpoint.push_back(std::move(line));
+    }
+  } else {
+    rec->refusal = r.U8();
+    rec->parallel_count = r.U32();
+    rec->epsilon = r.F64();
+    if (!r.Str(&rec->workload)) return false;
+    if (!r.Str(&rec->context)) return false;
+    const uint16_t count = r.U16();
+    for (uint16_t i = 0; i < count && r.ok; ++i) {
+      JournalRecord::Line line;
+      if (!r.Str(&line.id)) return false;
+      line.remaining = r.F64();
+      rec->ledgers.push_back(std::move(line));
+    }
+  }
+  return r.done();  // trailing bytes under a valid CRC are corruption
+}
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+bool IsSegmentName(const std::string& name) {
+  // journal-<16 hex>.bfj — fixed width, so lexicographic order is
+  // start-seq order.
+  if (name.size() != 8 + 16 + 4) return false;
+  if (name.compare(0, 8, "journal-") != 0) return false;
+  if (name.compare(24, 4, ".bfj") != 0) return false;
+  for (size_t i = 8; i < 24; ++i) {
+    const char c = name[i];
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + "(" + path + "): " + std::strerror(errno);
+}
+
+}  // namespace
+
+void JournalEncodeRecord(const JournalRecord& record, std::string* out) {
+  out->clear();
+  out->push_back(static_cast<char>(record.type));
+  PutU64(out, record.seq);
+  PutU64(out, static_cast<uint64_t>(record.wall_micros));
+  if (record.type == JournalRecord::Type::kCheckpoint) {
+    PutU32(out, static_cast<uint32_t>(record.checkpoint.size()));
+    for (const JournalRecord::CheckpointLine& line : record.checkpoint) {
+      PutLenPrefixed(out, line.id);
+      PutF64(out, line.total);
+      PutF64(out, line.spent);
+    }
+  } else {
+    out->push_back(static_cast<char>(record.refusal));
+    PutU32(out, record.parallel_count);
+    PutF64(out, record.epsilon);
+    PutLenPrefixed(out, record.workload);
+    PutLenPrefixed(out, record.context);
+    PutU16(out, static_cast<uint16_t>(
+                    std::min<size_t>(record.ledgers.size(), 0xFFFF)));
+    size_t emitted = 0;
+    for (const JournalRecord::Line& line : record.ledgers) {
+      if (emitted++ == 0xFFFF) break;
+      PutLenPrefixed(out, line.id);
+      PutF64(out, line.remaining);
+    }
+  }
+}
+
+void JournalFrameRecord(const std::string& payload, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32cMask(Crc32c(payload.data(), payload.size())));
+  out->append(payload);
+}
+
+std::string JournalSegmentHeader(uint64_t start_seq) {
+  std::string h;
+  h.reserve(kHeaderBytes);
+  h.append(kMagic, sizeof(kMagic));
+  PutU32(&h, kFormatVersion);
+  PutU64(&h, start_seq);
+  PutU32(&h, Crc32c(h.data(), h.size()));
+  BF_DCHECK_EQ(h.size(), kHeaderBytes);
+  return h;
+}
+
+std::string JournalSegmentName(uint64_t start_seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%016llx.bfj",
+                static_cast<unsigned long long>(start_seq));
+  return buf;
+}
+
+// ------------------------------------------------------------ POSIX IO
+
+namespace {
+
+class PosixJournalFile : public JournalFile {
+ public:
+  PosixJournalFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixJournalFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Append(const void* data, size_t n) override {
+    const ssize_t w = ::write(fd_, data, n);
+    if (w < 0) {
+      if (errno == EINTR) return static_cast<size_t>(0);  // retryable
+      return Status::IOError(ErrnoMessage("write", path_));
+    }
+    return static_cast<size_t>(w);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(ErrnoMessage("ftruncate", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixIo : public JournalIo {
+ public:
+  Result<std::unique_ptr<JournalFile>> OpenAppend(
+      const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+    return std::unique_ptr<JournalFile>(new PosixJournalFile(fd, path));
+  }
+
+  Result<std::string> ReadAll(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status st = Status::IOError(ErrnoMessage("read", path));
+        ::close(fd);
+        return st;
+      }
+      if (r == 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return Status::IOError(ErrnoMessage("opendir", dir));
+    std::vector<std::string> names;
+    while (struct dirent* e = ::readdir(d)) {
+      if (e->d_type != DT_REG && e->d_type != DT_UNKNOWN) continue;
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("mkdir", dir));
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+    Status st = Status::OK();
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      st = Status::IOError(ErrnoMessage("ftruncate", path));
+    } else if (::fsync(fd) != 0) {
+      st = Status::IOError(ErrnoMessage("fsync", path));
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", dir));
+    Status st = Status::OK();
+    if (::fsync(fd) != 0 && errno != EINVAL) {
+      // EINVAL: the filesystem cannot fsync directories — nothing more
+      // durable is available, so treat it as best-effort success.
+      st = Status::IOError(ErrnoMessage("fsync", dir));
+    }
+    ::close(fd);
+    return st;
+  }
+};
+
+}  // namespace
+
+JournalIo* PosixJournalIo() {
+  static PosixIo* io = new PosixIo();  // leaked: process-lifetime
+  return io;
+}
+
+// ------------------------------------------------------ fault injection
+
+namespace {
+
+class FaultInjectingFile : public JournalFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<JournalFile> base, JournalFaultPlan* plan)
+      : base_(std::move(base)), plan_(plan) {}
+
+  Result<size_t> Append(const void* data, size_t n) override {
+    const uint64_t call =
+        plan_->append_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (plan_->fail_append_at != 0 && call >= plan_->fail_append_at &&
+        call < plan_->fail_append_at +
+                   static_cast<uint64_t>(plan_->fail_append_count)) {
+      if (plan_->torn_bytes_on_failure > 0) {
+        // A torn write: some bytes reach the disk even though the call
+        // reports failure — the caller must not assume the file tail
+        // is where it left it.
+        const size_t torn = std::min(plan_->torn_bytes_on_failure, n);
+        (void)base_->Append(data, torn);
+      }
+      return Status(plan_->append_error,
+                    "injected append fault (call #" + std::to_string(call) +
+                        ")");
+    }
+    if (plan_->short_append_at == call && n > 1) {
+      return base_->Append(data, n / 2);  // short write, reported as success
+    }
+    return base_->Append(data, n);
+  }
+
+  Status Sync() override {
+    const uint64_t call =
+        plan_->sync_calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (plan_->fail_sync_at != 0 && call >= plan_->fail_sync_at &&
+        call < plan_->fail_sync_at +
+                   static_cast<uint64_t>(plan_->fail_sync_count)) {
+      return Status::IOError("injected fsync fault (call #" +
+                             std::to_string(call) + ")");
+    }
+    return base_->Sync();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (plan_->fail_truncate) {
+      return Status::IOError("injected truncate fault");
+    }
+    return base_->Truncate(size);
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<JournalFile> base_;
+  JournalFaultPlan* plan_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<JournalFile>> FaultInjectingJournalIo::OpenAppend(
+    const std::string& path) {
+  Result<std::unique_ptr<JournalFile>> base = base_->OpenAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<JournalFile>(
+      new FaultInjectingFile(std::move(base).ValueOrDie(), plan_));
+}
+
+// ------------------------------------------------------------- scanning
+
+Status LedgerJournal::Scan(const std::string& dir, JournalIo* io,
+                           JournalScanReport* report) {
+  if (io == nullptr) io = PosixJournalIo();
+  Result<std::vector<std::string>> listing = io->ListDir(dir);
+  if (!listing.ok()) return listing.status();
+  std::vector<std::string> names;
+  for (const std::string& name : *listing) {
+    if (IsSegmentName(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+
+  // The next record seq the chain demands; 0 = unknown (start of scan,
+  // or continuity lost to a corrupt segment — later segments are still
+  // inventoried for fsck, but gaps there cannot be told apart).
+  uint64_t expected_seq = 0;
+  bool any_record_seen = false;
+
+  for (size_t si = 0; si < names.size(); ++si) {
+    const bool last_segment = si + 1 == names.size();
+    const std::string& name = names[si];
+    const std::string path = dir + "/" + name;
+    JournalScanReport::Segment seg;
+    seg.name = name;
+
+    Result<std::string> data_r = io->ReadAll(path);
+    if (!data_r.ok()) {
+      report->errors.push_back("segment " + name + ": " +
+                               data_r.status().ToString());
+      report->segments.push_back(seg);
+      expected_seq = 0;
+      continue;
+    }
+    const std::string& data = *data_r;
+    seg.file_bytes = data.size();
+
+    // Segment header.
+    bool header_ok = data.size() >= kHeaderBytes &&
+                     std::memcmp(data.data(), kMagic, sizeof(kMagic)) == 0 &&
+                     GetU32(data.data() + 8) == kFormatVersion &&
+                     GetU32(data.data() + 20) == Crc32c(data.data(), 20);
+    uint64_t start_seq = header_ok ? GetU64(data.data() + 12) : 0;
+    if (header_ok && start_seq == 0) header_ok = false;  // seqs start at 1
+    if (!header_ok) {
+      if (last_segment) {
+        // A crash during rotation leaves a fresh segment with a
+        // partial header and nothing after it: a torn tail whose
+        // repair is deleting the file.
+        report->torn_tail = true;
+        report->torn_segment = name;
+        report->torn_good_bytes = 0;
+      } else {
+        report->errors.push_back("segment " + name +
+                                 ": invalid header (magic/version/crc)");
+        expected_seq = 0;
+      }
+      report->segments.push_back(seg);
+      continue;
+    }
+    seg.start_seq = start_seq;
+    seg.good_bytes = kHeaderBytes;
+    if (expected_seq != 0 && start_seq != expected_seq) {
+      report->errors.push_back(
+          "segment " + name + ": starts at seq " + std::to_string(start_seq) +
+          ", expected " + std::to_string(expected_seq) +
+          " (missing or reordered segment)");
+      expected_seq = 0;
+    }
+    if (expected_seq == 0) expected_seq = start_seq;
+
+    // Frames.
+    size_t off = kHeaderBytes;
+    bool segment_failed = false;
+    while (off < data.size()) {
+      const size_t avail = data.size() - off;
+      uint32_t len = 0;
+      bool incomplete = avail < kFrameOverhead;
+      if (!incomplete) {
+        len = GetU32(data.data() + off);
+        if (len > kMaxRecordBytes) {
+          report->errors.push_back("segment " + name + ": frame at byte " +
+                                   std::to_string(off) +
+                                   " claims absurd length " +
+                                   std::to_string(len));
+          segment_failed = true;
+          break;
+        }
+        incomplete = avail - kFrameOverhead < len;
+      }
+      if (incomplete) {
+        // The frame runs past EOF — the classic crash-mid-append tear
+        // when it is the journal's final bytes, corruption anywhere
+        // else.
+        if (last_segment) {
+          report->torn_tail = true;
+          report->torn_segment = name;
+          report->torn_good_bytes = off;
+        } else {
+          report->errors.push_back("segment " + name +
+                                   ": truncated frame at byte " +
+                                   std::to_string(off) +
+                                   " with segments after it");
+          segment_failed = true;
+        }
+        break;
+      }
+      const char* payload = data.data() + off + kFrameOverhead;
+      const uint32_t want_crc = Crc32cUnmask(GetU32(data.data() + off + 4));
+      if (Crc32c(payload, len) != want_crc) {
+        const bool at_eof = off + kFrameOverhead + len == data.size();
+        if (last_segment && at_eof) {
+          // Final frame of the final segment: a crash can persist the
+          // frame's pages partially (full length, wrong bytes), so a
+          // CRC-bad *last* frame is a tear. The same mismatch with
+          // valid data after it cannot be — truncating there would
+          // discard acknowledged spends.
+          report->torn_tail = true;
+          report->torn_segment = name;
+          report->torn_good_bytes = off;
+        } else {
+          report->errors.push_back("segment " + name +
+                                   ": CRC mismatch at byte " +
+                                   std::to_string(off) +
+                                   " (mid-journal corruption)");
+          segment_failed = true;
+        }
+        break;
+      }
+      JournalRecord rec;
+      if (!DecodeRecord(payload, len, &rec)) {
+        report->errors.push_back("segment " + name +
+                                 ": undecodable record at byte " +
+                                 std::to_string(off) + " (CRC valid)");
+        segment_failed = true;
+        break;
+      }
+      if (rec.seq != expected_seq) {
+        report->errors.push_back(
+            "segment " + name + ": record at byte " + std::to_string(off) +
+            " has seq " + std::to_string(rec.seq) + ", expected " +
+            std::to_string(expected_seq) +
+            (rec.seq < expected_seq ? " (duplicate)" : " (gap)"));
+        segment_failed = true;
+        break;
+      }
+      if (!any_record_seen && start_seq != 1 &&
+          rec.type != JournalRecord::Type::kCheckpoint) {
+        report->errors.push_back(
+            "segment " + name + ": journal starts at seq " +
+            std::to_string(rec.seq) +
+            " without a leading checkpoint (predecessor segments lost)");
+        segment_failed = true;
+        break;
+      }
+
+      // Replay.
+      switch (rec.type) {
+        case JournalRecord::Type::kSpend: {
+          ++report->spends;
+          for (const JournalRecord::Line& line : rec.ledgers) {
+            RecoveredLedger& led = report->ledgers[line.id];
+            led.spent += rec.epsilon;
+            ++led.records;
+            if (led.has_total) {
+              const double replayed_remaining = led.total - led.spent;
+              if (replayed_remaining != line.remaining) {
+                report->warnings.push_back(
+                    "ledger " + line.id + " at seq " +
+                    std::to_string(rec.seq) +
+                    ": journaled remaining diverges from replay by " +
+                    std::to_string(line.remaining - replayed_remaining));
+              }
+            }
+          }
+          break;
+        }
+        case JournalRecord::Type::kRefusal:
+          ++report->refusals;
+          break;
+        case JournalRecord::Type::kCheckpoint: {
+          ++report->checkpoints;
+          report->ledgers.clear();
+          for (const JournalRecord::CheckpointLine& line : rec.checkpoint) {
+            RecoveredLedger led;
+            led.has_total = line.total >= 0.0;
+            led.total = led.has_total ? line.total : 0.0;
+            led.spent = line.spent;
+            report->ledgers[line.id] = led;
+          }
+          break;
+        }
+      }
+      any_record_seen = true;
+      if (report->first_seq == 0) report->first_seq = rec.seq;
+      report->last_seq = rec.seq;
+      ++report->records;
+      ++seg.records;
+      ++expected_seq;
+      off += kFrameOverhead + len;
+      seg.good_bytes = off;
+    }
+    if (segment_failed) expected_seq = 0;
+    report->segments.push_back(seg);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- open
+
+LedgerJournal::LedgerJournal(JournalOptions options, JournalIo* io)
+    : options_(std::move(options)), io_(io) {
+  m_appends_ = &local_sink_[0];
+  m_append_failures_ = &local_sink_[1];
+  m_fsyncs_ = &local_sink_[2];
+  m_retries_ = &local_sink_[3];
+  m_rotations_ = &local_sink_[4];
+  m_checkpoints_ = &local_sink_[5];
+  m_recovered_records_ = &local_sink_[6];
+}
+
+LedgerJournal::~LedgerJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) (void)active_->Close();
+}
+
+Result<std::unique_ptr<LedgerJournal>> LedgerJournal::Open(
+    JournalOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("journal_path must not be empty");
+  }
+  JournalIo* io = options.io != nullptr ? options.io : PosixJournalIo();
+  BF_RETURN_NOT_OK(io->CreateDir(options.dir));
+
+  JournalScanReport report;
+  BF_RETURN_NOT_OK(Scan(options.dir, io, &report));
+  if (!report.errors.empty()) {
+    std::string msg =
+        "journal corrupt; refusing recovery (run ledger_fsck " + options.dir +
+        "):";
+    for (const std::string& e : report.errors) msg += "\n  " + e;
+    return Status::IOError(msg);
+  }
+  if (report.torn_tail && !options.allow_torn_tail) {
+    return Status::IOError(
+        "torn tail in " + report.torn_segment + " (good through byte " +
+        std::to_string(report.torn_good_bytes) +
+        "): the final record was cut by a crash mid-append and was never "
+        "acknowledged; re-open with allow_torn_tail or run ledger_fsck " +
+        options.dir);
+  }
+
+  const bool allow_torn = options.allow_torn_tail;
+  std::unique_ptr<LedgerJournal> journal(
+      new LedgerJournal(std::move(options), io));
+  std::lock_guard<std::mutex> lock(journal->mu_);
+
+  bool removed_torn_segment = false;
+  if (report.torn_tail) {
+    BF_DCHECK(allow_torn);
+    const std::string path = journal->SegmentPath(report.torn_segment);
+    if (report.torn_good_bytes < kHeaderBytes) {
+      // Not even a full header survived — the segment holds nothing.
+      BF_RETURN_NOT_OK(io->Remove(path));
+      removed_torn_segment = true;
+    } else {
+      BF_RETURN_NOT_OK(io->TruncateFile(path, report.torn_good_bytes));
+    }
+    BF_RETURN_NOT_OK(io->SyncDir(journal->options_.dir));
+    journal->recovered_torn_tail_ = true;
+  }
+
+  uint64_t last_surviving_good_bytes = 0;
+  uint64_t last_surviving_start_seq = 0;
+  for (const JournalScanReport::Segment& seg : report.segments) {
+    if (removed_torn_segment && seg.name == report.torn_segment) continue;
+    journal->segment_names_.push_back(seg.name);
+    last_surviving_good_bytes =
+        (report.torn_tail && seg.name == report.torn_segment)
+            ? report.torn_good_bytes
+            : seg.good_bytes;
+    last_surviving_start_seq = seg.start_seq;
+  }
+
+  journal->next_seq_ = report.last_seq != 0 ? report.last_seq + 1
+                       : last_surviving_start_seq != 0
+                           ? last_surviving_start_seq
+                           : 1;
+  journal->recovered_ = std::move(report.ledgers);
+  journal->recovered_records_at_open_ = report.records;
+
+  if (journal->options_.metrics != nullptr) {
+    MetricsRegistry* m = journal->options_.metrics;
+    journal->m_appends_ = m->counter("engine_journal_appends_total");
+    journal->m_append_failures_ =
+        m->counter("engine_journal_append_failures_total");
+    journal->m_fsyncs_ = m->counter("engine_journal_fsyncs_total");
+    journal->m_retries_ = m->counter("engine_journal_io_retries_total");
+    journal->m_rotations_ = m->counter("engine_journal_rotations_total");
+    journal->m_checkpoints_ = m->counter("engine_journal_checkpoints_total");
+    journal->m_recovered_records_ =
+        m->counter("engine_journal_recovered_records_total");
+    LedgerJournal* j = journal.get();
+    m->gauge_callback("engine_journal_active_bytes", [j] {
+      return static_cast<double>(j->stats().active_bytes);
+    });
+    m->gauge_callback("engine_journal_segments", [j] {
+      return static_cast<double>(j->stats().segments);
+    });
+    m->gauge_callback("engine_journal_unclaimed_recovered", [j] {
+      return static_cast<double>(j->stats().unclaimed_recovered);
+    });
+  }
+  journal->m_recovered_records_->Add(report.records);
+
+  if (journal->segment_names_.empty()) {
+    BF_RETURN_NOT_OK(journal->RotateLocked(journal->next_seq_, false));
+  } else {
+    const std::string& name = journal->segment_names_.back();
+    Result<std::unique_ptr<JournalFile>> file =
+        io->OpenAppend(journal->SegmentPath(name));
+    if (!file.ok()) return file.status();
+    journal->active_ = std::move(file).ValueOrDie();
+    journal->active_name_ = name;
+    journal->active_bytes_ = last_surviving_good_bytes;
+  }
+  return journal;
+}
+
+// -------------------------------------------------------------- append
+
+std::string LedgerJournal::SegmentPath(const std::string& name) const {
+  return options_.dir + "/" + name;
+}
+
+void LedgerJournal::Backoff(uint64_t seq, int attempt) const {
+  if (options_.retry_backoff_micros == 0) return;
+  const int shift = attempt - 1 > 8 ? 8 : attempt - 1;
+  const uint64_t base = static_cast<uint64_t>(options_.retry_backoff_micros)
+                        << shift;
+  // Deterministic pseudo-jitter (splitmix64 of seq and attempt): this
+  // sits on the charge path, where the engine's only randomness source
+  // must remain the calibrated noise draw — never consumed before a
+  // charge commits.
+  uint64_t x = seq * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(attempt);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  const uint64_t micros = std::min<uint64_t>(base + x % base, 50000);
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Status LedgerJournal::WriteWithRetry(JournalFile* file, const char* data,
+                                     size_t n, uint64_t base_offset,
+                                     uint64_t seq, size_t* landed) {
+  int attempts = 0;
+  size_t done = 0;
+  while (done < n) {
+    Result<size_t> w = file->Append(data + done, n - done);
+    if (w.ok() && *w > 0) {
+      // Short writes are progress, not faults: continue from where the
+      // file actually is without consuming retry budget.
+      done += *w;
+      *landed = done;
+      continue;
+    }
+    const Status err = w.ok()
+                           ? Status::IOError("append made no progress")
+                           : w.status();
+    if (attempts >= options_.io_retries) return err;
+    ++attempts;
+    m_retries_->Add(1);
+    // A failed write call may still have landed bytes (torn write), so
+    // the retry cannot simply resume: cut the file back to the start
+    // of this record and replay it from byte zero.
+    Status t = file->Truncate(base_offset);
+    if (!t.ok()) {
+      return Status::IOError("append failed (" + err.ToString() +
+                             ") and retry pre-truncate failed (" +
+                             t.ToString() + ")");
+    }
+    done = 0;
+    *landed = 0;
+    Backoff(seq, attempts);
+  }
+  return Status::OK();
+}
+
+Status LedgerJournal::RotateLocked(uint64_t start_seq, bool compact) {
+  const std::string name = JournalSegmentName(start_seq);
+  const std::string path = SegmentPath(name);
+  // A previous failed rotation may have left a stale file under this
+  // name; O_APPEND would write the header after its garbage.
+  (void)io_->TruncateFile(path, 0);
+  Result<std::unique_ptr<JournalFile>> opened = io_->OpenAppend(path);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<JournalFile> file = std::move(opened).ValueOrDie();
+
+  const std::string header = JournalSegmentHeader(start_seq);
+  size_t landed = 0;
+  Status st = WriteWithRetry(file.get(), header.data(), header.size(), 0,
+                             start_seq, &landed);
+  if (st.ok()) {
+    st = file->Sync();
+    if (st.ok()) m_fsyncs_->Add(1);
+  }
+  if (st.ok()) st = io_->SyncDir(options_.dir);
+  if (!st.ok()) {
+    (void)file->Close();
+    (void)io_->Remove(path);  // best effort; fsck reports a survivor
+    return st;
+  }
+
+  if (active_ != nullptr) (void)active_->Close();
+  active_ = std::move(file);
+  active_name_ = name;
+  active_bytes_ = header.size();
+  if (compact) {
+    for (const std::string& old : segment_names_) {
+      if (old != name) (void)io_->Remove(SegmentPath(old));
+    }
+    (void)io_->SyncDir(options_.dir);
+    segment_names_.clear();
+  }
+  segment_names_.push_back(name);
+  return Status::OK();
+}
+
+Status LedgerJournal::AppendFramedLocked(const JournalRecord& record) {
+  if (active_bytes_ >= options_.segment_bytes) {
+    // Rotation failure is not fatal to the charge: the old segment
+    // still appends fine, and the next append retries the rotation.
+    if (RotateLocked(record.seq, false).ok()) m_rotations_->Add(1);
+  }
+
+  JournalEncodeRecord(record, &scratch_);
+  std::string frame;
+  frame.reserve(scratch_.size() + kFrameOverhead);
+  JournalFrameRecord(scratch_, &frame);
+
+  const uint64_t base = active_bytes_;
+  size_t landed = 0;
+  Status st = WriteWithRetry(active_.get(), frame.data(), frame.size(), base,
+                             record.seq, &landed);
+  if (st.ok()) {
+    // No fsync retry (see WriteWithRetry's header comment): a failed
+    // fsync falls through to the truncate-repair below, which dirties
+    // fresh pages so the next record's fsync means something again.
+    st = active_->Sync();
+    if (st.ok()) m_fsyncs_->Add(1);
+  }
+  if (st.ok()) {
+    active_bytes_ += frame.size();
+    m_appends_->Add(1);
+    if (active_bytes_ >= options_.segment_bytes || segment_names_.size() > 1) {
+      checkpoint_due_.store(true, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  }
+
+  m_append_failures_->Add(1);
+  // Fail closed — and put the file back exactly where it was, so the
+  // refused record's partial bytes can never read as a torn tail.
+  Status repair = active_->Truncate(base);
+  if (repair.ok()) repair = active_->Sync();
+  if (!repair.ok()) {
+    health_ = Status::UnavailableDurability(
+        "journal poisoned: append of seq " + std::to_string(record.seq) +
+        " failed (" + st.ToString() + ") and tail repair failed (" +
+        repair.ToString() + "); refusing all further charges");
+    return health_;
+  }
+  return Status::UnavailableDurability(
+      "charge refused: journal append of seq " + std::to_string(record.seq) +
+      " not durable after " + std::to_string(options_.io_retries) +
+      " retries: " + st.ToString());
+}
+
+Status LedgerJournal::AppendCharge(bool charged, StatusCode refusal,
+                                   double epsilon, uint32_t parallel_count,
+                                   std::string_view workload,
+                                   const std::string* context,
+                                   const ChargeLine* lines, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!health_.ok()) return health_;
+
+  JournalRecord rec;
+  rec.type = charged ? JournalRecord::Type::kSpend
+                     : JournalRecord::Type::kRefusal;
+  rec.seq = next_seq_;
+  rec.wall_micros = WallMicros();
+  rec.refusal = charged ? 0 : static_cast<uint8_t>(refusal);
+  rec.parallel_count = parallel_count;
+  rec.epsilon = epsilon;
+  rec.workload.assign(workload.data(), workload.size());
+  if (context != nullptr) rec.context = *context;
+  rec.ledgers.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BF_DCHECK(lines[i].id != nullptr);
+    rec.ledgers.push_back(JournalRecord::Line{*lines[i].id,
+                                              lines[i].remaining});
+  }
+
+  BF_RETURN_NOT_OK(AppendFramedLocked(rec));
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status LedgerJournal::Checkpoint(
+    const std::vector<JournalRecord::CheckpointLine>& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!health_.ok()) return health_;
+
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kCheckpoint;
+  rec.seq = next_seq_;
+  rec.wall_micros = WallMicros();
+  rec.checkpoint = snapshot;
+  // Recovered balances nobody has re-opened yet must survive
+  // compaction: fold them into the snapshot (live lines win when a
+  // caller skipped TakeRecovered).
+  if (!recovered_.empty()) {
+    std::set<std::string> live;
+    for (const JournalRecord::CheckpointLine& line : snapshot) {
+      live.insert(line.id);
+    }
+    for (const auto& [id, led] : recovered_) {
+      if (live.count(id) != 0) continue;
+      rec.checkpoint.push_back(JournalRecord::CheckpointLine{
+          id, led.has_total ? led.total : -1.0, led.spent});
+    }
+  }
+
+  // The checkpoint opens a fresh segment; if anything past this point
+  // fails, the old segments are still intact and recovery still works
+  // (a header-only trailing segment is legal).
+  BF_RETURN_NOT_OK(RotateLocked(rec.seq, false));
+  BF_RETURN_NOT_OK(AppendFramedLocked(rec));
+  ++next_seq_;
+
+  // Only now that the snapshot is durable do the old segments die.
+  // Remove failures leave stale predecessors, which replay harmlessly:
+  // the checkpoint record resets the ledger map mid-replay.
+  const std::string keep = active_name_;
+  for (const std::string& old : segment_names_) {
+    if (old != keep) (void)io_->Remove(SegmentPath(old));
+  }
+  (void)io_->SyncDir(options_.dir);
+  segment_names_.assign(1, keep);
+  checkpoint_due_.store(false, std::memory_order_relaxed);
+  m_checkpoints_->Add(1);
+  return Status::OK();
+}
+
+bool LedgerJournal::TakeRecovered(const std::string& id, RecoveredLedger* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = recovered_.find(id);
+  if (it == recovered_.end()) return false;
+  *out = it->second;
+  recovered_.erase(it);
+  return true;
+}
+
+Status LedgerJournal::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+LedgerJournal::Stats LedgerJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.appends = m_appends_->value();
+  s.append_failures = m_append_failures_->value();
+  s.fsyncs = m_fsyncs_->value();
+  s.retries = m_retries_->value();
+  s.rotations = m_rotations_->value();
+  s.checkpoints = m_checkpoints_->value();
+  s.recovered_records = recovered_records_at_open_;
+  s.recovered_torn_tail = recovered_torn_tail_;
+  s.next_seq = next_seq_;
+  s.active_bytes = active_bytes_;
+  s.segments = segment_names_.size();
+  s.unclaimed_recovered = recovered_.size();
+  return s;
+}
+
+}  // namespace blowfish

@@ -1,0 +1,417 @@
+// Crash-safe ε-spend journal: the durable half of the accountant.
+//
+// Everything the engine knows about spent privacy budget lived in
+// memory before this file — a crash silently refilled every ledger,
+// which inverts the guarantee the whole stack exists to provide. The
+// LedgerJournal is a write-ahead log of the accountant's spend and
+// refusal decisions with one invariant wired into Charge() (and walled
+// in by dp_lint's `journal-before-admit` rule):
+//
+//   a charge is journaled and fsync'd BEFORE it commits to any
+//   in-memory ledger, and noise is drawn only after the charge
+//   commits — so every release the engine ever performed is covered
+//   by a durable record, and a restart replays to balances at least
+//   as spent as anything that was admitted. If the record cannot be
+//   made durable within a bounded retry budget, the charge is REFUSED
+//   (StatusCode::kUnavailableDurability): the engine fails closed,
+//   never open.
+//
+// On-disk format. A journal is a directory of segment files named
+// `journal-<start_seq:016x>.bfj`. Each segment is a 24-byte header
+// (magic "BFLJRNL1", format version, the seq of its first record, a
+// CRC32C over the preceding fields) followed by length-prefixed
+// frames:
+//
+//   [u32 payload_len][u32 masked_crc32c(payload)][payload]
+//
+// A payload is one record — spend, refusal, or checkpoint — carrying
+// the same fields as the EpsilonAuditLog event (ε, parallel count,
+// workload tag, shared plan context, per-ledger post-charge balances)
+// plus a dense monotonic seq. All integers are little-endian; doubles
+// are IEEE bit patterns, so replay is bit-exact.
+//
+// Rotation & compaction. Append() starts a new segment when the
+// active one exceeds `segment_bytes`, and flags `checkpoint_due()`;
+// the engine then calls BudgetAccountant::WriteCheckpoint(), which
+// snapshots every live ledger under all shard locks and hands the
+// snapshot to Checkpoint(): a fresh segment whose first record is the
+// snapshot, after which every older segment is deleted — so recovery
+// replay stays bounded by one checkpoint plus one tail. Recovered
+// balances nobody has re-opened yet are folded into the next
+// checkpoint, so compaction never forgets a spend.
+//
+// Recovery. Open() scans segments in seq order, verifies header magic
+// and frame CRCs, and demands dense seqs (a gap or duplicate means a
+// lost or doubled spend — refused, always). A *torn tail* — a frame
+// that runs past EOF, or a CRC-bad final frame, in the final segment
+// only — is the expected signature of a crash mid-append; with
+// `allow_torn_tail` it is truncated away (the torn record was never
+// acknowledged, so dropping it cannot refill anything) and recovery
+// proceeds; without it, Open refuses and points at ledger_fsck. A
+// CRC-bad frame with valid data after it is corruption, not a tear,
+// and always refuses: truncating there would discard acknowledged
+// spends — the one direction that is never safe.
+//
+// I/O is pluggable (JournalFile / JournalIo) so tests inject faults —
+// fail-at-Nth-write, short writes, torn writes, fsync errors, ENOSPC
+// — against the exact production code paths. Transient errors are
+// retried up to `io_retries` with exponential backoff and
+// deterministic jitter; a give-up truncates the partial record back
+// out of the file (keeping the journal usable) or, if even that
+// fails, poisons the journal so every later charge refuses.
+//
+// Threading: all public methods are internally locked by one mutex.
+// The accountant calls Append while holding the charge's shard locks,
+// which makes per-ledger journal order identical to spend order (the
+// property replay needs). Lock order: accountant shards -> journal ->
+// audit ring.
+
+#ifndef BLOWFISH_ENGINE_LEDGER_JOURNAL_H_
+#define BLOWFISH_ENGINE_LEDGER_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "engine/telemetry.h"
+
+namespace blowfish {
+
+// ------------------------------------------------------------- wire IO
+
+/// \brief One writable segment file. Append may write fewer bytes than
+/// asked (a short write) — the journal retries the remainder.
+class JournalFile {
+ public:
+  virtual ~JournalFile() = default;
+  /// Appends up to `n` bytes at the end of the file; returns the
+  /// number of bytes that landed (possibly < n).
+  virtual Result<size_t> Append(const void* data, size_t n) = 0;
+  /// Durably flushes everything appended so far (fsync).
+  virtual Status Sync() = 0;
+  /// Cuts the file back to `size` bytes (partial-record repair).
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Status Close() = 0;
+};
+
+/// \brief Filesystem surface the journal runs on. The default talks
+/// POSIX; tests wrap it with FaultInjectingJournalIo.
+class JournalIo {
+ public:
+  virtual ~JournalIo() = default;
+  virtual Result<std::unique_ptr<JournalFile>> OpenAppend(
+      const std::string& path) = 0;
+  virtual Result<std::string> ReadAll(const std::string& path) = 0;
+  /// Regular-file names directly inside `dir` (not paths), unsorted.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual Status CreateDir(const std::string& dir) = 0;  ///< ok if exists
+  virtual Status Remove(const std::string& path) = 0;
+  /// Durable out-of-band truncate (recovery repairs torn tails before
+  /// the segment is reopened for append).
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  /// Durably persists directory metadata (segment create/remove).
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX implementation (stateless, never destroyed).
+JournalIo* PosixJournalIo();
+
+/// \brief Deterministic fault plan shared by every file a
+/// FaultInjectingJournalIo hands out. Call indices are 1-based and
+/// global across files (the Nth Append call anywhere fails). A
+/// `*_count` bounds how many consecutive calls fail from that index
+/// on — a small count models a transient error that a bounded retry
+/// should ride out; the default (unbounded) models a dead disk.
+struct JournalFaultPlan {
+  uint64_t fail_append_at = 0;   ///< 0 = never
+  int fail_append_count = 1 << 30;
+  /// Status the failing Append reports (kIOError, or kUnavailable to
+  /// model ENOSPC-then-freed).
+  StatusCode append_error = StatusCode::kIOError;
+  /// On failure, first land this many bytes of the attempted write —
+  /// a torn write: bytes on disk, call reported failed.
+  size_t torn_bytes_on_failure = 0;
+
+  uint64_t short_append_at = 0;  ///< Nth append lands only half, "succeeds"
+  uint64_t fail_sync_at = 0;
+  int fail_sync_count = 1 << 30;
+  bool fail_truncate = false;    ///< every in-file Truncate fails
+
+  std::atomic<uint64_t> append_calls{0};
+  std::atomic<uint64_t> sync_calls{0};
+};
+
+/// \brief Wraps a base JournalIo, applying `plan` to every file it
+/// opens. The plan is caller-owned and may be inspected/reset between
+/// test phases.
+class FaultInjectingJournalIo : public JournalIo {
+ public:
+  FaultInjectingJournalIo(JournalIo* base, JournalFaultPlan* plan)
+      : base_(base), plan_(plan) {}
+
+  Result<std::unique_ptr<JournalFile>> OpenAppend(
+      const std::string& path) override;
+  Result<std::string> ReadAll(const std::string& path) override {
+    return base_->ReadAll(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+  Status CreateDir(const std::string& dir) override {
+    return base_->CreateDir(dir);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return base_->TruncateFile(path, size);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_->SyncDir(dir);
+  }
+
+ private:
+  JournalIo* base_;
+  JournalFaultPlan* plan_;
+};
+
+// ------------------------------------------------------------- records
+
+/// \brief One decoded journal record (recovery, fsck, tests). The
+/// spend/refusal fields mirror AuditEvent, and a checkpoint carries a
+/// full balance snapshot.
+struct JournalRecord {
+  enum class Type : uint8_t { kSpend = 1, kRefusal = 2, kCheckpoint = 3 };
+  struct Line {
+    std::string id;
+    double remaining = 0.0;  ///< post-charge balance (advisory; replay
+                             ///< reconstructs spends from ε alone)
+  };
+  struct CheckpointLine {
+    std::string id;
+    double total = -1.0;  ///< < 0: cap unknown (unclaimed recovery carry)
+    double spent = 0.0;
+  };
+
+  Type type = Type::kSpend;
+  uint64_t seq = 0;
+  int64_t wall_micros = 0;
+  uint8_t refusal = 0;  ///< StatusCode of a refusal; 0 on spends
+  uint32_t parallel_count = 1;
+  double epsilon = 0.0;
+  std::string workload;
+  std::string context;
+  std::vector<Line> ledgers;              // spend / refusal
+  std::vector<CheckpointLine> checkpoint;  // checkpoint
+};
+
+/// Wire helpers, exposed for ledger_fsck and the recovery tests that
+/// hand-craft duplicate-seq / gap segments.
+void JournalEncodeRecord(const JournalRecord& record, std::string* out);
+/// Wraps an encoded payload in the [len][crc] frame.
+void JournalFrameRecord(const std::string& payload, std::string* out);
+/// The 24-byte segment header for a segment starting at `start_seq`.
+std::string JournalSegmentHeader(uint64_t start_seq);
+/// Segment filename for a start seq (`journal-<seq:016x>.bfj`).
+std::string JournalSegmentName(uint64_t start_seq);
+
+// ---------------------------------------------------------- scan model
+
+/// \brief Replayed state of one ledger id.
+struct RecoveredLedger {
+  bool has_total = false;
+  double total = 0.0;   ///< meaningful only when has_total
+  double spent = 0.0;   ///< bit-exact Σε in seq order
+  uint64_t records = 0; ///< spend lines replayed into this ledger
+};
+
+/// \brief Everything a read-only pass over a journal directory learns.
+/// `errors` are hard corruption findings (refuse recovery); a torn
+/// tail is reported separately because it is repairable.
+struct JournalScanReport {
+  struct Segment {
+    std::string name;       ///< filename within the journal dir
+    uint64_t start_seq = 0;
+    uint64_t records = 0;
+    uint64_t good_bytes = 0;  ///< header + verified frames
+    uint64_t file_bytes = 0;
+  };
+  std::vector<Segment> segments;
+  uint64_t records = 0;  ///< verified records across all segments
+  uint64_t spends = 0;
+  uint64_t refusals = 0;
+  uint64_t checkpoints = 0;
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  bool torn_tail = false;
+  std::string torn_segment;      ///< filename holding the tear
+  uint64_t torn_good_bytes = 0;  ///< truncate target inside it
+  std::vector<std::string> errors;    ///< corruption (fatal)
+  std::vector<std::string> warnings;  ///< advisory (balance cross-checks)
+  std::map<std::string, RecoveredLedger> ledgers;
+};
+
+// -------------------------------------------------------- the journal
+
+struct JournalOptions {
+  std::string dir;  ///< journal directory (created if missing)
+  /// Active-segment size that triggers rotation and flags a
+  /// checkpoint/compaction as due.
+  size_t segment_bytes = 4u << 20;
+  /// Transient I/O errors (EINTR, short write, ENOSPC-then-freed) are
+  /// retried this many times before the charge fails closed.
+  int io_retries = 4;
+  /// Base backoff between retries; attempt k sleeps ~base·2^k plus a
+  /// deterministic jitter derived from (seq, attempt) — no RNG, so the
+  /// engine's noise discipline is untouched.
+  uint32_t retry_backoff_micros = 200;
+  /// Recovery: truncate a torn tail and continue instead of refusing
+  /// startup. Gaps and mid-file corruption refuse regardless.
+  bool allow_torn_tail = false;
+  /// Pluggable I/O (tests inject faults); null = PosixJournalIo().
+  JournalIo* io = nullptr;
+  /// When set, the journal registers engine_journal_* counters here.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// \brief See the file comment. Created via Open (which performs
+/// recovery); owned by QueryEngine; written by BudgetAccountant.
+class LedgerJournal {
+ public:
+  /// A ledger line as the accountant stages it for Append (ids are
+  /// borrowed from the slots, valid for the call).
+  struct ChargeLine {
+    const std::string* id = nullptr;
+    double remaining = 0.0;  ///< post-charge (prospective on spends)
+  };
+
+  /// Read-only integrity pass: never creates, truncates, or repairs
+  /// anything. Populates `report` (including ledger balances replayed
+  /// from whatever verifies) and returns non-OK only when the
+  /// directory itself is unreadable.
+  static Status Scan(const std::string& dir, JournalIo* io,
+                     JournalScanReport* report);
+
+  /// Opens (creating the directory and first segment if needed) and
+  /// recovers: scans, repairs a torn tail when allowed, and exposes
+  /// the replayed balances via TakeRecovered. Fails on corruption, on
+  /// a torn tail when `allow_torn_tail` is false, and on I/O errors.
+  static Result<std::unique_ptr<LedgerJournal>> Open(JournalOptions options);
+
+  ~LedgerJournal();
+
+  /// Write-ahead append of one charge decision, fsync'd before it
+  /// returns OK. Called by the accountant BEFORE the in-memory commit,
+  /// under every involved shard lock. On failure nothing is considered
+  /// journaled: partial bytes are truncated back out (or the journal
+  /// is poisoned when even that fails) and kUnavailableDurability is
+  /// returned — the caller must refuse the charge.
+  Status AppendCharge(bool charged, StatusCode refusal, double epsilon,
+                      uint32_t parallel_count, std::string_view workload,
+                      const std::string* context, const ChargeLine* lines,
+                      size_t count);
+
+  /// Compaction: writes `snapshot` (plus any still-unclaimed recovered
+  /// balances) as the first record of a fresh segment, then deletes
+  /// every older segment. Caller must guarantee no append can race
+  /// (the accountant holds all shard locks). On failure the old
+  /// segments are untouched and appends continue to work.
+  Status Checkpoint(const std::vector<JournalRecord::CheckpointLine>& snapshot);
+
+  /// The balance replayed for `id`, if recovery saw one; consumed by
+  /// the call (each recovered balance is applied to exactly one
+  /// freshly opened ledger).
+  bool TakeRecovered(const std::string& id, RecoveredLedger* out);
+
+  /// True once the active segment has outgrown segment_bytes; cleared
+  /// by a successful Checkpoint. The engine polls this after submits.
+  bool checkpoint_due() const {
+    return checkpoint_due_.load(std::memory_order_relaxed);
+  }
+
+  /// Sticky failure state: OK while the journal can accept appends.
+  Status health() const;
+
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t append_failures = 0;
+    uint64_t fsyncs = 0;
+    uint64_t retries = 0;
+    uint64_t rotations = 0;
+    uint64_t checkpoints = 0;
+    uint64_t recovered_records = 0;  ///< records replayed at Open
+    bool recovered_torn_tail = false;
+    uint64_t next_seq = 0;
+    uint64_t active_bytes = 0;
+    size_t segments = 0;
+    size_t unclaimed_recovered = 0;
+  };
+  Stats stats() const;
+
+  const std::string& dir() const { return options_.dir; }
+
+ private:
+  explicit LedgerJournal(JournalOptions options, JournalIo* io);
+
+  std::string SegmentPath(const std::string& name) const;
+  /// Writes `data` fully with bounded retry/backoff. A failed write
+  /// call leaves an unknown number of bytes on disk (a torn write), so
+  /// each retry first truncates back to `base_offset` and restarts the
+  /// record from its first byte — the file never holds a duplicated
+  /// prefix. `*landed` tracks bytes currently in the file even on
+  /// failure. Note fsync is NOT retried anywhere: a failed fsync may
+  /// silently mark dirty pages clean, so "retry until it reports OK"
+  /// can claim durability that never happened; sync failures go
+  /// straight to the truncate-repair (fresh bytes, meaningful fsync)
+  /// and the charge is refused.
+  Status WriteWithRetry(JournalFile* file, const char* data, size_t n,
+                        uint64_t base_offset, uint64_t seq, size_t* landed)
+      REQUIRES(mu_);
+  /// Creates segment `start_seq` (header written + synced); on success
+  /// replaces the active segment. `compact` additionally deletes every
+  /// prior segment after the swap.
+  Status RotateLocked(uint64_t start_seq, bool compact) REQUIRES(mu_);
+  /// Frames and durably appends one encoded record; on failure
+  /// restores the tail invariant (truncate) or poisons.
+  Status AppendFramedLocked(const JournalRecord& record) REQUIRES(mu_);
+  void Backoff(uint64_t seq, int attempt) const;
+
+  const JournalOptions options_;
+  JournalIo* const io_;
+
+  mutable std::mutex mu_;
+  Status health_ GUARDED_BY(mu_);
+  std::unique_ptr<JournalFile> active_ GUARDED_BY(mu_);
+  std::string active_name_ GUARDED_BY(mu_);
+  uint64_t active_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::vector<std::string> segment_names_ GUARDED_BY(mu_);  // oldest first
+  std::map<std::string, RecoveredLedger> recovered_ GUARDED_BY(mu_);
+  std::string scratch_ GUARDED_BY(mu_);  ///< reused encode buffer
+
+  std::atomic<bool> checkpoint_due_{false};
+
+  // Counters: registered when options.metrics is set, else local
+  // sinks so increments stay unconditional.
+  Counter local_sink_[7];
+  Counter* m_appends_;
+  Counter* m_append_failures_;
+  Counter* m_fsyncs_;
+  Counter* m_retries_;
+  Counter* m_rotations_;
+  Counter* m_checkpoints_;
+  Counter* m_recovered_records_;
+  uint64_t recovered_records_at_open_ = 0;
+  bool recovered_torn_tail_ = false;
+};
+
+}  // namespace blowfish
+
+#endif  // BLOWFISH_ENGINE_LEDGER_JOURNAL_H_

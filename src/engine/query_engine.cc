@@ -65,6 +65,31 @@ QueryEngine::QueryEngine(EngineOptions options)
   // for the ordering guarantee that buys).
   accountant_.SetAuditLog(&telemetry_.audit());
 
+  if (!options_.journal_path.empty()) {
+    JournalOptions jopts;
+    jopts.dir = options_.journal_path;
+    jopts.segment_bytes = options_.journal_segment_bytes;
+    jopts.io_retries = options_.journal_io_retries;
+    jopts.retry_backoff_micros = options_.journal_retry_backoff_micros;
+    jopts.allow_torn_tail = options_.journal_allow_torn_tail;
+    jopts.io = options_.journal_io;
+    jopts.metrics = &telemetry_.metrics();
+    Result<std::unique_ptr<LedgerJournal>> journal =
+        LedgerJournal::Open(std::move(jopts));
+    if (journal.ok()) {
+      journal_ = std::move(journal).ValueOrDie();
+      // From here on every charge is write-ahead journaled before it
+      // commits, and ledgers opened under recovered ids resume their
+      // pre-crash spends (see BudgetAccountant::SetJournal).
+      accountant_.SetJournal(journal_.get());
+    } else {
+      // A constructor cannot return the failure, so the engine fails
+      // closed instead: Admit refuses everything with this status.
+      // QueryEngine::Open surfaces it properly.
+      journal_error_ = journal.status();
+    }
+  }
+
   MetricsRegistry& metrics = telemetry_.metrics();
   m_submits_ = metrics.counter("engine_submits_total");
   m_failures_ = metrics.counter("engine_submit_failures_total");
@@ -114,6 +139,43 @@ QueryEngine::QueryEngine(EngineOptions options)
   metrics.gauge_callback("engine_audit_events_dropped", [this] {
     return static_cast<double>(telemetry_.audit().dropped());
   });
+  // Short alias for the drop counter: events lost to ring wrap-around
+  // are exactly the spends a JSONL export can no longer replay, so
+  // dashboards alert on this name (nonzero = widen the ring or attach
+  // a sink; the crash journal is unaffected — it never drops).
+  metrics.gauge_callback("engine_audit_dropped", [this] {
+    return static_cast<double>(telemetry_.audit().dropped());
+  });
+}
+
+Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(EngineOptions options) {
+  std::unique_ptr<QueryEngine> engine(new QueryEngine(std::move(options)));
+  BF_RETURN_NOT_OK(engine->journal_error_);
+  return engine;
+}
+
+Status QueryEngine::durability_health() const {
+  if (!journal_error_.ok()) return journal_error_;
+  if (journal_ != nullptr) return journal_->health();
+  return Status::OK();
+}
+
+Status QueryEngine::CheckpointJournal() {
+  if (journal_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine has no journal (EngineOptions::journal_path unset)");
+  }
+  return accountant_.WriteCheckpoint();
+}
+
+void QueryEngine::MaybeCheckpointJournal() {
+  if (journal_ == nullptr || !options_.journal_auto_checkpoint ||
+      !journal_->checkpoint_due()) {
+    return;
+  }
+  // Best-effort: a failed compaction leaves more segments on disk but
+  // never loses a record; the next due submit retries.
+  (void)accountant_.WriteCheckpoint();
 }
 
 // Spreads precompute keys (consecutive versions) across shards.
@@ -707,6 +769,7 @@ Result<std::unique_ptr<ChunkCursor>> QueryEngine::AdmitStream(
   m_streams_->Add(1);
   Result<Admission> admitted = Admit(request, trace);
   if (!admitted.ok()) return admitted.status();
+  MaybeCheckpointJournal();
   // The release stage covers the noise draw at cursor construction
   // (chunk production afterwards is pure post-processing, timed by
   // the stream digests instead).
@@ -729,6 +792,12 @@ Result<std::shared_ptr<ResultStream>> QueryEngine::SubmitStream(
 
 Result<QueryEngine::Admission> QueryEngine::Admit(const QueryRequest& request,
                                                   RequestTrace* trace) {
+  // Fail closed before any work: an engine whose journal failed to
+  // open must refuse admission outright — serving charges it cannot
+  // journal would silently void the durability guarantee. (Runtime
+  // poisoning is enforced inside Charge by the journal itself.)
+  if (!journal_error_.ok()) return journal_error_;
+
   RequestShape shape;
   {
     TraceStageTimer timer(trace, TraceStage::kValidate);
@@ -830,6 +899,7 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request,
   m_submit_latency_->Record(std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - start)
                                 .count());
+  MaybeCheckpointJournal();
   return result;
 }
 

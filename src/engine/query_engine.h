@@ -133,6 +133,35 @@ struct EngineOptions {
   /// Events retained by the ε-audit ring (spends and refusals, with
   /// post-charge balances). 0 disables audit capture entirely.
   size_t audit_log_capacity = 4096;
+
+  // ---- durability knobs (see engine/ledger_journal.h) ----
+
+  /// Directory of the crash-safe ε-spend journal. Empty (default)
+  /// keeps the historical in-memory-only accounting. Non-empty:
+  /// recovery runs at engine construction (replaying the journal to
+  /// bit-exact ledger balances; ledgers re-opened under recovered ids
+  /// resume pre-crash spends), every charge is write-ahead journaled
+  /// and fsync'd before it commits, and a charge whose record cannot
+  /// be made durable is refused with kUnavailableDurability — the
+  /// engine fails closed. Prefer QueryEngine::Open over the plain
+  /// constructor so recovery failures surface as a Status.
+  std::string journal_path;
+  /// Active-segment size triggering journal rotation + checkpoint.
+  size_t journal_segment_bytes = 4u << 20;
+  /// Bounded retry budget for transient journal I/O errors.
+  int journal_io_retries = 4;
+  /// Base backoff between journal I/O retries (deterministic jitter).
+  uint32_t journal_retry_backoff_micros = 200;
+  /// Recovery: truncate a crash-torn final record instead of refusing
+  /// startup. Mid-journal corruption and seq gaps refuse regardless.
+  bool journal_allow_torn_tail = false;
+  /// Checkpoint + compact the journal automatically when it flags
+  /// itself due (runs after a submit, under all accountant shard
+  /// locks). Off: the caller drives CheckpointJournal() itself.
+  bool journal_auto_checkpoint = true;
+  /// Test seam: pluggable journal I/O (fault injection; not owned).
+  /// Null uses POSIX.
+  JournalIo* journal_io = nullptr;
 };
 
 /// \brief One query: a linear workload against a registered policy,
@@ -197,6 +226,28 @@ struct BatchOptions {
 class QueryEngine {
  public:
   explicit QueryEngine(EngineOptions options = EngineOptions());
+
+  /// Constructs an engine, surfacing journal recovery failure as a
+  /// Status. The plain constructor cannot report one, so it instead
+  /// leaves the engine *poisoned*: every Admit refuses with the
+  /// recovery error and no charge is ever admitted unjournaled. Use
+  /// this factory whenever `options.journal_path` is set.
+  static Result<std::unique_ptr<QueryEngine>> Open(EngineOptions options);
+
+  /// OK when charges can be made durable: no journal configured, or a
+  /// journal that opened cleanly and is not poisoned. The recovery
+  /// error (construction) or the sticky kUnavailableDurability
+  /// (poisoned at runtime) otherwise.
+  Status durability_health() const;
+
+  /// Forces a journal checkpoint + compaction now (snapshots every
+  /// ledger under all accountant shard locks). kInvalidArgument when
+  /// the engine has no journal.
+  Status CheckpointJournal();
+
+  /// The crash-safe spend journal, or null when durability is off
+  /// (stats and tests).
+  const LedgerJournal* journal() const { return journal_.get(); }
 
   /// Publishes `policy` and the histogram it protects; `epsilon_cap`
   /// bounds total spend across all sessions for the life of the entry.
@@ -355,6 +406,12 @@ class QueryEngine {
   /// `trace` when it is active.
   Result<Admission> Admit(const QueryRequest& request, RequestTrace* trace);
 
+  /// Post-release housekeeping: when the journal has flagged a
+  /// checkpoint due (and auto-checkpointing is on), snapshot + compact.
+  /// Best-effort — a failed compaction leaves the journal longer,
+  /// never wrong.
+  void MaybeCheckpointJournal();
+
   /// Draws the submit's noise (its private rng stream) and wraps the
   /// incremental remainder of the release in a cursor; mirrors
   /// Release()'s dispatch (grid fast path / summed-area / dense
@@ -401,6 +458,16 @@ class QueryEngine {
   /// pointer to the audit log and appends during Charge, so the
   /// telemetry bundle must be destroyed after it.
   EngineTelemetry telemetry_;
+  /// Crash-safe spend journal; null when options_.journal_path is
+  /// empty. Declared after the telemetry bundle (its counters live in
+  /// the registry) and before the accountant (which holds a raw
+  /// pointer and appends during Charge), so destruction runs
+  /// accountant -> journal -> telemetry.
+  std::unique_ptr<LedgerJournal> journal_;
+  /// Set when the plain constructor could not open/recover the
+  /// journal: the engine is poisoned and Admit refuses every request
+  /// with this status (fail closed — never serve unjournaled charges).
+  Status journal_error_;
   PolicyRegistry registry_;
   PlanCache plan_cache_;
   BudgetAccountant accountant_;

@@ -377,9 +377,17 @@ void EpsilonAuditLog::AppendJsonl(const AuditEvent& event, std::string* out) {
   out->append(event.charged ? "\"charged\"" : "\"refused\"");
   if (!event.charged) {
     out->append(",\"refusal\":");
-    out->append(event.refusal == StatusCode::kOutOfRange
-                    ? "\"budget_exhausted\""
-                    : "\"ledger_closed\"");
+    switch (event.refusal) {
+      case StatusCode::kOutOfRange:
+        out->append("\"budget_exhausted\"");
+        break;
+      case StatusCode::kUnavailableDurability:
+        out->append("\"durability_unavailable\"");
+        break;
+      default:
+        out->append("\"ledger_closed\"");
+        break;
+    }
   }
   out->append(",\"eps\":");
   AppendDouble(event.epsilon, out);
@@ -413,6 +421,56 @@ std::string EpsilonAuditLog::ExportJsonl() const {
     AppendJsonl(event, &out);
   }
   return out;
+}
+
+JsonlReplayReport EpsilonAuditLog::ReplayJsonl(std::string_view jsonl) {
+  JsonlReplayReport report;
+  static constexpr std::string_view kSeqPrefix = "{\"seq\":";
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < jsonl.size()) {
+    ++line_no;
+    size_t eol = jsonl.find('\n', pos);
+    if (eol == std::string_view::npos) eol = jsonl.size();
+    const std::string_view line = jsonl.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    // AppendJsonl always emits seq as the first field, so a bounded
+    // prefix parse is exact — no JSON parser needed.
+    uint64_t seq = 0;
+    size_t digits = 0;
+    if (line.substr(0, kSeqPrefix.size()) == kSeqPrefix) {
+      size_t i = kSeqPrefix.size();
+      while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        seq = seq * 10 + static_cast<uint64_t>(line[i] - '0');
+        ++i;
+        ++digits;
+      }
+    }
+    if (digits == 0) {
+      report.errors.push_back("line " + std::to_string(line_no) +
+                              ": malformed event (no leading seq field)");
+      continue;
+    }
+    ++report.events;
+    if (report.first_seq == 0) report.first_seq = seq;
+    if (report.last_seq != 0) {
+      if (seq <= report.last_seq) {
+        report.errors.push_back("line " + std::to_string(line_no) + ": seq " +
+                                std::to_string(seq) +
+                                " not after previous seq " +
+                                std::to_string(report.last_seq) +
+                                " (duplicate or out-of-order event)");
+        continue;
+      }
+      if (seq != report.last_seq + 1) {
+        ++report.seq_gaps;
+        report.missing_events += seq - report.last_seq - 1;
+      }
+    }
+    report.last_seq = seq;
+  }
+  return report;
 }
 
 // ------------------------------------------------------------- facade

@@ -58,6 +58,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -304,8 +305,9 @@ struct AuditEvent {
   uint64_t seq = 0;         ///< assigned at append; dense, starts at 1
   int64_t wall_micros = 0;  ///< system clock at append
   bool charged = false;     ///< spend (true) or refusal (false)
-  /// kOutOfRange (budget exhausted) or kNotFound (stale/closed
-  /// ledger) on refusals; kOk on spends.
+  /// kOutOfRange (budget exhausted), kNotFound (stale/closed ledger),
+  /// or kUnavailableDurability (spend record could not be journaled)
+  /// on refusals; kOk on spends.
   StatusCode refusal = StatusCode::kOk;
   double epsilon = 0.0;  ///< ε requested; charged to every ledger iff
                          ///< `charged`
@@ -317,6 +319,21 @@ struct AuditEvent {
   std::shared_ptr<const std::string> context;
   LedgerLine ledgers[kMaxLedgers];
   size_t num_ledgers = 0;
+};
+
+/// \brief Outcome of replaying a JSONL audit export: how many events
+/// the stream carries, the seq range, and whether the dense-seq
+/// invariant held across it.
+struct JsonlReplayReport {
+  uint64_t events = 0;          ///< well-formed event lines seen
+  uint64_t first_seq = 0;       ///< 0 if the stream had no events
+  uint64_t last_seq = 0;        ///< 0 if the stream had no events
+  uint64_t seq_gaps = 0;        ///< discontinuities (ring drops)
+  uint64_t missing_events = 0;  ///< events the gaps swallowed
+  /// Malformed lines and seq regressions (duplicate / out-of-order).
+  std::vector<std::string> errors;
+
+  bool clean() const { return seq_gaps == 0 && errors.empty(); }
 };
 
 /// \brief Bounded ring of audit events with a pluggable sink and a
@@ -349,6 +366,14 @@ class EpsilonAuditLog {
   /// One JSON object per line, seq order, doubles exact (%.17g).
   std::string ExportJsonl() const;
   static void AppendJsonl(const AuditEvent& event, std::string* out);
+
+  /// Walks a JSONL export and verifies the seq chain. Audit seqs are
+  /// dense, so any jump means the ring wrapped between export windows
+  /// (events were dropped — the `engine_audit_dropped` metric counts
+  /// the same loss live); a duplicate or backwards seq means the
+  /// stream was corrupted or stitched wrong, and is reported as an
+  /// error rather than a gap.
+  static JsonlReplayReport ReplayJsonl(std::string_view jsonl);
 
  private:
   const size_t capacity_;

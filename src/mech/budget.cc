@@ -64,6 +64,24 @@ Status PrivacyBudget::SpendTagged(double epsilon, std::string_view workload,
   return Status::OK();
 }
 
+Status PrivacyBudget::RestoreSpent(double spent_epsilon) {
+  if (spent_epsilon < 0.0) {
+    return Status::InvalidArgument("recovered spend must be >= 0");
+  }
+  if (!ledger_.empty() || spent_ != 0.0) {
+    return Status::InvalidArgument(
+        "RestoreSpent needs a fresh ledger; this one already recorded " +
+        std::to_string(ledger_.size()) + " spend(s)");
+  }
+  if (spent_epsilon == 0.0) return Status::OK();
+  // Assignment, not accumulation: the journal replay already performed
+  // the ordered `spent += ε` chain, so copying its result preserves
+  // bit-exactness with the pre-crash ledger.
+  spent_ = spent_epsilon;
+  ledger_.push_back(Entry{spent_epsilon, "recovered-from-journal", nullptr, 1});
+  return Status::OK();
+}
+
 Status PrivacyBudget::SpendParallel(double epsilon, size_t count,
                                     const std::string& label) {
   if (count == 0) {

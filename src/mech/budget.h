@@ -55,6 +55,16 @@ class PrivacyBudget {
                      std::shared_ptr<const std::string> context,
                      uint32_t parallel_count = 1);
 
+  /// Journal-replay restore: sets the spent total to exactly
+  /// `spent_epsilon` (bit-for-bit the value the write-ahead journal
+  /// replayed to) as a single "recovered" ledger entry. Unlike Spend
+  /// this may leave the ledger exhausted past its cap — a journal that
+  /// outlived a cap reduction must still pin every recorded spend, so
+  /// recovery never refills a budget. Only meaningful on a fresh
+  /// ledger (no prior spends); fails with kInvalidArgument otherwise
+  /// or when `spent_epsilon` is negative.
+  Status RestoreSpent(double spent_epsilon);
+
   double total() const { return total_; }
   double spent() const { return spent_; }
   double remaining() const { return total_ - spent_; }

@@ -1,0 +1,638 @@
+// Crash-safe ε-ledger journal tests: wire-format recovery edges
+// (torn tails, corruption, seq gaps, checkpoint+tail equivalence),
+// fault-injected append/fsync failures against the production retry
+// and fail-closed paths, and end-to-end engine recovery — every
+// charge the engine admits must be covered by a durable record, and
+// a journal that cannot make a record durable must refuse the charge
+// without drawing noise.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/ledger_journal.h"
+#include "engine/query_engine.h"
+#include "workload/builders.h"
+
+namespace blowfish {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/bfjournal.XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup; stray files are in /tmp anyway.
+    JournalScanReport report;
+    if (LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok()) {
+      for (const auto& segment : report.segments) {
+        (void)PosixJournalIo()->Remove(dir_ + "/" + segment.name);
+      }
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  JournalOptions Options() {
+    JournalOptions options;
+    options.dir = dir_;
+    options.retry_backoff_micros = 0;  // keep fault tests fast
+    return options;
+  }
+
+  std::string dir_;
+};
+
+JournalRecord Spend(uint64_t seq, const std::string& id, double epsilon,
+                    double remaining) {
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kSpend;
+  rec.seq = seq;
+  rec.epsilon = epsilon;
+  rec.workload = "w";
+  rec.ledgers.push_back(JournalRecord::Line{id, remaining});
+  return rec;
+}
+
+// Writes a raw segment file from already-framed body bytes.
+void WriteSegment(const std::string& dir, uint64_t start_seq,
+                  const std::string& body) {
+  const std::string path = dir + "/" + JournalSegmentName(start_seq);
+  std::string bytes = JournalSegmentHeader(start_seq) + body;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::string Frame(const JournalRecord& rec) {
+  std::string payload;
+  JournalEncodeRecord(rec, &payload);
+  std::string framed;
+  JournalFrameRecord(payload, &framed);
+  return framed;
+}
+
+Status AppendSpend(LedgerJournal* journal, const std::string& id,
+                   double epsilon, double remaining) {
+  LedgerJournal::ChargeLine line;
+  line.id = &id;
+  line.remaining = remaining;
+  return journal->AppendCharge(/*charged=*/true, StatusCode::kOk, epsilon, 1,
+                               "w", nullptr, &line, 1);
+}
+
+// --------------------------------------------------- clean round trips
+
+TEST_F(JournalTest, FreshDirectoryOpensEmpty) {
+  Result<std::unique_ptr<LedgerJournal>> journal = LedgerJournal::Open(Options());
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  const LedgerJournal::Stats stats = (*journal)->stats();
+  EXPECT_EQ(stats.next_seq, 1u);
+  EXPECT_EQ(stats.recovered_records, 0u);
+  EXPECT_EQ(stats.segments, 1u);  // header-only active segment
+  EXPECT_TRUE((*journal)->health().ok());
+}
+
+TEST_F(JournalTest, ReplayIsBitExactAndConsumeOnce) {
+  const std::string alice = "session/alice";
+  const std::string cap = "policy/p";
+  double spent_alice = 0.0;
+  double spent_cap = 0.0;
+  {
+    auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+    for (int i = 0; i < 17; ++i) {
+      const double eps = 0.01 * (i + 1);
+      spent_alice += eps;
+      spent_cap += eps;
+      ASSERT_TRUE(AppendSpend(journal.get(), alice, eps, 3.0 - spent_alice).ok());
+      ASSERT_TRUE(AppendSpend(journal.get(), cap, eps, 4.0 - spent_cap).ok());
+    }
+  }
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  EXPECT_EQ(journal->stats().recovered_records, 34u);
+  RecoveredLedger led;
+  ASSERT_TRUE(journal->TakeRecovered(alice, &led));
+  // Replay performs the same `spent += ε` chain in the same order, so
+  // the recovered total is the identical double, not merely close.
+  EXPECT_EQ(led.spent, spent_alice);
+  EXPECT_EQ(led.records, 17u);
+  EXPECT_FALSE(journal->TakeRecovered(alice, &led));  // consumed
+  ASSERT_TRUE(journal->TakeRecovered(cap, &led));
+  EXPECT_EQ(led.spent, spent_cap);
+  // New appends continue the seq chain past the replayed records.
+  EXPECT_EQ(journal->stats().next_seq, 35u);
+  ASSERT_TRUE(AppendSpend(journal.get(), alice, 0.5, 0.0).ok());
+}
+
+TEST_F(JournalTest, RefusalsReplayToZeroSpend) {
+  const std::string bob = "session/bob";
+  {
+    auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+    LedgerJournal::ChargeLine line;
+    line.id = &bob;
+    line.remaining = 0.4;
+    ASSERT_TRUE(journal
+                    ->AppendCharge(/*charged=*/false, StatusCode::kOutOfRange,
+                                   1.0, 1, "greedy", nullptr, &line, 1)
+                    .ok());
+  }
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+  EXPECT_EQ(report.refusals, 1u);
+  EXPECT_EQ(report.spends, 0u);
+
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  // A refusal spends nothing, so replay leaves no balance to restore —
+  // the ledger re-opens at its full budget.
+  RecoveredLedger led;
+  EXPECT_FALSE(journal->TakeRecovered(bob, &led));
+}
+
+TEST_F(JournalTest, HeaderOnlyTrailingSegmentIsLegal) {
+  WriteSegment(dir_, 1, "");
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  EXPECT_EQ(journal->stats().next_seq, 1u);
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.1, 0.9).ok());
+}
+
+// ------------------------------------------------------ torn & corrupt
+
+TEST_F(JournalTest, TornTailRefusedWithoutFlagRepairedWithIt) {
+  const std::string good1 = Frame(Spend(1, "session/a", 0.25, 0.75));
+  const std::string good2 = Frame(Spend(2, "session/a", 0.25, 0.5));
+  const std::string torn = Frame(Spend(3, "session/a", 0.25, 0.25));
+  WriteSegment(dir_, 1,
+               good1 + good2 + torn.substr(0, torn.size() - 5));
+
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_TRUE(report.errors.empty());
+  EXPECT_EQ(report.records, 2u);
+
+  Result<std::unique_ptr<LedgerJournal>> refused = LedgerJournal::Open(Options());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().ToString().find("allow_torn_tail"),
+            std::string::npos)
+      << refused.status().ToString();
+
+  JournalOptions options = Options();
+  options.allow_torn_tail = true;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+  EXPECT_TRUE(journal->stats().recovered_torn_tail);
+  RecoveredLedger led;
+  ASSERT_TRUE(journal->TakeRecovered("session/a", &led));
+  EXPECT_EQ(led.records, 2u);
+  EXPECT_EQ(led.spent, 0.25 + 0.25);
+  // The tear was truncated out of the file on disk.
+  const std::string bytes =
+      PosixJournalIo()->ReadAll(dir_ + "/" + JournalSegmentName(1)).ValueOrDie();
+  EXPECT_EQ(bytes.size(), report.torn_good_bytes);
+  // And the journal keeps appending where the verified tail ended.
+  EXPECT_EQ(journal->stats().next_seq, 3u);
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.25, 0.25).ok());
+}
+
+TEST_F(JournalTest, MidFileCorruptionAlwaysRefuses) {
+  const std::string good1 = Frame(Spend(1, "session/a", 0.25, 0.75));
+  std::string bad = Frame(Spend(2, "session/a", 0.25, 0.5));
+  bad[bad.size() / 2] ^= 0x40;  // damage payload under an old CRC
+  const std::string good3 = Frame(Spend(3, "session/a", 0.25, 0.25));
+  WriteSegment(dir_, 1, good1 + bad + good3);
+
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+  EXPECT_FALSE(report.errors.empty());
+  EXPECT_FALSE(report.torn_tail);  // data follows the damage: not a tear
+
+  JournalOptions options = Options();
+  options.allow_torn_tail = true;  // must not help
+  Result<std::unique_ptr<LedgerJournal>> refused = LedgerJournal::Open(options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().ToString().find("ledger_fsck"), std::string::npos);
+}
+
+TEST_F(JournalTest, SeqGapAndDuplicateRefuse) {
+  {
+    WriteSegment(dir_, 1, Frame(Spend(1, "session/a", 0.1, 0.9)) +
+                              Frame(Spend(3, "session/a", 0.1, 0.8)));
+    JournalScanReport report;
+    ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+    EXPECT_FALSE(report.errors.empty());
+    EXPECT_FALSE(LedgerJournal::Open(Options()).ok());
+    ASSERT_TRUE(
+        PosixJournalIo()->Remove(dir_ + "/" + JournalSegmentName(1)).ok());
+  }
+  WriteSegment(dir_, 1, Frame(Spend(1, "session/a", 0.1, 0.9)) +
+                            Frame(Spend(1, "session/a", 0.1, 0.8)));
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+  EXPECT_FALSE(report.errors.empty());
+  EXPECT_FALSE(LedgerJournal::Open(Options()).ok());
+}
+
+// ----------------------------------------------- checkpoint/compaction
+
+TEST_F(JournalTest, CheckpointCompactsAndReplayMatchesStraightLine) {
+  const std::string id = "session/a";
+  // Straight-line journal: 8 spends, no checkpoint.
+  double straight = 0.0;
+  for (int i = 0; i < 8; ++i) straight += 0.01 * (i + 1);
+
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  double spent = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double eps = 0.01 * (i + 1);
+    spent += eps;
+    ASSERT_TRUE(AppendSpend(journal.get(), id, eps, 1.0 - spent).ok());
+  }
+  std::vector<JournalRecord::CheckpointLine> snapshot;
+  snapshot.push_back(JournalRecord::CheckpointLine{id, 1.0, spent});
+  ASSERT_TRUE(journal->Checkpoint(snapshot).ok());
+  EXPECT_FALSE(journal->checkpoint_due());
+  for (int i = 4; i < 8; ++i) {
+    const double eps = 0.01 * (i + 1);
+    spent += eps;
+    ASSERT_TRUE(AppendSpend(journal.get(), id, eps, 1.0 - spent).ok());
+  }
+  EXPECT_EQ(journal->stats().segments, 1u);  // compacted
+  journal.reset();
+
+  auto reopened = LedgerJournal::Open(Options()).ValueOrDie();
+  RecoveredLedger led;
+  ASSERT_TRUE(reopened->TakeRecovered(id, &led));
+  // checkpoint(spent after 4) + tail(4 more) replays to the same
+  // double as never checkpointing at all.
+  EXPECT_EQ(led.spent, straight);
+  ASSERT_TRUE(led.has_total);
+  EXPECT_EQ(led.total, 1.0);
+}
+
+TEST_F(JournalTest, CheckpointCarriesUnclaimedRecoveredBalances) {
+  const std::string orphan = "session/orphan";
+  {
+    auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+    ASSERT_TRUE(AppendSpend(journal.get(), orphan, 0.3, 0.7).ok());
+  }
+  {
+    auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+    // Nobody re-opened `orphan` (no TakeRecovered) — compaction must
+    // still carry its spend forward.
+    ASSERT_TRUE(journal->Checkpoint({}).ok());
+  }
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  RecoveredLedger led;
+  ASSERT_TRUE(journal->TakeRecovered(orphan, &led));
+  EXPECT_EQ(led.spent, 0.3);
+  EXPECT_FALSE(led.has_total);  // cap was never known
+}
+
+// ------------------------------------------------------ injected faults
+
+TEST_F(JournalTest, TransientAppendFailureIsRiddenOut) {
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo io(PosixJournalIo(), &plan);
+  JournalOptions options = Options();
+  options.io = &io;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+
+  // Fail the next two appends, leaving 3 torn bytes each time —
+  // within the retry budget (4), and the retries must first truncate
+  // the torn bytes back out or replay sees garbage.
+  plan.torn_bytes_on_failure = 3;
+  plan.fail_append_count = 2;
+  plan.fail_append_at = plan.append_calls.load() + 1;
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.25, 0.75).ok());
+  EXPECT_GE(journal->stats().retries, 2u);
+  EXPECT_EQ(journal->stats().append_failures, 0u);
+  journal.reset();
+
+  auto reopened = LedgerJournal::Open(Options()).ValueOrDie();
+  RecoveredLedger led;
+  ASSERT_TRUE(reopened->TakeRecovered("session/a", &led));
+  EXPECT_EQ(led.records, 1u);  // exactly once, no duplicated frames
+  EXPECT_EQ(led.spent, 0.25);
+}
+
+TEST_F(JournalTest, ShortWritesAreProgressNotFaults) {
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo io(PosixJournalIo(), &plan);
+  JournalOptions options = Options();
+  options.io = &io;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+
+  plan.short_append_at = plan.append_calls.load() + 1;
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.25, 0.75).ok());
+  EXPECT_EQ(journal->stats().retries, 0u);  // no retry budget consumed
+  journal.reset();
+
+  auto reopened = LedgerJournal::Open(Options()).ValueOrDie();
+  RecoveredLedger led;
+  ASSERT_TRUE(reopened->TakeRecovered("session/a", &led));
+  EXPECT_EQ(led.records, 1u);
+}
+
+TEST_F(JournalTest, DeadDiskFailsClosedAndStaysUsable) {
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo io(PosixJournalIo(), &plan);
+  JournalOptions options = Options();
+  options.io = &io;
+  options.io_retries = 2;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.1, 0.9).ok());
+
+  plan.fail_append_at = plan.append_calls.load() + 1;  // unbounded count
+  Status refused = AppendSpend(journal.get(), "session/a", 0.1, 0.8);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailableDurability);
+  EXPECT_EQ(journal->stats().append_failures, 1u);
+  // The give-up truncated the partial record back out: the journal is
+  // refusing charges, not poisoned, and works once the disk returns.
+  EXPECT_TRUE(journal->health().ok());
+  plan.fail_append_at = 0;
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.1, 0.8).ok());
+  journal.reset();
+
+  auto reopened = LedgerJournal::Open(Options()).ValueOrDie();
+  RecoveredLedger led;
+  ASSERT_TRUE(reopened->TakeRecovered("session/a", &led));
+  EXPECT_EQ(led.records, 2u);  // the refused spend left no trace
+  EXPECT_EQ(led.spent, 0.1 + 0.1);
+}
+
+TEST_F(JournalTest, FsyncFailureRefusesWithoutRetryingSync) {
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo io(PosixJournalIo(), &plan);
+  JournalOptions options = Options();
+  options.io = &io;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+
+  const uint64_t syncs_before = plan.sync_calls.load();
+  plan.fail_sync_count = 1;
+  plan.fail_sync_at = syncs_before + 1;
+  Status refused = AppendSpend(journal.get(), "session/a", 0.1, 0.9);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailableDurability);
+  // One failed data sync + one repair sync — never "retry fsync until
+  // it says yes" (a failed fsync can mark dirty pages clean; a later
+  // success would claim durability that never happened).
+  EXPECT_EQ(plan.sync_calls.load(), syncs_before + 2);
+  EXPECT_TRUE(journal->health().ok());
+  ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.1, 0.9).ok());
+}
+
+TEST_F(JournalTest, UnrepairableFailurePoisonsEveryLaterCharge) {
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo io(PosixJournalIo(), &plan);
+  JournalOptions options = Options();
+  options.io = &io;
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+
+  // Data fsync fails AND the repair fsync fails: the tail state is
+  // unknowable, so the journal must go sticky-unavailable.
+  plan.fail_sync_count = 2;
+  plan.fail_sync_at = plan.sync_calls.load() + 1;
+  Status refused = AppendSpend(journal.get(), "session/a", 0.1, 0.9);
+  ASSERT_FALSE(refused.ok());
+  ASSERT_FALSE(journal->health().ok());
+  EXPECT_EQ(journal->health().code(), StatusCode::kUnavailableDurability);
+
+  // Disk is "fixed" now; the poisoned journal must still refuse.
+  plan.fail_sync_at = 0;
+  Status still = AppendSpend(journal.get(), "session/a", 0.1, 0.9);
+  ASSERT_FALSE(still.ok());
+  EXPECT_EQ(still.code(), StatusCode::kUnavailableDurability);
+}
+
+// ----------------------------------------------------- engine-level
+
+Vector Ramp(size_t n, size_t mod) {
+  Vector x(n, 0.0);
+  for (size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % mod);
+  return x;
+}
+
+bool BitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST_F(JournalTest, EngineRecoversBalancesBitExact) {
+  EngineOptions options;
+  options.seed = 7;
+  options.journal_path = dir_;
+  double session_remaining = 0.0;
+  double policy_remaining = 0.0;
+  {
+    auto engine = QueryEngine::Open(options).ValueOrDie();
+    ASSERT_TRUE(engine->RegisterPolicy("salaries", LinePolicy(16),
+                                       Ramp(16, 13), 4.0)
+                    .ok());
+    ASSERT_TRUE(engine->OpenSession("alice", 3.0).ok());
+    QueryRequest request;
+    request.session = "alice";
+    request.policy = "salaries";
+    request.workload = IdentityWorkload(16);
+    for (int i = 0; i < 9; ++i) {
+      request.epsilon = 0.01 + 0.001 * i;
+      ASSERT_TRUE(engine->Submit(request).ok());
+    }
+    session_remaining = engine->SessionRemaining("alice").ValueOrDie();
+    policy_remaining = engine->PolicyRemaining("salaries").ValueOrDie();
+  }
+  auto engine = QueryEngine::Open(options).ValueOrDie();
+  EXPECT_GT(engine->journal()->stats().recovered_records, 0u);
+  ASSERT_TRUE(
+      engine->RegisterPolicy("salaries", LinePolicy(16), Ramp(16, 13), 4.0)
+          .ok());
+  ASSERT_TRUE(engine->OpenSession("alice", 3.0).ok());
+  EXPECT_TRUE(BitEqual(engine->SessionRemaining("alice").ValueOrDie(),
+                       session_remaining));
+  EXPECT_TRUE(BitEqual(engine->PolicyRemaining("salaries").ValueOrDie(),
+                       policy_remaining));
+  EXPECT_TRUE(engine->durability_health().ok());
+}
+
+TEST_F(JournalTest, EngineJournalFailureRefusesChargeAndDrawsNoNoise) {
+  // Twin engines, same seed. A skips the doomed submit entirely; B
+  // attempts it against a dead journal and must be refused. If the
+  // refusal drew any noise, B's later answers would diverge from A's.
+  JournalFaultPlan plan;
+  FaultInjectingJournalIo faulty(PosixJournalIo(), &plan);
+  auto run = [&](bool inject_failure, const std::string& journal_dir,
+                 JournalIo* io, Vector* final_answers,
+                 double* remaining) -> Status {
+    EngineOptions options;
+    options.seed = 20150831;
+    options.journal_path = journal_dir;
+    options.journal_io = io;
+    options.journal_io_retries = 1;
+    options.journal_retry_backoff_micros = 0;
+    auto opened = QueryEngine::Open(options);
+    BF_RETURN_NOT_OK(opened.status());
+    QueryEngine& engine = **opened;
+    BF_RETURN_NOT_OK(engine.RegisterPolicy(
+        "mobility", GridPolicy(DomainShape({8, 8}), 2), Ramp(64, 17), 8.0));
+    BF_RETURN_NOT_OK(engine.OpenSession("alice", 4.0));
+
+    // The range path draws per-submit reconstruction noise, so answer
+    // equality across the twins is sensitive to any stray draw.
+    QueryRequest scan;
+    scan.session = "alice";
+    scan.policy = "mobility";
+    scan.ranges = RangeWorkload("probe", DomainShape({8, 8}),
+                                {{{0, 0}, {3, 3}}, {{2, 1}, {7, 7}}});
+    scan.epsilon = 0.11;
+    Result<QueryResult> first = engine.Submit(scan);
+    BF_RETURN_NOT_OK(first.status());
+
+    if (inject_failure) {
+      plan.fail_append_at = plan.append_calls.load() + 1;
+      QueryRequest doomed = scan;
+      doomed.epsilon = 0.07;
+      Result<QueryResult> refused = engine.Submit(doomed);
+      if (refused.ok()) {
+        return Status::Internal("doomed submit was admitted");
+      }
+      if (refused.status().code() != StatusCode::kUnavailableDurability) {
+        return refused.status();
+      }
+      plan.fail_append_at = 0;
+    }
+
+    QueryRequest probe = scan;
+    probe.epsilon = 0.13;
+    Result<QueryResult> last = engine.Submit(probe);
+    BF_RETURN_NOT_OK(last.status());
+    *final_answers = (*last).answers;
+    *remaining = engine.SessionRemaining("alice").ValueOrDie();
+    return Status::OK();
+  };
+
+  char tmpl[] = "/tmp/bfjournal.XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string twin_dir = tmpl;
+
+  Vector answers_a, answers_b;
+  double remaining_a = 0.0, remaining_b = 0.0;
+  ASSERT_TRUE(
+      run(false, dir_, PosixJournalIo(), &answers_a, &remaining_a).ok());
+  ASSERT_TRUE(run(true, twin_dir, &faulty, &answers_b, &remaining_b).ok());
+
+  ASSERT_EQ(answers_a.size(), answers_b.size());
+  for (size_t i = 0; i < answers_a.size(); ++i) {
+    EXPECT_TRUE(BitEqual(answers_a[i], answers_b[i])) << "answer " << i;
+  }
+  // The refused charge spent nothing either.
+  EXPECT_TRUE(BitEqual(remaining_a, remaining_b));
+
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(twin_dir, PosixJournalIo(), &report).ok());
+  for (const auto& segment : report.segments) {
+    (void)PosixJournalIo()->Remove(twin_dir + "/" + segment.name);
+  }
+  ::rmdir(twin_dir.c_str());
+}
+
+TEST_F(JournalTest, CorruptJournalPoisonsEngineFailClosed) {
+  // A journal Open() refuses must poison a plainly-constructed engine:
+  // every Admit refuses, and the Open factory surfaces the error.
+  std::string garbage(64, '\xee');
+  const std::string path = dir_ + "/" + JournalSegmentName(1);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(garbage.data(), 1, garbage.size(), f);
+  std::fclose(f);
+  // Garbage + a healthy later segment = mid-journal corruption (the
+  // bad header is not the last segment, so it cannot be a tear).
+  WriteSegment(dir_, 2, Frame(Spend(2, "session/a", 0.1, 0.9)));
+
+  EngineOptions options;
+  options.journal_path = dir_;
+  EXPECT_FALSE(QueryEngine::Open(options).ok());
+
+  QueryEngine engine(options);
+  EXPECT_FALSE(engine.durability_health().ok());
+  ASSERT_TRUE(
+      engine.RegisterPolicy("salaries", LinePolicy(16), Ramp(16, 13), 4.0)
+          .ok());
+  ASSERT_TRUE(engine.OpenSession("alice", 3.0).ok());
+  QueryRequest request;
+  request.session = "alice";
+  request.policy = "salaries";
+  request.workload = IdentityWorkload(16);
+  request.epsilon = 0.01;
+  Result<QueryResult> refused = engine.Submit(request);
+  ASSERT_FALSE(refused.ok());
+
+  (void)PosixJournalIo()->Remove(path);
+  (void)PosixJournalIo()->Remove(dir_ + "/" + JournalSegmentName(2));
+}
+
+// ------------------------------------------------- audit JSONL replay
+
+TEST(AuditJsonlTest, DurabilityRefusalHasItsOwnLabel) {
+  AuditEvent event;
+  event.seq = 1;
+  event.charged = false;
+  event.refusal = StatusCode::kUnavailableDurability;
+  event.epsilon = 0.25;
+  std::string line;
+  EpsilonAuditLog::AppendJsonl(event, &line);
+  EXPECT_NE(line.find("\"durability_unavailable\""), std::string::npos) << line;
+}
+
+TEST(AuditJsonlTest, ReplayDetectsGapsAndRegressions) {
+  auto make = [](uint64_t seq) {
+    AuditEvent event;
+    event.seq = seq;
+    event.charged = true;
+    event.epsilon = 0.1;
+    return event;
+  };
+  std::string jsonl;
+  EpsilonAuditLog::AppendJsonl(make(1), &jsonl);
+  EpsilonAuditLog::AppendJsonl(make(2), &jsonl);
+  EpsilonAuditLog::AppendJsonl(make(3), &jsonl);
+  JsonlReplayReport clean = EpsilonAuditLog::ReplayJsonl(jsonl);
+  EXPECT_TRUE(clean.clean());
+  EXPECT_EQ(clean.events, 3u);
+  EXPECT_EQ(clean.first_seq, 1u);
+  EXPECT_EQ(clean.last_seq, 3u);
+
+  // A ring that wrapped between export windows drops events: gap.
+  std::string gappy;
+  EpsilonAuditLog::AppendJsonl(make(1), &gappy);
+  EpsilonAuditLog::AppendJsonl(make(5), &gappy);
+  JsonlReplayReport gap = EpsilonAuditLog::ReplayJsonl(gappy);
+  EXPECT_FALSE(gap.clean());
+  EXPECT_EQ(gap.seq_gaps, 1u);
+  EXPECT_EQ(gap.missing_events, 3u);
+  EXPECT_TRUE(gap.errors.empty());
+
+  // A duplicate seq is stream corruption, not a drop.
+  std::string dup;
+  EpsilonAuditLog::AppendJsonl(make(2), &dup);
+  EpsilonAuditLog::AppendJsonl(make(2), &dup);
+  JsonlReplayReport bad = EpsilonAuditLog::ReplayJsonl(dup);
+  EXPECT_EQ(bad.errors.size(), 1u);
+  EXPECT_EQ(bad.seq_gaps, 0u);
+
+  JsonlReplayReport malformed = EpsilonAuditLog::ReplayJsonl("not json\n");
+  EXPECT_EQ(malformed.events, 0u);
+  EXPECT_EQ(malformed.errors.size(), 1u);
+}
+
+}  // namespace
+}  // namespace blowfish

@@ -1,0 +1,24 @@
+// dp_lint fixture: MUST fire journal-before-admit (and nothing else).
+// A spend commit with no write-ahead journal append anywhere in the
+// function — exactly the fail-open shape the rule exists to catch.
+// dp-lint: treat-as src/engine/bad_commit.cc
+
+#include <cstddef>
+
+namespace blowfish {
+
+struct PrivacyBudget {
+  int SpendTagged(double epsilon, const char* workload, const void* context,
+                  unsigned parallel_count);
+};
+
+struct Slot {
+  PrivacyBudget* budget;
+};
+
+int CommitWithoutJournal(Slot* slot, double epsilon) {
+  // BAD: the charge commits with no durable spend record written first.
+  return slot->budget->SpendTagged(epsilon, "q42", nullptr, 1);
+}
+
+}  // namespace blowfish

@@ -1,0 +1,42 @@
+// dp_lint fixture: must NOT fire journal-before-admit.
+// The write-ahead append precedes the spend commit, and a helper that
+// only journals (no commit) is also clean.
+// dp-lint: treat-as src/engine/good_commit.cc
+
+#include <cstddef>
+
+namespace blowfish {
+
+struct PrivacyBudget {
+  bool CanSpend(double epsilon);  // probe, not a commit
+  int SpendTagged(double epsilon, const char* workload, const void* context,
+                  unsigned parallel_count);
+};
+
+struct Slot {
+  PrivacyBudget* budget;
+};
+
+struct LedgerJournal {
+  int AppendCharge(bool charged, int refusal, double epsilon,
+                   unsigned parallel_count);
+};
+
+int AppendJournalCharge(LedgerJournal* journal, double epsilon) {
+  // Journal-only helper: no spend commit here, nothing to order.
+  return journal->AppendCharge(true, 0, epsilon, 1);
+}
+
+int CommitWithJournal(LedgerJournal* journal, Slot* slot, double epsilon) {
+  if (!slot->budget->CanSpend(epsilon)) {
+    return 1;
+  }
+  // GOOD: durable record first, commit second.
+  int journaled = AppendJournalCharge(journal, epsilon);
+  if (journaled != 0) {
+    return journaled;
+  }
+  return slot->budget->SpendTagged(epsilon, "q42", nullptr, 1);
+}
+
+}  // namespace blowfish

@@ -34,6 +34,14 @@ Rules
   lock-order          Multi-shard lock acquisition must be index-sorted:
                       no multi-argument scoped_lock / std::lock over shard
                       mutexes, no descending literal shard-index locks.
+  journal-before-admit In src/engine/, a function that commits a ledger
+                      spend (Spend/SpendTagged/SpendParallel on a budget)
+                      must reach a write-ahead journal append
+                      (AppendJournal*/->AppendCharge) earlier in the same
+                      function — the crash journal's fail-closed invariant:
+                      a spend record is durable before the charge commits.
+                      Probes (CanSpend) and recovery (RestoreSpent) are
+                      not commits and do not trip the rule.
 
 Escape hatch
 ------------
@@ -94,6 +102,10 @@ RNG_SANCTUARY = ("src/rng/",)
 EPSILON_SANCTUARY = (
     "src/mech/budget.",
     "src/engine/budget_accountant.",
+    # The write-ahead spend journal is the durable half of the
+    # accounting layer: recovery replays `spent += epsilon` to rebuild
+    # the exact balances the budget classes held before a crash.
+    "src/engine/ledger_journal.",
 )
 ENGINE_SCOPE = ("src/engine/",)
 
@@ -403,6 +415,49 @@ def check_charge_before_noise(sf: SourceFile, out: List[Violation]) -> None:
 
 
 # --------------------------------------------------------------------------
+# rule: journal-before-admit
+# --------------------------------------------------------------------------
+
+# A spend-commit: the point where budget actually leaves a ledger. The
+# name must start with Spend directly after the member access, so
+# CanSpend (a probe) and RestoreSpent (journal recovery) do not match.
+SPEND_COMMIT_SITE = re.compile(r"(?:\.|->)\s*Spend(?:Tagged|Parallel)?\s*\(")
+# A write-ahead journal append: the accountant's helper (named so this
+# rule can see it) or the journal's own append entry point.
+JOURNAL_SITE = re.compile(
+    r"\bAppendJournal\w*\s*\(|(?:\.|->)\s*AppendCharge\s*\(")
+
+
+def check_journal_before_admit(sf: SourceFile, out: List[Violation]) -> None:
+    if not in_scope(sf, ENGINE_SCOPE):
+        return
+    if not sf.virtual_path.endswith((".cc", ".cpp", ".cxx")):
+        return
+    for name, first, last in segment_functions(sf):
+        first_spend = None
+        first_journal = None
+        for idx in range(first, last + 1):
+            code = sf.code_lines[idx - 1]
+            if first_journal is None and JOURNAL_SITE.search(code):
+                first_journal = idx
+            if first_spend is None and SPEND_COMMIT_SITE.search(code):
+                first_spend = idx
+        if first_spend is None:
+            continue
+        if first_journal is None:
+            report(sf, "journal-before-admit", first_spend,
+                   f"{name}() commits a ledger spend with no write-ahead "
+                   "journal append in the function; append (and fsync) the "
+                   "spend record before any ledger commits, or carry a "
+                   "reasoned dp-lint allow escape", out)
+        elif first_spend < first_journal:
+            report(sf, "journal-before-admit", first_spend,
+                   f"{name}() commits a ledger spend before the journal "
+                   "append; the spend record must be durable before the "
+                   "charge commits", out)
+
+
+# --------------------------------------------------------------------------
 # rule: no-raw-data-logging
 # --------------------------------------------------------------------------
 
@@ -558,6 +613,7 @@ REGEX_RULES: List[Tuple[str, Callable[[SourceFile, List[Violation]], None]]] = [
     ("rng-discipline", check_rng_discipline),
     ("epsilon-confinement", check_epsilon_confinement),
     ("charge-before-noise", check_charge_before_noise),
+    ("journal-before-admit", check_journal_before_admit),
     ("no-raw-data-logging", check_no_raw_data_logging),
     ("lock-order", check_lock_order),
 ]
