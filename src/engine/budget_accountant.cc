@@ -56,6 +56,10 @@ Result<LedgerHandle> BudgetAccountant::OpenLedger(const std::string& id,
     if (journal_->TakeRecovered(id, &recovered)) {
       Status restored = slot.budget->RestoreSpent(recovered.spent);
       if (!restored.ok()) {
+        // The balance could not be applied — hand it back so a retried
+        // OpenLedger fails the same way instead of silently succeeding
+        // with a refilled budget, and checkpoints keep carrying it.
+        journal_->ReturnRecovered(id, recovered);
         slot.budget.reset();
         slot.id.clear();
         ++slot.generation;
@@ -246,9 +250,21 @@ Status BudgetAccountant::AppendJournalCharge(const LedgerHandle* handles,
                                              bool charged,
                                              StatusCode refusal) {
   if (journal_ == nullptr) return Status::OK();
-  LedgerJournal::ChargeLine lines[AuditEvent::kMaxLedgers];
+  // Every handle gets its own journal line — unlike the audit ring's
+  // fixed-width event, the write-ahead record must cover the whole
+  // charge, so wide charges spill to the heap instead of truncating
+  // (an un-journaled spend would be refilled by recovery). Charges
+  // wider than the wire format's line count are refused by
+  // AppendCharge itself, fail closed.
+  LedgerJournal::ChargeLine inline_lines[AuditEvent::kMaxLedgers];
+  std::vector<LedgerJournal::ChargeLine> heap_lines;
+  LedgerJournal::ChargeLine* lines = inline_lines;
+  if (count > AuditEvent::kMaxLedgers) {
+    heap_lines.resize(count);
+    lines = heap_lines.data();
+  }
   size_t num_lines = 0;
-  for (size_t i = 0; i < count && num_lines < AuditEvent::kMaxLedgers; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     const Slot* slot = SlotFor(handles[i]);
     if (slot == nullptr) continue;  // stale handle on a refusal
     LedgerJournal::ChargeLine& line = lines[num_lines++];

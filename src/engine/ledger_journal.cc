@@ -500,10 +500,14 @@ Status LedgerJournal::Scan(const std::string& dir, JournalIo* io,
     uint64_t start_seq = header_ok ? GetU64(data.data() + 12) : 0;
     if (header_ok && start_seq == 0) header_ok = false;  // seqs start at 1
     if (!header_ok) {
-      if (last_segment) {
+      if (last_segment && data.size() <= kHeaderBytes) {
         // A crash during rotation leaves a fresh segment with a
         // partial header and nothing after it: a torn tail whose
-        // repair is deleting the file.
+        // repair is deleting the file. The header is written and
+        // synced before any frame, so a bad header on a segment with
+        // bytes past it cannot be a rotation tear — deleting such a
+        // file would discard acknowledged spends, and the damage is
+        // reported as corruption instead.
         report->torn_tail = true;
         report->torn_segment = name;
         report->torn_good_bytes = 0;
@@ -805,7 +809,12 @@ void LedgerJournal::Backoff(uint64_t seq, int attempt) const {
   x ^= x >> 27;
   x *= 0x94D049BB133111EBull;
   x ^= x >> 31;
-  const uint64_t micros = std::min<uint64_t>(base + x % base, 50000);
+  // Each sleep happens while holding the journal mutex AND every shard
+  // lock of the in-flight charge, stalling all concurrent charges,
+  // OpenLedger calls, and checkpoints — so the per-attempt cap is kept
+  // small: worst case io_retries * 5ms (20ms at defaults) before the
+  // charge fails closed anyway.
+  const uint64_t micros = std::min<uint64_t>(base + x % base, 5000);
   std::this_thread::sleep_for(std::chrono::microseconds(micros));
 }
 
@@ -940,6 +949,15 @@ Status LedgerJournal::AppendCharge(bool charged, StatusCode refusal,
                                    std::string_view workload,
                                    const std::string* context,
                                    const ChargeLine* lines, size_t count) {
+  if (count > kMaxChargeLines) {
+    // The frame's line count is a u16; truncating the record instead
+    // would leave admitted spends with no durable cover, so a charge
+    // this wide is refused before a byte is written.
+    return Status::UnavailableDurability(
+        "charge refused: " + std::to_string(count) +
+        " ledger lines exceed the journal record's capacity of " +
+        std::to_string(kMaxChargeLines));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (!health_.ok()) return health_;
 
@@ -1018,6 +1036,12 @@ bool LedgerJournal::TakeRecovered(const std::string& id, RecoveredLedger* out) {
   *out = it->second;
   recovered_.erase(it);
   return true;
+}
+
+void LedgerJournal::ReturnRecovered(const std::string& id,
+                                    const RecoveredLedger& led) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovered_.emplace(id, led);
 }
 
 Status LedgerJournal::health() const {

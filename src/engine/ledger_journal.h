@@ -270,7 +270,10 @@ struct JournalOptions {
   int io_retries = 4;
   /// Base backoff between retries; attempt k sleeps ~base·2^k plus a
   /// deterministic jitter derived from (seq, attempt) — no RNG, so the
-  /// engine's noise discipline is untouched.
+  /// engine's noise discipline is untouched. Each sleep is capped at
+  /// 5ms and runs under the journal mutex and the charge's shard
+  /// locks, so a dead disk stalls concurrent charges for at most
+  /// ~io_retries·5ms (20ms at defaults) before failing closed.
   uint32_t retry_backoff_micros = 200;
   /// Recovery: truncate a torn tail and continue instead of refusing
   /// startup. Gaps and mid-file corruption refuse regardless.
@@ -291,6 +294,11 @@ class LedgerJournal {
     const std::string* id = nullptr;
     double remaining = 0.0;  ///< post-charge (prospective on spends)
   };
+
+  /// Wire-format ceiling on ledger lines per record (the frame carries
+  /// a u16 line count). AppendCharge refuses wider charges outright —
+  /// fail closed, never a silently truncated spend record.
+  static constexpr size_t kMaxChargeLines = 0xFFFF;
 
   /// Read-only integrity pass: never creates, truncates, or repairs
   /// anything. Populates `report` (including ledger balances replayed
@@ -329,6 +337,13 @@ class LedgerJournal {
   /// the call (each recovered balance is applied to exactly one
   /// freshly opened ledger).
   bool TakeRecovered(const std::string& id, RecoveredLedger* out);
+
+  /// Undoes a TakeRecovered whose balance could not be applied (e.g.
+  /// RestoreSpent refused it): the entry goes back into the recovered
+  /// map, so a retried OpenLedger sees it again instead of silently
+  /// starting from a refilled budget, and the next checkpoint still
+  /// carries it. A balance already present for `id` wins.
+  void ReturnRecovered(const std::string& id, const RecoveredLedger& led);
 
   /// True once the active segment has outgrown segment_bytes; cleared
   /// by a successful Checkpoint. The engine polls this after submits.

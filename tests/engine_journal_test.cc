@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/budget_accountant.h"
 #include "engine/ledger_journal.h"
 #include "engine/query_engine.h"
 #include "workload/builders.h"
@@ -205,6 +206,45 @@ TEST_F(JournalTest, TornTailRefusedWithoutFlagRepairedWithIt) {
   ASSERT_TRUE(AppendSpend(journal.get(), "session/a", 0.25, 0.25).ok());
 }
 
+TEST_F(JournalTest, BadHeaderFinalSegmentIsTearOnlyWhenHeaderSized) {
+  // Segment 1 holds an acknowledged spend; the final segment's header
+  // is garbage but the file has bytes past the 24-byte header. The
+  // header is written and synced before any frame, so this cannot be a
+  // rotation tear — recovery must refuse rather than delete what could
+  // be acknowledged spends.
+  WriteSegment(dir_, 1, Frame(Spend(1, "session/a", 0.25, 0.75)));
+  const std::string late = dir_ + "/" + JournalSegmentName(2);
+  std::string garbage(64, '\xee');
+  std::FILE* f = std::fopen(late.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(garbage.data(), 1, garbage.size(), f),
+            garbage.size());
+  std::fclose(f);
+
+  JournalScanReport report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &report).ok());
+  EXPECT_FALSE(report.torn_tail);
+  EXPECT_FALSE(report.errors.empty());
+  JournalOptions options = Options();
+  options.allow_torn_tail = true;  // must not help
+  EXPECT_FALSE(LedgerJournal::Open(options).ok());
+
+  // A partial header (<= 24 bytes) with nothing after it IS the
+  // crash-during-rotation signature: deletable, and the acknowledged
+  // spend in segment 1 survives recovery.
+  ASSERT_TRUE(PosixJournalIo()->TruncateFile(late, 10).ok());
+  JournalScanReport torn_report;
+  ASSERT_TRUE(LedgerJournal::Scan(dir_, PosixJournalIo(), &torn_report).ok());
+  EXPECT_TRUE(torn_report.torn_tail);
+  EXPECT_TRUE(torn_report.errors.empty());
+  EXPECT_EQ(torn_report.torn_good_bytes, 0u);
+  auto journal = LedgerJournal::Open(options).ValueOrDie();
+  EXPECT_TRUE(journal->stats().recovered_torn_tail);
+  RecoveredLedger led;
+  ASSERT_TRUE(journal->TakeRecovered("session/a", &led));
+  EXPECT_EQ(led.spent, 0.25);
+}
+
 TEST_F(JournalTest, MidFileCorruptionAlwaysRefuses) {
   const std::string good1 = Frame(Spend(1, "session/a", 0.25, 0.75));
   std::string bad = Frame(Spend(2, "session/a", 0.25, 0.5));
@@ -297,6 +337,79 @@ TEST_F(JournalTest, CheckpointCarriesUnclaimedRecoveredBalances) {
   ASSERT_TRUE(journal->TakeRecovered(orphan, &led));
   EXPECT_EQ(led.spent, 0.3);
   EXPECT_FALSE(led.has_total);  // cap was never known
+}
+
+// ------------------------------------------- accountant journal lines
+
+TEST_F(JournalTest, WideChargeJournalsEveryLine) {
+  // Six ledger lines — past the audit ring's fixed 4-line event,
+  // including a repeated handle (each occurrence is one line). Every
+  // admitted spend must be covered by the durable record, so recovery
+  // must replay all six lines, not the first four.
+  {
+    auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+    BudgetAccountant accountant;
+    accountant.SetJournal(journal.get());
+    LedgerHandle handles[6];
+    for (int i = 0; i < 5; ++i) {
+      handles[i] =
+          accountant.OpenLedger("wide/" + std::to_string(i), 1.0).ValueOrDie();
+    }
+    handles[5] = handles[0];  // wide/0 composes 2·ε sequentially
+    ChargeTag tag;
+    tag.workload = "wide";
+    ASSERT_TRUE(accountant.Charge(handles, 6, 0.125, tag).ok());
+    accountant.SetJournal(nullptr);
+  }
+  auto reopened = LedgerJournal::Open(Options()).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    RecoveredLedger led;
+    ASSERT_TRUE(reopened->TakeRecovered("wide/" + std::to_string(i), &led))
+        << "ledger wide/" << i << " lost by recovery";
+    EXPECT_EQ(led.spent, i == 0 ? 0.25 : 0.125) << "wide/" << i;
+  }
+}
+
+TEST_F(JournalTest, ChargeWiderThanWireFormatRefusedOutright) {
+  // The frame's line count is a u16; a wider charge must be refused
+  // before any bytes land, never silently truncated.
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  const std::string id = "session/a";
+  std::vector<LedgerJournal::ChargeLine> lines(
+      LedgerJournal::kMaxChargeLines + 1);
+  for (LedgerJournal::ChargeLine& line : lines) line.id = &id;
+  Status refused =
+      journal->AppendCharge(/*charged=*/true, StatusCode::kOk, 0.001, 1, "w",
+                            nullptr, lines.data(), lines.size());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailableDurability);
+  EXPECT_EQ(journal->stats().appends, 0u);
+  // Neither a seq was consumed nor the journal hurt.
+  EXPECT_TRUE(journal->health().ok());
+  ASSERT_TRUE(AppendSpend(journal.get(), id, 0.1, 0.9).ok());
+}
+
+TEST_F(JournalTest, FailedRestoreHandsRecoveredBalanceBack) {
+  // A checkpoint carrying a negative spent cannot be applied to a
+  // fresh ledger (RestoreSpent refuses it). The failed OpenLedger must
+  // return the balance to the journal: a retried open fails the same
+  // way instead of silently succeeding with a refilled budget.
+  const std::string id = "session/neg";
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::kCheckpoint;
+  rec.seq = 1;
+  rec.checkpoint.push_back(JournalRecord::CheckpointLine{id, 1.0, -0.5});
+  WriteSegment(dir_, 1, Frame(rec));
+
+  auto journal = LedgerJournal::Open(Options()).ValueOrDie();
+  BudgetAccountant accountant;
+  accountant.SetJournal(journal.get());
+  EXPECT_FALSE(accountant.OpenLedger(id, 1.0).ok());
+  EXPECT_FALSE(accountant.OpenLedger(id, 1.0).ok());  // still not refilled
+  RecoveredLedger led;
+  ASSERT_TRUE(journal->TakeRecovered(id, &led));  // balance still held
+  EXPECT_EQ(led.spent, -0.5);
+  accountant.SetJournal(nullptr);
 }
 
 // ------------------------------------------------------ injected faults
