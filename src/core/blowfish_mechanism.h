@@ -11,6 +11,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/check.h"
 #include "linalg/vector_ops.h"
@@ -22,6 +24,18 @@ namespace blowfish {
 /// \brief An (ε, G)-Blowfish private histogram release mechanism.
 class BlowfishMechanism {
  public:
+  /// \brief Schema-free wire form of a ReleasePrecompute: ordered
+  /// double vectors plus ordered scalars. What each slot means is
+  /// defined by the owning precompute's SerialFamily() — the snapshot
+  /// store persists (family, payload) and the mechanism that planned
+  /// the policy validates and rehydrates it on restore. Doubles round
+  /// trip as IEEE bit patterns, so a decoded precompute replays
+  /// bit-identically.
+  struct PrecomputePayload {
+    std::vector<Vector> vectors;
+    std::vector<double> scalars;
+  };
+
   virtual ~BlowfishMechanism() = default;
 
   /// Releases a noisy full-domain histogram estimate; the release
@@ -44,6 +58,18 @@ class BlowfishMechanism {
     /// exactness does not matter, monotonicity with actual footprint
     /// does.
     virtual size_t ApproxBytes() const { return sizeof(ReleasePrecompute); }
+
+    /// Wire-schema name ("tree/1", "grid/1", ...) for snapshot
+    /// persistence, or empty when this precompute is not serializable
+    /// (the snapshot store then simply skips it — fail-open).
+    virtual std::string_view SerialFamily() const { return {}; }
+
+    /// Encodes this precompute into `out`. Returns false (leaving
+    /// `out` untouched) when not serializable.
+    virtual bool EncodePayload(PrecomputePayload* out) const {
+      (void)out;
+      return false;
+    }
   };
 
   /// Splits Run() into a cacheable noise-free phase and a per-release
@@ -69,6 +95,19 @@ class BlowfishMechanism {
     (void)rng;
     BF_CHECK_MSG(false, "mechanism does not support precomputed releases");
     return Vector();
+  }
+
+  /// Inverse of EncodePayload: rehydrates a persisted precompute that
+  /// this mechanism (for the same policy, version, and data) once
+  /// produced. Implementations must validate `family` and every size
+  /// the payload implies against their own structure and return null
+  /// on any mismatch — the caller treats null as "recompute from
+  /// data" (fail-open), never as an error. Default: not restorable.
+  virtual std::shared_ptr<const ReleasePrecompute> DecodePrecompute(
+      std::string_view family, const PrecomputePayload& payload) const {
+    (void)family;
+    (void)payload;
+    return nullptr;
   }
 };
 

@@ -67,12 +67,33 @@ class GridThetaHistogramAdapter : public BlowfishMechanism {
     size_t ApproxBytes() const override {
       return sizeof(SlabPrecompute) + xg.capacity() * sizeof(double);
     }
+    std::string_view SerialFamily() const override { return "slab/1"; }
+    bool EncodePayload(PrecomputePayload* out) const override {
+      out->vectors = {xg};
+      out->scalars = {n};
+      return true;
+    }
   };
 
   std::shared_ptr<const ReleasePrecompute> PrecomputeRelease(
       const Vector& x) const override;
   Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
                         Rng* rng) const override;
+
+  /// Restores a snapshot-persisted "slab/1" precompute. Null on any
+  /// family/shape mismatch (the caller then recomputes from data).
+  std::shared_ptr<const ReleasePrecompute> DecodePrecompute(
+      std::string_view family, const PrecomputePayload& payload) const override {
+    if (family != "slab/1") return nullptr;
+    if (payload.vectors.size() != 1 || payload.scalars.size() != 1) {
+      return nullptr;
+    }
+    auto pre = std::make_shared<SlabPrecompute>();
+    pre->xg = payload.vectors[0];
+    pre->n = payload.scalars[0];
+    if (pre->xg.size() != inner_->num_spanner_edges()) return nullptr;
+    return pre;
+  }
 
  private:
   GridThetaHistogramAdapter(std::unique_ptr<GridThetaRangeMechanism> inner,

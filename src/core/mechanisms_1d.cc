@@ -53,6 +53,12 @@ struct TreePrecompute : BlowfishMechanism::ReleasePrecompute {
     return sizeof(TreePrecompute) +
            (xg.capacity() + component_totals.capacity()) * sizeof(double);
   }
+  std::string_view SerialFamily() const override { return "tree/1"; }
+  bool EncodePayload(BlowfishMechanism::PrecomputePayload* out) const override {
+    out->vectors = {xg, component_totals};
+    out->scalars.clear();
+    return true;
+  }
 };
 }  // namespace
 
@@ -80,6 +86,28 @@ TreeTransformMechanism::PrecomputeRelease(const Vector& x) const {
     BF_CHECK_MSG(std::is_sorted(pre->xg.begin(), pre->xg.end()),
                  "enforce_monotone requires a monotone transformed database "
                  "(line-policy prefix sums)");
+  }
+  return pre;
+}
+
+std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+TreeTransformMechanism::DecodePrecompute(
+    std::string_view family, const PrecomputePayload& payload) const {
+  // Every structural property RunPrecomputed assumes is re-validated
+  // here; any mismatch means the payload was recorded for a different
+  // policy/transform and the caller must recompute (fail-open).
+  if (family != "tree/1") return nullptr;
+  if (payload.vectors.size() != 2 || !payload.scalars.empty()) return nullptr;
+  auto pre = std::make_shared<TreePrecompute>();
+  pre->xg = payload.vectors[0];
+  pre->component_totals = payload.vectors[1];
+  if (pre->xg.size() != transform_.num_edges()) return nullptr;
+  if (pre->component_totals.size() != transform_.reduction().removed.size()) {
+    return nullptr;
+  }
+  if (options_.enforce_monotone &&
+      !std::is_sorted(pre->xg.begin(), pre->xg.end())) {
+    return nullptr;
   }
   return pre;
 }
@@ -140,9 +168,28 @@ HistogramMechanismPtr MakeGroupedPriveletForLineSpanner(
 
 Result<BlowfishMechanismPtr> MakeThetaLineMechanism(
     size_t k, size_t theta, HistogramMechanismPtr inner,
-    const std::string& label, bool use_grouped_privelet) {
+    const std::string& label, bool use_grouped_privelet,
+    std::optional<int64_t> certified_stretch) {
   Policy original = Theta1DPolicy(k, theta);
-  Result<SpannerCertificate> cert = LineThetaSpannerFor(original, theta);
+  Result<SpannerCertificate> cert = [&]() -> Result<SpannerCertificate> {
+    if (certified_stretch.has_value()) {
+      // Warm-restart path: the spanner construction is deterministic
+      // in (k, θ), so only the certification BFS — the cost this
+      // branch exists to skip — is trusted from the hint. A
+      // nonsensical hint still fails closed on the privacy side:
+      // SpannerMechanism rejects stretch < 1.
+      if (*certified_stretch < 1) {
+        return Status::InvalidArgument("certified stretch must be >= 1");
+      }
+      if (k % theta != 0) {
+        return Status::InvalidArgument("Hθ_k requires θ | k");
+      }
+      Policy spanner{"H^" + std::to_string(theta) + "_" + std::to_string(k),
+                     original.domain, BuildLineThetaSpanner(k, theta).graph};
+      return SpannerCertificate{std::move(spanner), *certified_stretch};
+    }
+    return LineThetaSpannerFor(original, theta);
+  }();
   if (!cert.ok()) return cert.status();
   const SpannerCertificate& c = cert.ValueOrDie();
 

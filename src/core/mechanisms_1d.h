@@ -21,6 +21,7 @@
 #define BLOWFISH_CORE_MECHANISMS_1D_H_
 
 #include <memory>
+#include <optional>
 
 #include "common/status.h"
 #include "core/blowfish_mechanism.h"
@@ -61,6 +62,11 @@ class TreeTransformMechanism : public BlowfishMechanism {
   Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
                         Rng* rng) const override;
 
+  /// Restores a snapshot-persisted "tree/1" precompute. Null on any
+  /// family/shape mismatch (the caller then recomputes from data).
+  std::shared_ptr<const ReleasePrecompute> DecodePrecompute(
+      std::string_view family, const PrecomputePayload& payload) const override;
+
   const PolicyTransform& transform() const { return transform_; }
 
  private:
@@ -96,6 +102,10 @@ class SpannerMechanism : public BlowfishMechanism {
     return inner_->RunPrecomputed(pre, epsilon / static_cast<double>(stretch_),
                                   rng);
   }
+  std::shared_ptr<const ReleasePrecompute> DecodePrecompute(
+      std::string_view family, const PrecomputePayload& payload) const override {
+    return inner_->DecodePrecompute(family, payload);
+  }
 
  private:
   std::string original_policy_name_;
@@ -114,9 +124,17 @@ HistogramMechanismPtr MakeGroupedPriveletForLineSpanner(
 /// `inner` runs on the transformed database (e.g. Laplace = the
 /// experiments' "Transformed + Laplace", DAWA = "Trans + Dawa",
 /// grouped Privelet = Theorem 5.5).
+///
+/// `certified_stretch`, when set, skips the spanner-certification BFS
+/// (the dominant cold-plan cost) and trusts the given stretch. Sound
+/// ONLY when the stretch was previously certified for the
+/// byte-identical (k, θ) spanner — the warm-restart snapshot path,
+/// whose hints ride under the snapshot file's CRC and were recorded
+/// by a prior certified plan of the same policy version.
 Result<BlowfishMechanismPtr> MakeThetaLineMechanism(
     size_t k, size_t theta, HistogramMechanismPtr inner,
-    const std::string& label, bool use_grouped_privelet = false);
+    const std::string& label, bool use_grouped_privelet = false,
+    std::optional<int64_t> certified_stretch = std::nullopt);
 
 }  // namespace blowfish
 

@@ -139,6 +139,12 @@ struct GridPrecompute : BlowfishMechanism::ReleasePrecompute {
   size_t ApproxBytes() const override {
     return sizeof(GridPrecompute) + xg.capacity() * sizeof(double);
   }
+  std::string_view SerialFamily() const override { return "grid/1"; }
+  bool EncodePayload(BlowfishMechanism::PrecomputePayload* out) const override {
+    out->vectors = {xg};
+    out->scalars = {n};
+    return true;
+  }
 };
 }  // namespace
 
@@ -147,6 +153,20 @@ GridBlowfishMechanism::PrecomputeRelease(const Vector& x) const {
   auto pre = std::make_shared<GridPrecompute>();
   pre->xg = PrecomputeTransformed(x);
   pre->n = Sum(x);
+  return pre;
+}
+
+std::shared_ptr<const BlowfishMechanism::ReleasePrecompute>
+GridBlowfishMechanism::DecodePrecompute(
+    std::string_view family, const PrecomputePayload& payload) const {
+  if (family != "grid/1") return nullptr;
+  if (payload.vectors.size() != 1 || payload.scalars.size() != 1) {
+    return nullptr;
+  }
+  auto pre = std::make_shared<GridPrecompute>();
+  pre->xg = payload.vectors[0];
+  pre->n = payload.scalars[0];
+  if (pre->xg.size() != transform_.num_edges()) return nullptr;
   return pre;
 }
 

@@ -56,6 +56,11 @@ class GridBlowfishMechanism : public BlowfishMechanism {
   Vector RunPrecomputed(const ReleasePrecompute& pre, double epsilon,
                         Rng* rng) const override;
 
+  /// Restores a snapshot-persisted "grid/1" precompute. Null on any
+  /// family/shape mismatch (the caller then recomputes from data).
+  std::shared_ptr<const ReleasePrecompute> DecodePrecompute(
+      std::string_view family, const PrecomputePayload& payload) const override;
+
   const PolicyTransform& transform() const { return transform_; }
 
  private:

@@ -66,6 +66,9 @@ class GridThetaRangeMechanism {
   Vector PrecomputeTransformed(const Vector& x) const {
     return transform_.TransformDatabase(x);
   }
+  /// Length of the transformed (spanner-edge-domain) database; used
+  /// by restore paths to validate a persisted transform's shape.
+  size_t num_spanner_edges() const { return transform_.num_edges(); }
   Vector AnswerRangesOnTransformed(const RangeWorkload& workload,
                                    const Vector& xg, double n,
                                    double epsilon, Rng* rng) const;

@@ -141,7 +141,8 @@ Result<Plan> PlanMechanismImpl(PlanRequest request) {
       Result<BlowfishMechanismPtr> mech = MakeThetaLineMechanism(
           k, theta, InnerFor(request),
           request.prefer_data_dependent ? "Trans + Dawa"
-                                        : "Transformed + Laplace");
+                                        : "Transformed + Laplace",
+          /*use_grouped_privelet=*/false, request.certified_stretch);
       if (!mech.ok()) return mech.status();
       Plan plan;
       plan.kind = "spanner-tree";
@@ -196,11 +197,17 @@ Result<Plan> PlanMechanismImpl(PlanRequest request) {
   // III reduction then joins them through the shared ⊥) with certified
   // stretch.
   {
+    // BfsSpanningForest is deterministic in the edge list, so on the
+    // warm-restart path (hint set) the certification pass — the
+    // expensive half — is skipped and the recorded stretch reused.
     const Graph forest = BfsSpanningForest(request.policy.graph);
-    Result<SpannerCertificate> cert = CertifySpanner(
-        request.policy,
-        Policy{request.policy.name + "-bfs-forest", request.policy.domain,
-               forest});
+    Policy spanner{request.policy.name + "-bfs-forest", request.policy.domain,
+                   forest};
+    Result<SpannerCertificate> cert =
+        request.certified_stretch.has_value() && *request.certified_stretch >= 1
+            ? Result<SpannerCertificate>(SpannerCertificate{
+                  std::move(spanner), *request.certified_stretch})
+            : CertifySpanner(request.policy, std::move(spanner));
     if (!cert.ok()) return cert.status();
     const int64_t stretch = cert.ValueOrDie().stretch;
     Result<std::unique_ptr<TreeTransformMechanism>> inner =

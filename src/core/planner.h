@@ -23,6 +23,7 @@
 #define BLOWFISH_CORE_PLANNER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -39,6 +40,15 @@ struct PlanRequest {
   /// Prefer data-dependent estimation (DAWA) over Laplace for the
   /// transformed database.
   bool prefer_data_dependent = false;
+  /// Warm-restart hint: a spanner stretch previously certified for
+  /// this exact policy (same graph, byte-identical). When set, the
+  /// spanner-backed strategies skip the certification BFS — the
+  /// dominant cold-plan cost — and trust this value. Suppliers must
+  /// only pass stretches recorded by a prior certified plan of the
+  /// same policy (the snapshot store keys hints by policy version and
+  /// CRC-protects them); planning with a wrong stretch weakens the
+  /// stated guarantee.
+  std::optional<int64_t> certified_stretch;
 };
 
 /// \brief A selected mechanism plus the reasoning.

@@ -965,7 +965,11 @@ Status LedgerJournal::AppendCharge(bool charged, StatusCode refusal,
   rec.type = charged ? JournalRecord::Type::kSpend
                      : JournalRecord::Type::kRefusal;
   rec.seq = next_seq_;
-  rec.wall_micros = WallMicros();
+  // Clamped against the previous record: seq order is replay order,
+  // and a backwards system_clock step must not produce a journal whose
+  // timestamps contradict it.
+  rec.wall_micros = std::max(WallMicros(), last_wall_micros_);
+  last_wall_micros_ = rec.wall_micros;
   rec.refusal = charged ? 0 : static_cast<uint8_t>(refusal);
   rec.parallel_count = parallel_count;
   rec.epsilon = epsilon;
@@ -991,7 +995,8 @@ Status LedgerJournal::Checkpoint(
   JournalRecord rec;
   rec.type = JournalRecord::Type::kCheckpoint;
   rec.seq = next_seq_;
-  rec.wall_micros = WallMicros();
+  rec.wall_micros = std::max(WallMicros(), last_wall_micros_);
+  last_wall_micros_ = rec.wall_micros;
   rec.checkpoint = snapshot;
   // Recovered balances nobody has re-opened yet must survive
   // compaction: fold them into the snapshot (live lines win when a

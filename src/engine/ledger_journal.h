@@ -407,6 +407,10 @@ class LedgerJournal {
   std::string active_name_ GUARDED_BY(mu_);
   uint64_t active_bytes_ GUARDED_BY(mu_) = 0;
   uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  /// Clamp for non-decreasing wall_micros across journal records (the
+  /// system clock may step backwards; seq order is the replay order,
+  /// so timestamps must not contradict it).
+  int64_t last_wall_micros_ GUARDED_BY(mu_) = 0;
   std::vector<std::string> segment_names_ GUARDED_BY(mu_);  // oldest first
   std::map<std::string, RecoveredLedger> recovered_ GUARDED_BY(mu_);
   std::string scratch_ GUARDED_BY(mu_);  ///< reused encode buffer

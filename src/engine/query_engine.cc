@@ -6,6 +6,7 @@
 
 #include "core/grid_theta_adapter.h"
 #include "core/mechanisms_kd.h"
+#include "engine/snapshot_store.h"
 
 namespace blowfish {
 
@@ -146,6 +147,31 @@ QueryEngine::QueryEngine(EngineOptions options)
   metrics.gauge_callback("engine_audit_dropped", [this] {
     return static_cast<double>(telemetry_.audit().dropped());
   });
+  // Warm-restart observability: what this process inherited from the
+  // snapshot store (fixed at construction).
+  metrics.gauge_callback("engine_snapshot_generation", [this] {
+    return static_cast<double>(snapshot_restore_stats_.generation);
+  });
+  metrics.gauge_callback("engine_snapshot_restored_policies", [this] {
+    return static_cast<double>(snapshot_restore_stats_.policies_restored);
+  });
+  metrics.gauge_callback("engine_snapshot_restored_transforms", [this] {
+    return static_cast<double>(snapshot_restore_stats_.transforms_restored);
+  });
+  metrics.gauge_callback("engine_snapshot_items_skipped", [this] {
+    return static_cast<double>(snapshot_restore_stats_.items_skipped);
+  });
+
+  // Warm restart runs after the journal is wired (restored policies
+  // open their versioned cap ledgers through the accountant, which
+  // must already absorb journal-recovered spends) and before any
+  // submit can exist. A poisoned journal skips the restore: the
+  // engine refuses everything anyway, and opening ledgers against an
+  // unjournaled accountant would let spends bypass the write-ahead
+  // contract after the poison clears.
+  if (!options_.snapshot_path.empty() && journal_error_.ok()) {
+    RestoreFromSnapshot();
+  }
 }
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(EngineOptions options) {
@@ -176,6 +202,210 @@ void QueryEngine::MaybeCheckpointJournal() {
   // Best-effort: a failed compaction leaves more segments on disk but
   // never loses a record; the next due submit retries.
   (void)accountant_.WriteCheckpoint();
+}
+
+void QueryEngine::RestoreFromSnapshot() {
+  SnapshotImage image;
+  snapshot::OpenReport report;
+  const Status opened =
+      snapshot::OpenLatest(options_.snapshot_path, &image, &report);
+  if (!opened.ok()) return;  // unconfigured path; nothing to restore
+  snapshot_restore_stats_.skipped_files = report.skipped;
+  if (!report.loaded) return;  // cold start (missing or all corrupt)
+  snapshot_restore_stats_.loaded = true;
+  snapshot_restore_stats_.generation = report.generation;
+
+  for (const SnapshotPolicy& sp : image.policies) {
+    // Structural validation first: a snapshot section decodes under
+    // its CRC, but restore still refuses shapes the engine could
+    // crash on. Refusal means "skip" — the operator re-registers the
+    // policy as on any cold start.
+    DomainShape domain(sp.dims);
+    if (sp.registered_name.empty() || domain.size() == 0 ||
+        domain.size() != sp.num_vertices ||
+        sp.data.size() != domain.size()) {
+      ++snapshot_restore_stats_.items_skipped;
+      continue;
+    }
+    Graph graph(sp.num_vertices);
+    bool edges_ok = true;
+    for (const Graph::Edge& e : sp.edges) {
+      const bool u_ok = e.u < sp.num_vertices;
+      const bool v_ok = e.v < sp.num_vertices || e.v == Graph::kBottom;
+      if (!u_ok || !v_ok || e.u == e.v || graph.HasEdge(e.u, e.v)) {
+        edges_ok = false;
+        break;
+      }
+      graph.AddEdge(e.u, e.v);
+    }
+    if (!edges_ok || graph.num_edges() == 0) {
+      ++snapshot_restore_stats_.items_skipped;
+      continue;
+    }
+    Policy policy{sp.policy_name, std::move(domain), std::move(graph)};
+
+    // Same sequence as RegisterPolicy, but claiming the persisted
+    // version: ledger first (absorbing any journal-recovered spends
+    // for this (name, version)), then publish. ClaimVersion advances
+    // the registry counter past every restored version, so future
+    // registrations can never alias a persisted ledger or cache key.
+    Result<LedgerHandle> ledger = accountant_.OpenLedger(
+        PolicyLedger(sp.registered_name, sp.version), sp.epsilon_cap);
+    if (!ledger.ok()) {
+      ++snapshot_restore_stats_.items_skipped;
+      continue;
+    }
+    const Status registered =
+        registry_.Register(sp.registered_name, std::move(policy), sp.data,
+                           sp.epsilon_cap, sp.version, *ledger);
+    if (!registered.ok()) {
+      accountant_.CloseLedger(*ledger).Check();
+      ++snapshot_restore_stats_.items_skipped;
+      continue;
+    }
+    ++snapshot_restore_stats_.policies_restored;
+
+    Result<std::shared_ptr<const RegisteredPolicy>> entry =
+        registry_.Get(sp.registered_name);
+    if (!entry.ok()) continue;
+    for (const SnapshotPlanHint& hint : sp.plan_hints) {
+      if (hint.slot > 1) {
+        ++snapshot_restore_stats_.items_skipped;
+        continue;
+      }
+      PlanRequest plan_request;
+      plan_request.policy = entry.ValueOrDie()->policy;
+      plan_request.prefer_data_dependent = hint.slot == 1;
+      if (hint.certified_stretch >= 1) {
+        plan_request.certified_stretch = hint.certified_stretch;
+      }
+      Result<Plan> planned = PlanMechanism(std::move(plan_request));
+      // The replanned strategy must be the one the hint was recorded
+      // for — a kind mismatch means the planner (or the policy)
+      // changed since the snapshot, and a stretch hint recorded for a
+      // different strategy must not leak into this one.
+      if (!planned.ok() || planned.ValueOrDie().kind != hint.kind) {
+        ++snapshot_restore_stats_.items_skipped;
+        continue;
+      }
+      Plan plan = std::move(planned).ValueOrDie();
+      plan.audit_context = std::make_shared<const std::string>(
+          "policy '" + entry.ValueOrDie()->name + "' via " + plan.kind);
+      std::atomic_store_explicit(
+          &entry.ValueOrDie()->plan_slots[hint.slot],
+          std::shared_ptr<const Plan>(
+              std::make_shared<const Plan>(std::move(plan))),
+          std::memory_order_release);
+      ++snapshot_restore_stats_.plans_restored;
+    }
+  }
+
+  for (const SnapshotTransform& st : image.transforms) {
+    Result<std::shared_ptr<const RegisteredPolicy>> entry =
+        registry_.Get(st.registered_name);
+    if (!entry.ok() || entry.ValueOrDie()->version != st.version) {
+      ++snapshot_restore_stats_.items_skipped;  // stale or unknown
+      continue;
+    }
+    const size_t slot = st.data_dependent ? 1 : 0;
+    const std::shared_ptr<const Plan> plan = std::atomic_load_explicit(
+        &entry.ValueOrDie()->plan_slots[slot], std::memory_order_acquire);
+    if (plan == nullptr) {
+      ++snapshot_restore_stats_.items_skipped;  // no plan to decode with
+      continue;
+    }
+    PrecomputePtr pre = plan->mechanism->DecodePrecompute(
+        st.family, st.payload);
+    if (pre == nullptr) {
+      ++snapshot_restore_stats_.items_skipped;  // family/shape mismatch
+      continue;
+    }
+    const uint64_t key = (st.version << 1) | (st.data_dependent ? 1u : 0u);
+    PrecomputeShard& shard = precompute_shards_[PrecomputeShardOf(key)];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    PrecomputeEntry cached;
+    cached.bytes = pre->ApproxBytes();
+    cached.last_used =
+        transform_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    cached.pre = std::move(pre);
+    const auto [it, inserted] = shard.entries.emplace(key, std::move(cached));
+    if (inserted) {
+      transform_bytes_.fetch_add(it->second.bytes,
+                                 std::memory_order_relaxed);
+      ++snapshot_restore_stats_.transforms_restored;
+    } else {
+      ++snapshot_restore_stats_.items_skipped;  // duplicate section
+    }
+  }
+  // A restored set larger than the configured budget trims to the
+  // budget exactly as live inserts would.
+  if (options_.transform_cache_bytes != 0) {
+    EnforceTransformBudget(~0ull);
+  }
+}
+
+Status QueryEngine::WriteSnapshot() {
+  if (options_.snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "engine has no snapshot store (EngineOptions::snapshot_path unset)");
+  }
+  // Collect under brief locks (registry snapshots are immutable
+  // shared_ptrs; plan slots are atomics; each transform shard is held
+  // only long enough to copy key -> shared_ptr pairs). Serialization
+  // and file I/O then run with no engine lock held.
+  SnapshotImage image;
+  std::unordered_map<uint64_t, std::string> live_versions;
+  for (const std::string& name : registry_.Names()) {
+    Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+        registry_.Get(name);
+    if (!lookup.ok()) continue;  // raced an Unregister; skip
+    const RegisteredPolicy& entry = *lookup.ValueOrDie();
+    SnapshotPolicy sp;
+    sp.registered_name = entry.name;
+    sp.policy_name = entry.policy.name;
+    sp.version = entry.version;
+    sp.epsilon_cap = entry.epsilon_cap;
+    sp.dims = entry.policy.domain.dims();
+    sp.num_vertices = entry.policy.graph.num_vertices();
+    sp.edges = entry.policy.graph.edges();
+    sp.data = entry.data;
+    for (size_t slot = 0; slot < 2; ++slot) {
+      const std::shared_ptr<const Plan> plan = std::atomic_load_explicit(
+          &entry.plan_slots[slot], std::memory_order_acquire);
+      if (plan == nullptr) continue;
+      SnapshotPlanHint hint;
+      hint.slot = static_cast<uint8_t>(slot);
+      hint.kind = plan->kind;
+      hint.certified_stretch = plan->stretch;
+      sp.plan_hints.push_back(std::move(hint));
+    }
+    live_versions.emplace(entry.version, entry.name);
+    image.policies.push_back(std::move(sp));
+  }
+
+  std::vector<std::pair<uint64_t, PrecomputePtr>> resident;
+  for (const PrecomputeShard& shard : precompute_shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry.pre != nullptr) resident.emplace_back(key, entry.pre);
+    }
+  }
+  for (const auto& [key, pre] : resident) {
+    const auto live = live_versions.find(key >> 1);
+    if (live == live_versions.end()) continue;  // superseded version
+    SnapshotTransform st;
+    st.family = std::string(pre->SerialFamily());
+    if (st.family.empty() || !pre->EncodePayload(&st.payload)) {
+      continue;  // family not serializable; it will recompute on use
+    }
+    st.registered_name = live->second;
+    st.version = key >> 1;
+    st.data_dependent = (key & 1u) != 0;
+    image.transforms.push_back(std::move(st));
+  }
+
+  return snapshot::Write(options_.snapshot_path, image,
+                         options_.snapshot_keep_generations);
 }
 
 // Spreads precompute keys (consecutive versions) across shards.

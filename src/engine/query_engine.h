@@ -162,6 +162,25 @@ struct EngineOptions {
   /// Test seam: pluggable journal I/O (fault injection; not owned).
   /// Null uses POSIX.
   JournalIo* journal_io = nullptr;
+
+  // ---- snapshot-store knobs (see engine/snapshot_store.h) ----
+
+  /// Directory of the warm-restart snapshot store. Empty (default)
+  /// disables it. Non-empty: construction maps the newest valid
+  /// snapshot generation and pre-populates the registry, the plan
+  /// slots, and the transform cache, so previously-warm requests
+  /// readmit without replanning or recomputing — bit-identically,
+  /// since transforms round trip as IEEE bit patterns. Strictly
+  /// fail-open: a missing or corrupt snapshot means a cold start
+  /// (older generations are tried first), never a refusal — unlike
+  /// the journal, the snapshot carries no privacy state, only
+  /// recomputable caches. WriteSnapshot() persists the next
+  /// generation.
+  std::string snapshot_path;
+  /// Snapshot generations retained on disk after a successful
+  /// WriteSnapshot (>= 1 enforced; 2 keeps one fallback for a torn
+  /// newest file).
+  size_t snapshot_keep_generations = 2;
 };
 
 /// \brief One query: a linear workload against a registered policy,
@@ -248,6 +267,36 @@ class QueryEngine {
   /// The crash-safe spend journal, or null when durability is off
   /// (stats and tests).
   const LedgerJournal* journal() const { return journal_.get(); }
+
+  /// Serializes the current registry + plan slots + transform cache
+  /// as the next snapshot generation under
+  /// EngineOptions::snapshot_path (atomic: write-temp + fsync +
+  /// rename + directory fsync; a crash mid-write never touches the
+  /// previous generation). State is collected under brief per-shard
+  /// locks; serialization and I/O run with no engine lock held.
+  /// kInvalidArgument when no snapshot path is configured.
+  Status WriteSnapshot();
+
+  /// \brief What construction restored from the snapshot store (all
+  /// zeros / false when no snapshot was configured or none was
+  /// valid). Written once during construction, immutable after.
+  struct SnapshotRestoreStats {
+    bool loaded = false;          ///< a valid generation was mapped
+    uint64_t generation = 0;      ///< its generation number
+    size_t policies_restored = 0;
+    size_t plans_restored = 0;       ///< plan slots pre-populated
+    size_t transforms_restored = 0;  ///< precomputes pre-populated
+    /// Sections present in the snapshot but not restored (stale
+    /// version, failed validation, unknown family) — each one is a
+    /// fail-open fallback to cold compute, not an error.
+    size_t items_skipped = 0;
+    /// Corrupt/unreadable generation files that were passed over
+    /// ("file: reason"), newest first.
+    std::vector<std::string> skipped_files;
+  };
+  const SnapshotRestoreStats& snapshot_restore_stats() const {
+    return snapshot_restore_stats_;
+  }
 
   /// Publishes `policy` and the histogram it protects; `epsilon_cap`
   /// bounds total spend across all sessions for the life of the entry.
@@ -412,6 +461,16 @@ class QueryEngine {
   /// never wrong.
   void MaybeCheckpointJournal();
 
+  /// Construction-time warm restart: maps the newest valid snapshot
+  /// generation and re-registers its policies (claiming their
+  /// persisted versions), replans each recorded plan slot with the
+  /// certified-stretch hint (skipping the certification BFS), and
+  /// pre-populates the transform cache from the decoded precomputes.
+  /// Every failure is fail-open: the item is skipped and recomputed
+  /// lazily on first contact. Runs before any submit can exist, so it
+  /// touches the shards without contention.
+  void RestoreFromSnapshot();
+
   /// Draws the submit's noise (its private rng stream) and wraps the
   /// incremental remainder of the release in a cursor; mirrors
   /// Release()'s dispatch (grid fast path / summed-area / dense
@@ -523,6 +582,10 @@ class QueryEngine {
   std::atomic<uint64_t> transform_clock_{0};
   std::atomic<size_t> transform_bytes_{0};
   std::atomic<uint64_t> transform_evictions_{0};
+
+  /// Filled once by RestoreFromSnapshot() during construction (no
+  /// concurrent access exists yet), read-only afterwards.
+  SnapshotRestoreStats snapshot_restore_stats_;
 
   std::atomic<uint64_t> submit_counter_{0};
   /// Serializes policy lifecycle ops (register/replace/unregister) so

@@ -327,7 +327,11 @@ void EpsilonAuditLog::Append(AuditEvent event) {
   if (capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
   event.seq = ++total_;
-  event.wall_micros = WallMicros();
+  // system_clock can step backwards (NTP slew, VM migration); audit
+  // consumers replay by (seq, t_us), so clamp against the previous
+  // event to keep the ring's timestamps non-decreasing.
+  event.wall_micros = std::max(WallMicros(), last_wall_micros_);
+  last_wall_micros_ = event.wall_micros;
   const size_t slot = static_cast<size_t>((event.seq - 1) % capacity_);
   if (slot < ring_.size()) {
     ring_[slot] = std::move(event);
@@ -509,7 +513,6 @@ void EngineTelemetry::FinishTrace(RequestTrace* trace, bool ok) {
   if (trace == nullptr || !trace->active()) return;
   TraceRecord record;
   record.trace_id = trace->trace_id_;
-  record.wall_micros = WallMicros();
   record.ok = ok;
   for (size_t i = 0; i < kTraceStageCount; ++i) {
     record.stage_ms[i] = trace->stage_ms_[i];
@@ -520,6 +523,11 @@ void EngineTelemetry::FinishTrace(RequestTrace* trace, bool ok) {
   trace->Reset();
   if (trace_capacity_ == 0) return;
   std::lock_guard<std::mutex> lock(trace_mu_);
+  // Stamped under the ring lock (not at function entry) so concurrent
+  // finishes get wall times in ring order, clamped non-decreasing
+  // against the previous record for the same reason as the audit log.
+  record.wall_micros = std::max(WallMicros(), last_trace_wall_micros_);
+  last_trace_wall_micros_ = record.wall_micros;
   const size_t slot = static_cast<size_t>(trace_total_++ % trace_capacity_);
   if (slot < trace_ring_.size()) {
     trace_ring_[slot] = record;

@@ -381,6 +381,9 @@ class EpsilonAuditLog {
   /// index = (seq - 1) % capacity
   std::vector<AuditEvent> ring_ GUARDED_BY(mu_);
   uint64_t total_ GUARDED_BY(mu_) = 0;
+  /// Clamp for non-decreasing wall_micros across ring events (the
+  /// system clock itself may step backwards).
+  int64_t last_wall_micros_ GUARDED_BY(mu_) = 0;
   std::function<void(const AuditEvent&)> sink_ GUARDED_BY(mu_);
 };
 
@@ -436,6 +439,8 @@ class EngineTelemetry {
   mutable std::mutex trace_mu_;
   std::vector<TraceRecord> trace_ring_ GUARDED_BY(trace_mu_);
   uint64_t trace_total_ GUARDED_BY(trace_mu_) = 0;
+  /// Clamp for non-decreasing wall_micros across ring records.
+  int64_t last_trace_wall_micros_ GUARDED_BY(trace_mu_) = 0;
 };
 
 }  // namespace blowfish

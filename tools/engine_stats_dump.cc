@@ -19,6 +19,18 @@
 // same journal directory with a fresh engine, and require every
 // re-opened ledger to resume at bit-exactly the pre-shutdown balance.
 // Exits nonzero on any mismatch — CI runs this before ledger_fsck.
+//
+// --snapshot <dir> runs the warm-restart smoke: fork a child that
+// warms an engine and loops WriteSnapshot, SIGKILL it mid-loop, then
+// re-open the directory with a fresh engine and require (a) a valid
+// generation restored, (b) the first submit to hit the plan cache
+// with zero misses, and (c) the answer to be bit-identical to a cold
+// engine with the same seed. The directory is left behind for
+// snapshot_fsck — CI runs the fsck over it next.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
@@ -30,6 +42,7 @@
 #include <vector>
 
 #include "engine/async_engine.h"
+#include "engine/snapshot_store.h"
 #include "workload/builders.h"
 
 namespace {
@@ -41,7 +54,7 @@ using namespace blowfish;
   std::fprintf(stderr,
                "usage: engine_stats_dump [--format json|prom] "
                "[--out PREFIX] [--requests N] [--sample-rate R] "
-               "[--journal DIR]\n");
+               "[--journal DIR] [--snapshot DIR]\n");
   std::exit(2);
 }
 
@@ -49,6 +62,7 @@ struct Args {
   std::string format = "json";
   std::string out;
   std::string journal;
+  std::string snapshot;
   int requests = 64;
   double sample_rate = 1.0;
 };
@@ -70,6 +84,8 @@ Args Parse(int argc, char** argv) {
       args.out = value();
     } else if (flag == "--journal") {
       args.journal = value();
+    } else if (flag == "--snapshot") {
+      args.snapshot = value();
     } else if (flag == "--requests") {
       args.requests = std::atoi(value());
       if (args.requests < 1) Usage("--requests must be >= 1");
@@ -186,11 +202,130 @@ int RunJournalSmoke(const Args& args) {
   return 0;
 }
 
+/// Warm-restart smoke: a forked writer warms an engine and loops
+/// WriteSnapshot until SIGKILLed; the parent then re-opens the store
+/// and requires a warm, bit-identical engine. Leaves the directory
+/// behind for snapshot_fsck.
+int RunSnapshotSmoke(const Args& args) {
+  EngineOptions options;
+  options.seed = 2015;
+  options.snapshot_path = args.snapshot;
+
+  const auto register_all = [](QueryEngine& engine) {
+    engine.RegisterPolicy("salaries", LinePolicy(16), Ramp(16, 13), 4.0)
+        .Check();
+    engine
+        .RegisterPolicy("mobility", GridPolicy(DomainShape({16, 16}), 4),
+                        Ramp(256, 17), 4.0)
+        .Check();
+    engine.OpenSession("alice", 1e6).Check();
+  };
+  QueryRequest request;
+  request.session = "alice";
+  request.policy = "salaries";
+  request.workload = IdentityWorkload(16);
+  request.epsilon = 0.01;
+
+  int ack_pipe[2];
+  if (pipe(ack_pipe) != 0) {
+    std::fprintf(stderr, "snapshot smoke: pipe failed\n");
+    return 1;
+  }
+  const pid_t child = fork();
+  if (child < 0) {
+    std::fprintf(stderr, "snapshot smoke: fork failed\n");
+    return 1;
+  }
+  if (child == 0) {
+    // Writer: warm both policies, then publish snapshot generations
+    // until killed, acking one byte per completed WriteSnapshot.
+    close(ack_pipe[0]);
+    QueryEngine engine(options);
+    register_all(engine);
+    engine.Submit(request).status().Check();
+    QueryRequest grid = request;
+    grid.policy = "mobility";
+    grid.workload = IdentityWorkload(256);
+    engine.Submit(grid).status().Check();
+    for (;;) {
+      engine.WriteSnapshot().Check();
+      const char ack = 's';
+      if (write(ack_pipe[1], &ack, 1) != 1) _exit(0);
+    }
+  }
+  close(ack_pipe[1]);
+  int acks = 0;
+  char byte = 0;
+  while (acks < 6 && read(ack_pipe[0], &byte, 1) == 1) ++acks;
+  kill(child, SIGKILL);
+  int wstatus = 0;
+  waitpid(child, &wstatus, 0);
+  while (read(ack_pipe[0], &byte, 1) == 1) ++acks;  // drain late acks
+  close(ack_pipe[0]);
+  if (acks < 6) {
+    std::fprintf(stderr, "snapshot smoke: writer died early (%d acks)\n",
+                 acks);
+    return 1;
+  }
+
+  // Reopen: rename-is-publish means the kill must not have cost us a
+  // valid generation, and the restored engine must be warm.
+  QueryEngine restored(options);
+  const QueryEngine::SnapshotRestoreStats& stats =
+      restored.snapshot_restore_stats();
+  if (!stats.loaded || stats.policies_restored != 2) {
+    std::fprintf(stderr,
+                 "snapshot smoke: restore incomplete (loaded=%d policies=%zu)\n",
+                 stats.loaded ? 1 : 0, stats.policies_restored);
+    return 1;
+  }
+  for (const std::string& skipped : stats.skipped_files) {
+    std::fprintf(stderr, "snapshot smoke: skipped %s\n", skipped.c_str());
+  }
+  restored.OpenSession("alice", 1e6).Check();
+  const QueryResult warm = restored.Submit(request).ValueOrDie();
+  const PlanCache::Stats cache = restored.plan_cache_stats();
+  if (!warm.plan_cache_hit || cache.misses != 0) {
+    std::fprintf(stderr,
+                 "snapshot smoke: restart was cold (hit=%d misses=%" PRIu64
+                 ")\n",
+                 warm.plan_cache_hit ? 1 : 0,
+                 static_cast<uint64_t>(cache.misses));
+    return 1;
+  }
+
+  // Same seed + same registration order: the restored engine's first
+  // submit must be bit-identical to a cold engine's.
+  EngineOptions cold_options;
+  cold_options.seed = 2015;
+  QueryEngine cold(cold_options);
+  register_all(cold);
+  const QueryResult reference = cold.Submit(request).ValueOrDie();
+  if (warm.answers.size() != reference.answers.size()) {
+    std::fprintf(stderr, "snapshot smoke: answer size diverges\n");
+    return 1;
+  }
+  for (size_t i = 0; i < warm.answers.size(); ++i) {
+    if (!BitExact(warm.answers[i], reference.answers[i])) {
+      std::fprintf(stderr,
+                   "snapshot smoke: answer[%zu] diverges: %.17g != %.17g\n",
+                   i, warm.answers[i], reference.answers[i]);
+      return 1;
+    }
+  }
+  std::printf("snapshot smoke: PASS dir=%s generation=%" PRIu64
+              " acks=%d transforms_restored=%zu\n",
+              args.snapshot.c_str(), stats.generation, acks,
+              stats.transforms_restored);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = Parse(argc, argv);
   if (!args.journal.empty()) return RunJournalSmoke(args);
+  if (!args.snapshot.empty()) return RunSnapshotSmoke(args);
 
   EngineOptions options;
   options.seed = 2015;  // reproducible demo traffic
