@@ -23,6 +23,9 @@
 //   6. warm-restart snapshot store: cold start (register + certify +
 //      transform + first submit) vs restart from a snapshot (mmap +
 //      decode + first submit) for the spanner-backed theta subject
+//   7. observability overhead: the warm x4 flood with the obs plane
+//      stripped (no tenant families / flight recorder / burn tracker)
+//      vs the full plane with a live 1 Hz /metrics scraper attached
 //
 // Exit status enforces the performance floor (skipped with --smoke):
 //   - each policy plans exactly once (cache accounting)
@@ -42,6 +45,8 @@
 //     the two runs here are distinct submits with distinct noise)
 //   - warm restart from a snapshot admits the spanner-backed subject
 //     >= 10x faster than its cold start, with zero plan-cache misses
+//   - the obs plane is free at the advertised price: warm x4 geomean
+//     with obs + scraper >= 0.95x of the stripped engine
 //
 // Structural checks enforced even in --smoke (a zero would mean the
 // bench measured nothing, not that the code is slow):
@@ -866,6 +871,119 @@ int main(int argc, char** argv) {
     ::rmdir(dir.c_str());
   }
 
+  // ------------------------------------------------------------------
+  // Observability overhead. The per-request obs work (tenant family
+  // updates, flight record, burn window arithmetic) plus a live
+  // scraper must cost < 5% of warm x4 throughput — otherwise "always
+  // on" is a lie operators pay for. `off` strips the plane entirely
+  // (the pre-obs engine); `on` runs the defaults plus an in-process
+  // scrape server polled at 1 Hz, the deployment this PR recommends.
+  double obs_geomean_ratio = 0.0;
+  struct ObsRow {
+    std::string name;
+    double qps_off = 0.0;
+    double qps_on = 0.0;
+    double ratio = 0.0;
+  };
+  std::vector<ObsRow> obs_rows;
+  uint64_t obs_scrapes = 0;
+  {
+    bench::PrintHeader(
+        "BENCH_ENGINE observability overhead (warm x" +
+            std::to_string(threads_x4) + ", obs plane + 1 Hz /metrics "
+            "scraper vs stripped engine)",
+        {"qps obs off", "qps obs on", "ratio"});
+    std::vector<double> ratios;
+    for (Subject& subject : subjects) {
+      const auto prime = [&](QueryEngine* engine) {
+        engine
+            ->RegisterPolicy(subject.policy_name, subject.policy,
+                             Ramp(subject.domain), 1e9)
+            .Check();
+        engine->OpenSession("prime", 1e9).Check();
+        QueryRequest request;
+        request.session = "prime";
+        request.policy = subject.policy_name;
+        request.workload = IdentityWorkload(subject.domain);
+        request.epsilon = 0.1;
+        engine->Submit(request).ValueOrDie();  // plan once, off the clock
+      };
+
+      EngineOptions off_options;
+      off_options.seed = 2015;
+      off_options.warm_plan_cache = false;
+      off_options.tenant_metrics_capacity = 0;
+      off_options.flight_recorder_capacity = 0;
+      off_options.burn_alerts_enabled = false;
+      QueryEngine engine_off(off_options);
+      prime(&engine_off);
+      ObsRow row;
+      row.name = subject.policy_name;
+      row.qps_off = WarmQps(&engine_off, subject, 4, threads_x4,
+                            warm_submits / 2, /*use_handles=*/true);
+
+      EngineOptions on_options;  // obs defaults: families + flight on
+      on_options.seed = 2015;
+      on_options.warm_plan_cache = false;
+      on_options.obs_port = 0;
+      QueryEngine engine_on(on_options);
+      if (engine_on.obs_server() == nullptr) {
+        std::fprintf(stderr, "obs server failed to start: %s\n",
+                     engine_on.obs_error().ToString().c_str());
+        return 1;
+      }
+      prime(&engine_on);
+      const int port = engine_on.obs_server()->port();
+      std::atomic<bool> stop_scraper{false};
+      std::thread scraper([port, &stop_scraper, &obs_scrapes] {
+        while (!stop_scraper.load(std::memory_order_acquire)) {
+          const Result<HttpResponse> scrape = ObsHttpGet(port, "/metrics");
+          if (scrape.ok() && scrape.ValueOrDie().status == 200) {
+            ++obs_scrapes;
+          }
+          // 1 Hz, polled in 50 ms slices so teardown is prompt.
+          for (int i = 0; i < 20 && !stop_scraper.load(); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+      });
+      row.qps_on = WarmQps(&engine_on, subject, 4, threads_x4,
+                           warm_submits / 2, /*use_handles=*/true);
+      stop_scraper.store(true, std::memory_order_release);
+      scraper.join();
+
+      row.ratio = row.qps_on / row.qps_off;
+      ratios.push_back(row.ratio);
+      bench::PrintRow(subject.label,
+                      {bench::Fmt(row.qps_off), bench::Fmt(row.qps_on),
+                       bench::Fmt(row.ratio) + "x"});
+      obs_rows.push_back(row);
+    }
+    obs_geomean_ratio = Geomean(ratios);
+    std::printf(
+        "  obs-plane geomean throughput ratio: %.3fx (floor 0.95x), "
+        "%llu live scrapes\n",
+        obs_geomean_ratio, static_cast<unsigned long long>(obs_scrapes));
+    // Structural (smoke too): the scraper must have actually scraped a
+    // live server at least once per subject, or the "on" lane measured
+    // an idle obs plane.
+    if (obs_scrapes < subjects.size()) {
+      std::fprintf(stderr,
+                   "scraper landed %llu scrapes over %zu subjects — the "
+                   "obs lane was not exercised\n",
+                   static_cast<unsigned long long>(obs_scrapes),
+                   subjects.size());
+      return 1;
+    }
+    if (!smoke && obs_geomean_ratio < 0.95) {
+      std::fprintf(stderr,
+                   "obs plane costs %.1f%% of warm x4 throughput "
+                   "(geomean ratio %.3f, floor 0.95)\n",
+                   (1.0 - obs_geomean_ratio) * 100.0, obs_geomean_ratio);
+      failed = true;
+    }
+  }
+
   if (write_json) {
     FILE* out = std::fopen("BENCH_engine.json", "w");
     if (out == nullptr) {
@@ -946,9 +1064,23 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "  \"snapshot\": {\"cold_start_ms\": %.3f, "
                  "\"warm_restart_ms\": %.3f, \"speedup\": %.2f, "
-                 "\"generation\": %llu}\n",
+                 "\"generation\": %llu},\n",
                  snap_cold_ms, snap_warm_ms, snap_speedup,
                  static_cast<unsigned long long>(snap_generation));
+    std::fprintf(out, "  \"obs\": {\n    \"subjects\": [\n");
+    for (size_t i = 0; i < obs_rows.size(); ++i) {
+      const ObsRow& row = obs_rows[i];
+      std::fprintf(out,
+                   "      {\"name\": \"%s\", \"warm_qps_x4_obs_off\": %.1f, "
+                   "\"warm_qps_x4_obs_on\": %.1f, \"ratio\": %.4f}%s\n",
+                   row.name.c_str(), row.qps_off, row.qps_on, row.ratio,
+                   i + 1 < obs_rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "    ],\n    \"geomean_ratio\": %.4f, "
+                 "\"scrapes\": %llu, \"scrape_hz\": 1\n  }\n",
+                 obs_geomean_ratio,
+                 static_cast<unsigned long long>(obs_scrapes));
     std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("  wrote BENCH_engine.json\n");

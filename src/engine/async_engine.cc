@@ -299,7 +299,13 @@ void AsyncQueryEngine::WorkerLoop() {
       RunStreamTask(std::move(task), cold_leader);
       continue;
     }
-    Process(task.get());
+    {
+      // Flight records written inside Submit/SubmitBatch carry the
+      // lane this execution actually ran on.
+      FlightLaneScope lane_scope(task->cold ? FlightLane::kAsyncCold
+                                            : FlightLane::kAsyncWarm);
+      Process(task.get());
+    }
     if (cold_leader) FinishCold(task->cold_key);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -310,6 +316,8 @@ void AsyncQueryEngine::WorkerLoop() {
 
 void AsyncQueryEngine::RunStreamTask(TaskPtr task, bool cold_leader) {
   Task* t = task.get();
+  // Flight records from the admission below carry the stream lane.
+  FlightLaneScope lane_scope(FlightLane::kAsyncStream);
   // Local handle: once the task parks, `t` may be freed by a
   // concurrent shutdown sweep — only the stream may be touched then.
   const std::shared_ptr<ResultStream> stream = t->stream;

@@ -1,9 +1,105 @@
 #include "engine/budget_accountant.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 namespace blowfish {
+
+namespace {
+int64_t BurnClockMicros(const BurnRateConfig& config) {
+  if (config.now_micros) return config.now_micros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+// --------------------------------------------------------- burn rate
+
+void BudgetAccountant::BurnWindow::Advance(int64_t now_us, double window_s) {
+  const double width_us = window_s * 1e6 / static_cast<double>(kBuckets);
+  const int64_t bucket =
+      width_us <= 0.0 ? 0
+                      : static_cast<int64_t>(
+                            static_cast<double>(now_us) / width_us);
+  if (newest < 0) {
+    for (double& b : spend) b = 0.0;
+    newest = bucket;
+    return;
+  }
+  // A clock stepping backwards just keeps accumulating into the
+  // current bucket — rates smear slightly, accounting is unaffected.
+  if (bucket <= newest) return;
+  const int64_t steps = bucket - newest;
+  if (steps >= static_cast<int64_t>(kBuckets)) {
+    for (double& b : spend) b = 0.0;
+  } else {
+    for (int64_t s = 1; s <= steps; ++s) {
+      spend[static_cast<size_t>(newest + s) % kBuckets] = 0.0;
+    }
+  }
+  newest = bucket;
+}
+
+double BudgetAccountant::BurnWindow::Sum() const {
+  double total = 0.0;
+  for (const double b : spend) total += b;
+  return total;
+}
+
+void BudgetAccountant::UpdateBurn(Slot* slot, double epsilon,
+                                  double balance) {
+  if (!burn_config_.enabled) return;
+  const int64_t now_us = BurnClockMicros(burn_config_);
+  slot->burn.fast.Advance(now_us, burn_config_.fast_window_s);
+  slot->burn.slow.Advance(now_us, burn_config_.slow_window_s);
+  slot->burn.fast.Add(epsilon);
+  slot->burn.slow.Add(epsilon);
+  const double fast_rate =
+      slot->burn.fast.Sum() / burn_config_.fast_window_s;
+  const double slow_rate =
+      slot->burn.slow.Sum() / burn_config_.slow_window_s;
+  const double inf = std::numeric_limits<double>::infinity();
+  const double projected_fast = fast_rate > 0.0 ? balance / fast_rate : inf;
+  const double projected_slow = slow_rate > 0.0 ? balance / slow_rate : inf;
+  // Both windows must project exhaustion inside the horizon: the fast
+  // window reacts within seconds of a burst, the slow window keeps a
+  // single spike from flapping the alert.
+  const bool alerting = projected_fast < burn_config_.alert_horizon_s &&
+                        projected_slow < burn_config_.alert_horizon_s;
+  if (alerting == slot->burn.alerting) return;
+  slot->burn.alerting = alerting;
+  burn_active_.fetch_add(alerting ? 1 : -1, std::memory_order_relaxed);
+  if (burn_alerts_ == nullptr) return;
+  BurnAlert alert;
+  alert.fired = alerting;
+  alert.wall_micros = now_us;
+  alert.ledger_id = slot->id;
+  alert.remaining = balance;
+  alert.fast_rate = fast_rate;
+  alert.slow_rate = slow_rate;
+  alert.projected_s = projected_fast;
+  burn_alerts_->Append(std::move(alert));
+}
+
+void BudgetAccountant::RetireBurn(Slot* slot) {
+  if (slot->burn.alerting) {
+    burn_active_.fetch_sub(1, std::memory_order_relaxed);
+    if (burn_alerts_ != nullptr) {
+      BurnAlert alert;
+      alert.fired = false;
+      alert.wall_micros = BurnClockMicros(burn_config_);
+      alert.ledger_id = slot->id;
+      alert.remaining =
+          slot->budget.has_value() ? slot->budget->remaining() : 0.0;
+      burn_alerts_->Append(std::move(alert));
+    }
+  }
+  slot->burn = BurnState{};
+}
 
 BudgetAccountant::Slot* BudgetAccountant::SlotFor(LedgerHandle handle) {
   return const_cast<Slot*>(
@@ -81,6 +177,7 @@ Status BudgetAccountant::CloseLedger(const std::string& id) {
     return Status::NotFound("ledger '" + id + "' is not open");
   }
   Slot& slot = shard.slots[it->second];
+  RetireBurn(&slot);
   slot.budget.reset();
   slot.id.clear();
   ++slot.generation;  // outstanding handles go stale
@@ -99,6 +196,7 @@ Status BudgetAccountant::CloseLedger(LedgerHandle handle) {
   if (slot == nullptr) {
     return Status::NotFound("ledger handle is stale");
   }
+  RetireBurn(slot);
   shard.by_id.erase(slot->id);
   slot->budget.reset();
   slot->id.clear();
@@ -116,6 +214,7 @@ size_t BudgetAccountant::CloseLedgersWithPrefix(const std::string& prefix) {
     for (auto it = shard.by_id.begin(); it != shard.by_id.end();) {
       if (it->first.compare(0, prefix.size(), prefix) == 0) {
         Slot& slot = shard.slots[it->second];
+        RetireBurn(&slot);
         slot.budget.reset();
         slot.id.clear();
         ++slot.generation;
@@ -235,6 +334,9 @@ Status BudgetAccountant::Charge(const LedgerHandle* handles, size_t count,
     const double balance = slot->budget->remaining();
     if (remaining != nullptr) remaining[i] = balance;
     if (i < AuditEvent::kMaxLedgers) balances[i] = balance;
+    // Burn-rate tracking rides the commit loop: same shard locks, so
+    // alert order is consistent with audit/spend order.
+    UpdateBurn(slot, epsilon, balance);
   }
   // Still under every involved shard lock: the append's position in
   // the log matches this charge's position in each ledger's spend

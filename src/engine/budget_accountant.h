@@ -34,13 +34,16 @@
 #ifndef BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 #define BLOWFISH_ENGINE_BUDGET_ACCOUNTANT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -96,6 +99,25 @@ struct ChargeTag {
   std::string_view workload;
   std::shared_ptr<const std::string> context;
   uint32_t parallel_count = 1;
+};
+
+/// \brief ε burn-rate tracking configuration (SRE-style two-window
+/// burn alerting, per ledger). A ledger alerts when BOTH windows'
+/// spend rates project exhaustion of its remaining budget within
+/// `alert_horizon_s` — the fast window reacts to bursts, the slow
+/// window keeps a brief spike from paging anyone. The alert clears
+/// (and a cleared event is emitted) when a later spend no longer
+/// projects exhaustion; an idle ledger keeps its last state.
+struct BurnRateConfig {
+  bool enabled = false;
+  double fast_window_s = 60.0;
+  double slow_window_s = 600.0;
+  /// "This ledger exhausts in under alert_horizon_s at the current
+  /// rate" is the firing condition (default: 10 minutes).
+  double alert_horizon_s = 600.0;
+  /// Test seam: the tracker's clock, in microseconds. Null uses the
+  /// system clock. A scripted clock makes window trip points exact.
+  std::function<int64_t()> now_micros;
 };
 
 /// \brief Thread-safe, sharded registry of PrivacyBudget ledgers with
@@ -191,11 +213,51 @@ class BudgetAccountant {
   /// `lock-order` rule pins the ascending acquisition.)
   Status WriteCheckpoint() NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Configures per-ledger ε burn-rate tracking and attaches the
+  /// alert ring (not owned; null log tracks rates but emits nothing).
+  /// Burn state updates happen inside Charge's commit loop under the
+  /// same shard locks that order audit events, so the alert stream
+  /// interleaves consistently with the spend record. Call before
+  /// traffic (the engine wires it at construction).
+  void SetBurnRate(BurnRateConfig config, BurnAlertLog* alerts) {
+    burn_config_ = std::move(config);
+    burn_alerts_ = alerts;
+  }
+
+  /// Ledgers currently in the alerting state (for the health report;
+  /// mirrors BurnAlertLog::active when a log is attached).
+  int64_t burn_alerts_active() const {
+    return burn_active_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// One sliding window of recent spend, bucketed so advancing the
+  /// clock retires old spend in O(kBuckets) worst case and O(1)
+  /// steady-state. Covers kBuckets rotating buckets of width
+  /// window_s / kBuckets; Sum() over-counts by at most one stale
+  /// bucket width — rate estimation, not accounting.
+  struct BurnWindow {
+    static constexpr size_t kBuckets = 16;
+    double spend[kBuckets] = {};
+    int64_t newest = -1;  ///< absolute bucket index; -1 = untouched
+
+    void Advance(int64_t now_us, double window_s);
+    void Add(double epsilon) {
+      spend[static_cast<size_t>(newest) % kBuckets] += epsilon;
+    }
+    double Sum() const;
+  };
+  struct BurnState {
+    BurnWindow fast;
+    BurnWindow slow;
+    bool alerting = false;
+  };
+
   struct Slot {
     std::optional<PrivacyBudget> budget;  ///< nullopt = closed/free
     uint32_t generation = 1;              ///< bumped on every close
     std::string id;                       ///< for audits and refusals
+    BurnState burn;                       ///< reset on close
   };
   struct Shard {
     mutable std::mutex mu;
@@ -235,9 +297,25 @@ class BudgetAccountant {
                              bool charged,
                              StatusCode refusal) NO_THREAD_SAFETY_ANALYSIS;
 
+  /// Folds one committed spend into the slot's burn windows and fires
+  /// or clears the ledger's alert on a state transition. Called from
+  /// Charge's commit loop with the slot's shard lock held (the same
+  /// dynamic-set opt-out as RecordAudit); `balance` is the post-charge
+  /// remaining ε.
+  void UpdateBurn(Slot* slot, double epsilon,
+                  double balance) NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Emits a cleared alert for a closing slot stuck in the alerting
+  /// state (so the active count never leaks) and resets its burn
+  /// state. Caller holds the slot's shard lock.
+  void RetireBurn(Slot* slot) NO_THREAD_SAFETY_ANALYSIS;
+
   Shard shards_[kShardCount];
   EpsilonAuditLog* audit_log_ = nullptr;
   LedgerJournal* journal_ = nullptr;
+  BurnRateConfig burn_config_;
+  BurnAlertLog* burn_alerts_ = nullptr;
+  std::atomic<int64_t> burn_active_{0};
 };
 
 }  // namespace blowfish

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <utility>
 
 #include "core/grid_theta_adapter.h"
@@ -54,17 +57,65 @@ Status CheckDomain(const RequestShape& shape, const RegisteredPolicy& entry) {
   return Status::OK();
 }
 
+FlightOutcome FlightOutcomeOf(const Status& status) {
+  if (status.ok()) return FlightOutcome::kOk;
+  switch (status.code()) {
+    case StatusCode::kOutOfRange:
+      return FlightOutcome::kRefusedBudget;
+    case StatusCode::kUnavailableDurability:
+      return FlightOutcome::kRefusedDurability;
+    default:
+      return FlightOutcome::kFailed;
+  }
+}
+
+int64_t WallMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendHealthzString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back(' ');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(EngineOptions options)
-    : options_(options),
-      seed_(options.seed.has_value() ? *options.seed : Rng::EntropySeed()),
-      telemetry_(options.trace_sample_rate, options.audit_log_capacity),
-      plan_cache_(options.plan_cache_bytes) {
+    : options_(std::move(options)),
+      seed_(options_.seed.has_value() ? *options_.seed : Rng::EntropySeed()),
+      telemetry_(options_.trace_sample_rate, options_.audit_log_capacity,
+                 /*trace_ring_capacity=*/256,
+                 options_.flight_recorder_capacity,
+                 options_.burn_alert_capacity),
+      plan_cache_(options_.plan_cache_bytes) {
   // Every spend/refusal the accountant decides lands in the audit
   // ring, appended under the charge's shard locks (see telemetry.h
   // for the ordering guarantee that buys).
   accountant_.SetAuditLog(&telemetry_.audit());
+
+  telemetry_.flight().ConfigureBurst(options_.flight_burst_window,
+                                     options_.flight_burst_refusals);
+  if (options_.burn_alerts_enabled) {
+    BurnRateConfig burn;
+    burn.enabled = true;
+    burn.fast_window_s = options_.burn_fast_window_s;
+    burn.slow_window_s = options_.burn_slow_window_s;
+    burn.alert_horizon_s = options_.burn_alert_horizon_s;
+    burn.now_micros = options_.burn_clock_micros;
+    accountant_.SetBurnRate(std::move(burn), &telemetry_.burn_alerts());
+  }
 
   if (!options_.journal_path.empty()) {
     JournalOptions jopts;
@@ -92,14 +143,54 @@ QueryEngine::QueryEngine(EngineOptions options)
   }
 
   MetricsRegistry& metrics = telemetry_.metrics();
-  m_submits_ = metrics.counter("engine_submits_total");
-  m_failures_ = metrics.counter("engine_submit_failures_total");
-  m_refused_budget_ = metrics.counter("engine_refused_budget_total");
-  m_batches_ = metrics.counter("engine_batches_total");
-  m_batch_entries_ = metrics.counter("engine_batch_entries_total");
-  m_streams_ = metrics.counter("engine_streams_total");
-  m_eps_charged_ = metrics.double_counter("engine_epsilon_charged_total");
-  m_submit_latency_ = metrics.histogram("engine_submit_latency_ms");
+  m_submits_ = metrics.counter("engine_submits_total",
+                               "Submit attempts, including refused ones");
+  m_failures_ = metrics.counter("engine_submit_failures_total",
+                                "Submit attempts that returned an error");
+  m_refused_budget_ = metrics.counter(
+      "engine_refused_budget_total",
+      "Submits refused with kOutOfRange: a ledger could not afford the "
+      "requested epsilon");
+  m_batches_ = metrics.counter("engine_batches_total", "SubmitBatch calls");
+  m_batch_entries_ = metrics.counter("engine_batch_entries_total",
+                                     "Entries across all batches");
+  m_streams_ = metrics.counter("engine_streams_total",
+                               "Stream admissions attempted");
+  m_eps_charged_ = metrics.double_counter(
+      "engine_epsilon_charged_total",
+      "Total epsilon charged across all successful admissions");
+  m_submit_latency_ = metrics.histogram("engine_submit_latency_ms",
+                                        "End-to-end Submit latency");
+
+  // Per-(policy, tenant) slices of the counters above: the tenant
+  // label is the session id's class prefix (see TenantClassOf), the
+  // family bounded so exposition cardinality cannot be driven by
+  // callers minting session ids (overflow collapses to "other").
+  if (options_.tenant_metrics_capacity > 0) {
+    const std::vector<std::string> labels = {"policy", "tenant"};
+    f_tenant_requests_ = metrics.counter_family(
+        "engine_tenant_requests_total", labels,
+        options_.tenant_metrics_capacity,
+        "Requests per (policy, tenant class), every outcome");
+    f_tenant_failures_ = metrics.counter_family(
+        "engine_tenant_failures_total", labels,
+        options_.tenant_metrics_capacity,
+        "Failed requests per (policy, tenant class)");
+    f_tenant_refused_ = metrics.counter_family(
+        "engine_tenant_refused_total", labels,
+        options_.tenant_metrics_capacity,
+        "Requests refused per (policy, tenant class): budget exhausted "
+        "(kOutOfRange) or durability unavailable");
+    f_tenant_eps_ = metrics.double_counter_family(
+        "engine_tenant_epsilon_charged_total", labels,
+        options_.tenant_metrics_capacity,
+        "Epsilon charged per (policy, tenant class)");
+    f_tenant_latency_ = metrics.histogram_family(
+        "engine_tenant_latency_ms", labels, options_.tenant_metrics_capacity,
+        "End-to-end request latency per (policy, tenant class)");
+  }
+  obs_enabled_ =
+      f_tenant_requests_ != nullptr || telemetry_.flight().enabled();
 
   // Component levels, read at snapshot time from the stats the
   // components already maintain (no second bookkeeping).
@@ -147,6 +238,41 @@ QueryEngine::QueryEngine(EngineOptions options)
   metrics.gauge_callback("engine_audit_dropped", [this] {
     return static_cast<double>(telemetry_.audit().dropped());
   });
+  // The trace ring's drop counter, mirroring engine_audit_dropped:
+  // nonzero means sampled traces were overwritten before an exporter
+  // read them (widen the ring or export more often).
+  metrics.gauge_callback(
+      "engine_trace_dropped",
+      [this] { return static_cast<double>(telemetry_.trace_dropped()); },
+      "Sampled traces lost to trace-ring wrap-around");
+  metrics.gauge_callback(
+      "engine_burn_alerts_fired_total",
+      [this] {
+        return static_cast<double>(telemetry_.burn_alerts().fired_total());
+      },
+      "Burn-rate alerts fired: a ledger's two-window spend rate "
+      "projected exhaustion inside the alert horizon");
+  metrics.gauge_callback(
+      "engine_burn_alerts_active",
+      [this] { return static_cast<double>(accountant_.burn_alerts_active()); },
+      "Ledgers currently in the burn-alerting state");
+  metrics.gauge_callback(
+      "engine_flight_records_total",
+      [this] { return static_cast<double>(telemetry_.flight().total()); },
+      "Requests captured by the always-on flight recorder");
+  metrics.gauge_callback(
+      "engine_flight_incident",
+      [this] { return telemetry_.flight().incident_fired() ? 1.0 : 0.0; },
+      "1 once the flight recorder's incident detector has fired "
+      "(first durability refusal or refusal burst)");
+  metrics.gauge_callback(
+      "engine_obs_requests_total",
+      [this] {
+        return obs_server_ == nullptr
+                   ? 0.0
+                   : static_cast<double>(obs_server_->requests_served());
+      },
+      "HTTP requests the in-process scrape server answered");
   // Warm-restart observability: what this process inherited from the
   // snapshot store (fixed at construction).
   metrics.gauge_callback("engine_snapshot_generation", [this] {
@@ -172,6 +298,27 @@ QueryEngine::QueryEngine(EngineOptions options)
   if (!options_.snapshot_path.empty() && journal_error_.ok()) {
     RestoreFromSnapshot();
   }
+
+  // The scrape server starts last: its handlers snapshot the registry
+  // and the rings, so everything they touch must already be wired. A
+  // bind failure (port taken) degrades observability, never the data
+  // plane — the engine runs and obs_error() says why /metrics is dark.
+  if (options_.obs_port >= 0) {
+    ObsHandlers handlers;
+    handlers.metrics_text = [this] {
+      return telemetry_.metrics().PrometheusText();
+    };
+    handlers.varz_json = [this] { return telemetry_.metrics().SnapshotJson(); };
+    handlers.healthz = [this] { return Healthz(); };
+    handlers.flightz_jsonl = [this] { return telemetry_.flight().DumpJsonl(); };
+    Result<std::unique_ptr<ObsServer>> server =
+        ObsServer::Start(options_.obs_port, std::move(handlers));
+    if (server.ok()) {
+      obs_server_ = std::move(server).ValueOrDie();
+    } else {
+      obs_error_ = server.status();
+    }
+  }
 }
 
 Result<std::unique_ptr<QueryEngine>> QueryEngine::Open(EngineOptions options) {
@@ -184,6 +331,141 @@ Status QueryEngine::durability_health() const {
   if (!journal_error_.ok()) return journal_error_;
   if (journal_ != nullptr) return journal_->health();
   return Status::OK();
+}
+
+HealthReport QueryEngine::Healthz() const {
+  HealthReport report;
+  const Status durability = durability_health();
+  // The up/down decision is exactly the fail-closed durability signal:
+  // a 503 here means Admit is refusing every charge too. Everything
+  // else in the body is context, not a cause for 503 — a burn alert
+  // or a dropped audit event degrades insight, not correctness.
+  report.ok = durability.ok();
+  std::string& body = report.body;
+  body = "{\"ok\":";
+  body += report.ok ? "true" : "false";
+  body += ",\"durability\":";
+  AppendHealthzString(durability.ok() ? "OK" : durability.ToString(), &body);
+  body += ",\"snapshot_generation\":";
+  body += std::to_string(snapshot_restore_stats_.generation);
+  body += ",\"burn_alerts_active\":";
+  body += std::to_string(accountant_.burn_alerts_active());
+  body += ",\"audit_dropped\":";
+  body += std::to_string(telemetry_.audit().dropped());
+  body += ",\"trace_dropped\":";
+  body += std::to_string(telemetry_.trace_dropped());
+  body += ",\"flight_incident\":";
+  body += telemetry_.flight().incident_fired() ? "true" : "false";
+  // Async lane depths exist only when an AsyncQueryEngine registered
+  // them into this registry; a sync-only engine simply omits them.
+  const char* depth_gauges[] = {"engine_async_warm_depth",
+                                "engine_async_cold_depth"};
+  const char* depth_keys[] = {"async_warm_depth", "async_cold_depth"};
+  for (size_t i = 0; i < 2; ++i) {
+    double depth = 0.0;
+    if (telemetry_.metrics().TryReadValue(depth_gauges[i], &depth)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%.0f", depth_keys[i], depth);
+      body += buf;
+    }
+  }
+  body += "}\n";
+  return report;
+}
+
+std::string_view QueryEngine::TenantClassOf(const std::string& session_id) {
+  const size_t cut = session_id.find_first_of(":/#@");
+  return std::string_view(session_id)
+      .substr(0, cut == std::string::npos ? session_id.size() : cut);
+}
+
+void QueryEngine::RecordRequestObs(const QueryRequest& request,
+                                   const RegisteredPolicy* entry,
+                                   const Status& status,
+                                   double charged_epsilon, uint32_t admit_us,
+                                   uint32_t total_us) {
+  if (!obs_enabled_) return;
+
+  // Resolve the policy label: the canonical registry name when the
+  // request got far enough, its string otherwise. A failed handle-only
+  // request resolves the handle here (off the success path).
+  std::shared_ptr<const RegisteredPolicy> resolved;
+  std::string_view policy_label;
+  if (entry != nullptr) {
+    policy_label = entry->name;
+  } else if (!request.policy.empty()) {
+    policy_label = request.policy;
+  } else if (request.policy_handle.valid()) {
+    Result<std::shared_ptr<const RegisteredPolicy>> lookup =
+        registry_.Get(request.policy_handle);
+    if (lookup.ok()) {
+      resolved = std::move(lookup).ValueOrDie();
+      policy_label = resolved->name;
+    }
+  }
+  if (policy_label.empty()) policy_label = "unknown";
+
+  // Resolve the tenant class. Handle-only requests carry no session
+  // string, so the class is copied out of session_tenants_ into a
+  // stack buffer under the shared lock (a concurrent CloseSession can
+  // erase the entry the moment the lock drops).
+  char tenant_buf[sizeof(FlightRecord::tenant)];
+  std::string_view tenant;
+  if (!request.session.empty()) {
+    tenant = TenantClassOf(request.session);
+  } else if (request.session_handle.valid()) {
+    std::shared_lock<std::shared_mutex> lock(sessions_mu_);
+    auto it = session_tenants_.find(request.session_handle.bits());
+    if (it != session_tenants_.end()) {
+      const size_t n = std::min(it->second.size(), sizeof(tenant_buf) - 1);
+      std::memcpy(tenant_buf, it->second.data(), n);
+      tenant_buf[n] = '\0';
+      tenant = std::string_view(tenant_buf, n);
+    }
+  }
+  if (tenant.empty()) tenant = "unknown";
+
+  if (f_tenant_requests_ != nullptr) {
+    f_tenant_requests_->WithLabels(policy_label, tenant)->Add(1);
+    if (status.ok()) {
+      if (charged_epsilon > 0.0) {
+        f_tenant_eps_->WithLabels(policy_label, tenant)->Add(charged_epsilon);
+      }
+    } else {
+      f_tenant_failures_->WithLabels(policy_label, tenant)->Add(1);
+      if (status.code() == StatusCode::kOutOfRange ||
+          status.code() == StatusCode::kUnavailableDurability) {
+        f_tenant_refused_->WithLabels(policy_label, tenant)->Add(1);
+      }
+    }
+    // total_us == 0 means "not timed" (batch group entries), not a
+    // zero-latency request — keep it out of the histograms.
+    if (total_us > 0) {
+      f_tenant_latency_->WithLabels(policy_label, tenant)
+          ->Record(total_us / 1000.0);
+    }
+  }
+
+  FlightRecorder& flight = telemetry_.flight();
+  if (flight.enabled()) {
+    FlightRecord record;
+    record.t_us = WallMicrosNow();
+    record.epsilon = request.epsilon;
+    record.admit_us = admit_us;
+    record.total_us = total_us;
+    record.outcome = FlightOutcomeOf(status);
+    record.lane = CurrentFlightLane();
+    record.SetTenant(tenant);
+    record.SetPolicy(policy_label);
+    if (flight.Record(record) && !options_.flight_dump_path.empty()) {
+      // First incident: persist the ring while it still holds the
+      // run-up traffic. Best-effort — a failed dump loses forensics,
+      // not correctness (the in-memory ring stays dumpable).
+      std::ofstream out(options_.flight_dump_path,
+                        std::ios::out | std::ios::trunc);
+      if (out) out << flight.DumpJsonl();
+    }
+  }
 }
 
 Status QueryEngine::CheckpointJournal() {
@@ -706,6 +988,9 @@ Status QueryEngine::OpenSession(const std::string& session_id,
   if (!handle.ok()) return handle.status();
   std::unique_lock<std::shared_mutex> lock(sessions_mu_);
   sessions_[session_id] = *handle;
+  // Tenant class for handle-only submits (which carry no session
+  // string to derive it from at record time).
+  session_tenants_[handle->bits()] = std::string(TenantClassOf(session_id));
   return Status::OK();
 }
 
@@ -719,6 +1004,7 @@ Status QueryEngine::CloseSession(const std::string& session_id) {
     }
     handle = it->second;
     sessions_.erase(it);
+    session_tenants_.erase(handle.bits());
   }
   return accountant_.CloseLedger(handle);
 }
@@ -997,15 +1283,33 @@ Result<std::unique_ptr<ChunkCursor>> QueryEngine::AdmitStream(
     QueryRequest request, const StreamOptions& options, StreamHeader* header,
     RequestTrace* trace) {
   m_streams_->Add(1);
+  std::chrono::steady_clock::time_point start;
+  if (obs_enabled_) start = std::chrono::steady_clock::now();
   Result<Admission> admitted = Admit(request, trace);
-  if (!admitted.ok()) return admitted.status();
+  uint32_t admit_us = 0;
+  if (obs_enabled_) {
+    admit_us = static_cast<uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  if (!admitted.ok()) {
+    RecordRequestObs(request, nullptr, admitted.status(),
+                     /*charged_epsilon=*/0.0, admit_us, admit_us);
+    return admitted.status();
+  }
   MaybeCheckpointJournal();
+  const Admission admission = std::move(admitted).ValueOrDie();
+  // Recorded at admission — ε is spent here, and the request's
+  // workload is about to move into the cursor. The noise draw below
+  // lands in the release-stage histogram instead.
+  RecordRequestObs(request, admission.entry.get(), Status::OK(),
+                   request.epsilon, admit_us, admit_us);
   // The release stage covers the noise draw at cursor construction
   // (chunk production afterwards is pure post-processing, timed by
   // the stream digests instead).
   TraceStageTimer timer(trace, TraceStage::kRelease);
-  return BuildCursor(std::move(request), admitted.ValueOrDie(), options,
-                     header);
+  return BuildCursor(std::move(request), admission, options, header);
 }
 
 Result<std::shared_ptr<ResultStream>> QueryEngine::SubmitStream(
@@ -1107,11 +1411,22 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request,
   const auto start = std::chrono::steady_clock::now();
   m_submits_->Add(1);
   Result<Admission> admitted = Admit(request, trace);
+  // One extra clock read, only when the obs plane wants the admission
+  // split for flight records.
+  uint32_t admit_us = 0;
+  if (obs_enabled_) {
+    admit_us = static_cast<uint32_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
   if (!admitted.ok()) {
     m_failures_->Add(1);
     m_submit_latency_->Record(std::chrono::duration<double, std::milli>(
                                   std::chrono::steady_clock::now() - start)
                                   .count());
+    RecordRequestObs(request, nullptr, admitted.status(),
+                     /*charged_epsilon=*/0.0, admit_us, admit_us);
     return admitted.status();
   }
   const Admission admission = std::move(admitted).ValueOrDie();
@@ -1126,9 +1441,15 @@ Result<QueryResult> QueryEngine::Submit(const QueryRequest& request,
   // right after still reports the value this submit actually saw.
   result.session_remaining = admission.remaining[0];
   result.policy_remaining = admission.remaining[1];
-  m_submit_latency_->Record(std::chrono::duration<double, std::milli>(
-                                std::chrono::steady_clock::now() - start)
-                                .count());
+  const auto end = std::chrono::steady_clock::now();
+  m_submit_latency_->Record(
+      std::chrono::duration<double, std::milli>(end - start).count());
+  RecordRequestObs(request, admission.entry.get(), Status::OK(),
+                   request.epsilon, admit_us,
+                   static_cast<uint32_t>(
+                       std::chrono::duration_cast<std::chrono::microseconds>(
+                           end - start)
+                           .count()));
   MaybeCheckpointJournal();
   return result;
 }
@@ -1160,6 +1481,7 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
     Status valid = ValidateShape(request, &shape);
     if (!valid.ok()) {
       results[i] = valid;
+      RecordRequestObs(request, nullptr, valid, 0.0, 0, 0);
       continue;
     }
     LedgerHandle session_ledger = request.session_handle;
@@ -1167,8 +1489,11 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
       std::shared_lock<std::shared_mutex> lock(sessions_mu_);
       auto it = sessions_.find(request.session);
       if (it == sessions_.end()) {
-        results[i] = Status::NotFound("session '" + request.session +
-                                      "' is not open");
+        Status not_found = Status::NotFound("session '" + request.session +
+                                            "' is not open");
+        results[i] = not_found;
+        lock.unlock();
+        RecordRequestObs(request, nullptr, not_found, 0.0, 0, 0);
         continue;
       }
       session_ledger = it->second;
@@ -1178,6 +1503,7 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
                                       : registry_.Get(request.policy);
     if (!lookup.ok()) {
       results[i] = lookup.status();
+      RecordRequestObs(request, nullptr, lookup.status(), 0.0, 0, 0);
       continue;
     }
     std::shared_ptr<const RegisteredPolicy> entry =
@@ -1185,6 +1511,7 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
     Status domain_ok = CheckDomain(shape, *entry);
     if (!domain_ok.ok()) {
       results[i] = domain_ok;
+      RecordRequestObs(request, entry.get(), domain_ok, 0.0, 0, 0);
       continue;
     }
     Group* group = nullptr;
@@ -1213,7 +1540,11 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
     Result<std::shared_ptr<const Plan>> plan_result =
         GetOrPlan(group.entry, group.prefer_data_dependent, &cache_hit);
     if (!plan_result.ok()) {
-      for (size_t i : group.indices) results[i] = plan_result.status();
+      for (size_t i : group.indices) {
+        results[i] = plan_result.status();
+        RecordRequestObs(batch[i], group.entry.get(), plan_result.status(),
+                         0.0, 0, 0);
+      }
       continue;
     }
     const std::shared_ptr<const Plan> plan =
@@ -1258,17 +1589,31 @@ std::vector<Result<QueryResult>> QueryEngine::SubmitBatch(
         if (charged.code() == StatusCode::kOutOfRange) {
           m_refused_budget_->Add(1);
         }
-        for (size_t i : group.indices) results[i] = charged;
+        for (size_t i : group.indices) {
+          results[i] = charged;
+          RecordRequestObs(batch[i], group.entry.get(), charged, 0.0, 0, 0);
+        }
       }
       continue;
     }
     m_eps_charged_->Add(epsilon);
+    bool group_charge_recorded = false;
     for (size_t i : group.indices) {
       QueryResult result = Release(batch[i], *group.entry, *plan, cache_hit,
                                    batch[i].ranges.has_value());
       result.session_remaining = remaining[0];
       result.policy_remaining = remaining[1];
       results[i] = std::move(result);
+      // ε attribution matches what the ledgers saw: each entry's own
+      // ask under sequential composition (they sum to the charge), the
+      // single max-ε charge once per group under parallel composition.
+      double entry_epsilon = batch[i].epsilon;
+      if (options.disjoint_domains) {
+        entry_epsilon = group_charge_recorded ? 0.0 : epsilon;
+        group_charge_recorded = true;
+      }
+      RecordRequestObs(batch[i], group.entry.get(), Status::OK(),
+                       entry_epsilon, 0, 0);
     }
   }
   return results;

@@ -56,16 +56,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_annotations.h"
 #include "engine/budget_accountant.h"
+#include "engine/obs_server.h"
 #include "engine/plan_cache.h"
 #include "engine/policy_registry.h"
 #include "engine/stream.h"
@@ -133,6 +136,49 @@ struct EngineOptions {
   /// Events retained by the ε-audit ring (spends and refusals, with
   /// post-charge balances). 0 disables audit capture entirely.
   size_t audit_log_capacity = 4096;
+
+  // ---- operability-plane knobs (see engine/obs_server.h) ----
+
+  /// TCP port of the in-process scrape server (/metrics, /varz,
+  /// /healthz, /flightz on 127.0.0.1). -1 (default) disables it; 0
+  /// binds an ephemeral port (tests/benches — obs_server()->port()
+  /// reports what was bound). A bind failure never fails the engine:
+  /// obs_server() stays null and obs_error() carries the reason.
+  int obs_port = -1;
+  /// Distinct (policy, tenant) label tuples each per-tenant metric
+  /// family retains before collapsing new tuples into one `other`
+  /// series (see MetricFamily — a hostile tenant minting fresh ids
+  /// cannot explode exposition cardinality). 0 disables per-tenant
+  /// labeled metrics entirely.
+  size_t tenant_metrics_capacity = 64;
+  /// Requests retained by the always-on flight recorder (rounded up
+  /// to a power of two; independent of trace_sample_rate). 0 disables.
+  size_t flight_recorder_capacity = 4096;
+  /// When set, the first incident (a durability refusal, or a refusal
+  /// burst — see the burst knobs) dumps the flight ring to this file
+  /// as JSONL, while it still holds the pre-incident traffic.
+  std::string flight_dump_path;
+  /// Incident detector: fire when `flight_burst_refusals` budget
+  /// refusals land within `flight_burst_window` consecutive records.
+  uint32_t flight_burst_window = 256;
+  uint32_t flight_burst_refusals = 32;
+  /// ε burn-rate alerting (SRE-style two-window burn, evaluated per
+  /// ledger inside the charge — see BurnRateConfig). On by default:
+  /// the evaluation is O(1) arithmetic under locks the charge already
+  /// holds.
+  bool burn_alerts_enabled = true;
+  double burn_fast_window_s = 60.0;
+  double burn_slow_window_s = 600.0;
+  /// Alert when both windows' spend rates project ledger exhaustion
+  /// within this horizon.
+  double burn_alert_horizon_s = 600.0;
+  /// Alerts retained by the burn-alert ring (fired + cleared events,
+  /// JSONL-exportable). The active/fired counters work regardless.
+  size_t burn_alert_capacity = 256;
+  /// Test seam: burn-rate clock (wall micros). Null uses the system
+  /// clock. Lets a test script an exact spend schedule and pin the
+  /// exact charge on which an alert trips.
+  std::function<int64_t()> burn_clock_micros;
 
   // ---- durability knobs (see engine/ledger_journal.h) ----
 
@@ -413,10 +459,28 @@ class QueryEngine {
 
   /// The engine's observability bundle: metrics registry (every
   /// component registers here — the async pipeline adds its lane
-  /// metrics to the same registry), the ε-audit event log, and the
-  /// trace sampler/ring. See engine/telemetry.h.
+  /// metrics to the same registry), the ε-audit event log, the
+  /// always-on flight recorder, and the trace sampler/ring. See
+  /// engine/telemetry.h.
   EngineTelemetry& telemetry() { return telemetry_; }
   const EngineTelemetry& telemetry() const { return telemetry_; }
+
+  /// The in-process scrape server, or null when EngineOptions::
+  /// obs_port is unset (or binding failed — see obs_error()).
+  const ObsServer* obs_server() const { return obs_server_.get(); }
+  /// Why the scrape server is not running (OK when it is, or when it
+  /// was never requested). A bind failure degrades observability but
+  /// never the data plane, so it is reported here instead of failing
+  /// engine construction.
+  const Status& obs_error() const { return obs_error_; }
+
+  /// The composed health probe /healthz serves: 200 (ok) while
+  /// charges can be made durable, 503 the moment durability_health()
+  /// refuses — the same fail-closed signal Admit refuses with. The
+  /// JSON body additionally reports snapshot generation, async queue
+  /// depths, active burn alerts, and audit/trace ring drops (context
+  /// for the on-call, not part of the up/down decision).
+  HealthReport Healthz() const;
 
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
   size_t num_policies() const { return registry_.size(); }
@@ -507,6 +571,27 @@ class QueryEngine {
 
   static size_t PrecomputeShardOf(uint64_t key);
 
+  /// The bounded-cardinality tenant label of a session id: the prefix
+  /// before the first ':', '/', '#', or '@' — the conventional
+  /// class/instance separators ("analytics:worker-17" → "analytics").
+  /// Ids with no separator are their own class. A view into
+  /// `session_id`, no allocation.
+  static std::string_view TenantClassOf(const std::string& session_id);
+
+  /// Per-request observability fan-out, called once per request on
+  /// every outcome path: bumps the per-(policy, tenant) metric
+  /// families and appends a flight record (running the incident
+  /// detector; the first incident dumps the ring to
+  /// options_.flight_dump_path). One branch when both features are
+  /// disabled. `entry` may be null when the request failed before
+  /// policy resolution; `charged_epsilon` is the ε this request
+  /// actually added to the ledgers (0 on failures, and on batch
+  /// entries whose group charge was attributed elsewhere).
+  void RecordRequestObs(const QueryRequest& request,
+                        const RegisteredPolicy* entry, const Status& status,
+                        double charged_epsilon, uint32_t admit_us,
+                        uint32_t total_us);
+
   static std::string SessionLedger(const std::string& session_id);
   static std::string PolicyLedger(const std::string& name, uint64_t version);
   static std::string PolicyLedgerPrefix(const std::string& name);
@@ -542,10 +627,31 @@ class QueryEngine {
   DoubleCounter* m_eps_charged_; ///< Σε across successful charges
   LatencyHistogram* m_submit_latency_;  ///< every Submit, end to end
 
+  // Per-(policy, tenant) labeled families (null when
+  // options_.tenant_metrics_capacity == 0). Updates are the family's
+  // lock-free probe + a relaxed atomic — see MetricFamily.
+  CounterFamily* f_tenant_requests_ = nullptr;
+  CounterFamily* f_tenant_failures_ = nullptr;
+  CounterFamily* f_tenant_refused_ = nullptr;
+  DoubleCounterFamily* f_tenant_eps_ = nullptr;
+  HistogramFamily* f_tenant_latency_ = nullptr;
+  /// False when both per-tenant families and the flight recorder are
+  /// off: RecordRequestObs is then a single branch (hot-path
+  /// discipline: no clocks, no locks, no atomics beyond what the
+  /// unlabeled metrics already pay).
+  bool obs_enabled_ = false;
+
   /// session id -> ledger handle; lets string-id submits reach the
   /// accountant without building the "session/…" ledger id.
   mutable std::shared_mutex sessions_mu_;
   std::unordered_map<std::string, LedgerHandle> sessions_
+      GUARDED_BY(sessions_mu_);
+  /// handle bits -> tenant class, for handle-only warm submits whose
+  /// request carries no session string. Written by OpenSession /
+  /// CloseSession; RecordRequestObs copies the (short) class into a
+  /// stack buffer under the shared lock, so a concurrent close can
+  /// never dangle it.
+  std::unordered_map<uint64_t, std::string> session_tenants_
       GUARDED_BY(sessions_mu_);
 
   /// Sharded (version << 1 | dd-option) -> precompute cache. Integer
@@ -592,6 +698,15 @@ class QueryEngine {
   /// their registry + ledger steps compose atomically against each
   /// other. Submits never take this lock.
   std::mutex admin_mu_;
+
+  /// Why obs_server_ is null despite obs_port being set (OK
+  /// otherwise). Written once in the constructor.
+  Status obs_error_;
+  /// The in-process scrape server; null unless options_.obs_port >=
+  /// 0 bound successfully. Declared LAST: its handlers call back into
+  /// the telemetry bundle, the accountant, and the journal, so it
+  /// must be destroyed (listener joined) before any of them.
+  std::unique_ptr<ObsServer> obs_server_;
 };
 
 }  // namespace blowfish

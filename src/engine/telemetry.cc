@@ -5,6 +5,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "common/check.h"
@@ -63,6 +64,45 @@ void AppendJsonString(const std::string& s, std::string* out) {
     }
   }
   out->push_back('"');
+}
+
+/// Prometheus label-value escape (exposition format): backslash,
+/// double quote, and newline get backslash escapes; everything else
+/// passes through verbatim.
+void AppendPromLabelValue(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '"': out->append("\\\""); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+/// Prometheus HELP-text escape: backslash and newline only (quotes
+/// are legal in help text).
+void AppendPromHelp(std::string_view s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+}
+
+/// `# HELP name text` + `# TYPE name type` — every exposition family
+/// gets both lines (promtool-style checkers require TYPE before any
+/// sample and want HELP present; an unset help falls back to the
+/// metric name so the line is never empty).
+void AppendPromHeader(const std::string& name, const std::string& help,
+                      const char* type, std::string* out) {
+  out->append("# HELP ").append(name).append(" ");
+  AppendPromHelp(help.empty() ? std::string_view(name)
+                              : std::string_view(help),
+                 out);
+  out->append("\n# TYPE ").append(name).append(" ").append(type).append("\n");
 }
 
 }  // namespace
@@ -132,71 +172,231 @@ uint64_t LatencyHistogram::CumulativeBuckets(uint64_t out[kBuckets]) const {
 
 // ----------------------------------------------------------- registry
 
-Counter* MetricsRegistry::counter(const std::string& name) {
+bool MetricsRegistry::EntryIsEmpty(const Entry& entry) const {
+  return entry.counter == nullptr && entry.double_counter == nullptr &&
+         entry.gauge == nullptr && entry.histogram == nullptr &&
+         entry.callback == nullptr && entry.counter_family == nullptr &&
+         entry.double_counter_family == nullptr &&
+         entry.histogram_family == nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.counter == nullptr) {
-    BF_CHECK_MSG(entry.double_counter == nullptr && entry.gauge == nullptr &&
-                     entry.histogram == nullptr && entry.callback == nullptr,
+    BF_CHECK_MSG(EntryIsEmpty(entry),
                  "metric '" << name << "' registered with another type");
     entry.counter = std::make_unique<Counter>();
   }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
   return entry.counter.get();
 }
 
-DoubleCounter* MetricsRegistry::double_counter(const std::string& name) {
+DoubleCounter* MetricsRegistry::double_counter(const std::string& name,
+                                               std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.double_counter == nullptr) {
-    BF_CHECK_MSG(entry.counter == nullptr && entry.gauge == nullptr &&
-                     entry.histogram == nullptr && entry.callback == nullptr,
+    BF_CHECK_MSG(EntryIsEmpty(entry),
                  "metric '" << name << "' registered with another type");
     entry.double_counter = std::make_unique<DoubleCounter>();
   }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
   return entry.double_counter.get();
 }
 
-Gauge* MetricsRegistry::gauge(const std::string& name) {
+Gauge* MetricsRegistry::gauge(const std::string& name, std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.gauge == nullptr) {
-    BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
-                     entry.histogram == nullptr && entry.callback == nullptr,
+    BF_CHECK_MSG(EntryIsEmpty(entry),
                  "metric '" << name << "' registered with another type");
     entry.gauge = std::make_unique<Gauge>();
   }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
   return entry.gauge.get();
 }
 
-LatencyHistogram* MetricsRegistry::histogram(const std::string& name) {
+LatencyHistogram* MetricsRegistry::histogram(const std::string& name,
+                                             std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   if (entry.histogram == nullptr) {
-    BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
-                     entry.gauge == nullptr && entry.callback == nullptr,
+    BF_CHECK_MSG(EntryIsEmpty(entry),
                  "metric '" << name << "' registered with another type");
     entry.histogram = std::make_unique<LatencyHistogram>();
   }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
   return entry.histogram.get();
 }
 
 void MetricsRegistry::gauge_callback(const std::string& name,
-                                     std::function<double()> fn) {
+                                     std::function<double()> fn,
+                                     std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_[name];
   BF_CHECK_MSG(entry.counter == nullptr && entry.double_counter == nullptr &&
-                   entry.gauge == nullptr && entry.histogram == nullptr,
+                   entry.gauge == nullptr && entry.histogram == nullptr &&
+                   entry.counter_family == nullptr &&
+                   entry.double_counter_family == nullptr &&
+                   entry.histogram_family == nullptr,
                "metric '" << name << "' registered with another type");
   entry.callback = std::move(fn);
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
 }
+
+CounterFamily* MetricsRegistry::counter_family(
+    const std::string& name, std::vector<std::string> label_names,
+    size_t max_series, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter_family == nullptr) {
+    BF_CHECK_MSG(EntryIsEmpty(entry),
+                 "metric '" << name << "' registered with another type");
+    entry.counter_family =
+        std::make_unique<CounterFamily>(std::move(label_names), max_series);
+  }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
+  return entry.counter_family.get();
+}
+
+DoubleCounterFamily* MetricsRegistry::double_counter_family(
+    const std::string& name, std::vector<std::string> label_names,
+    size_t max_series, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.double_counter_family == nullptr) {
+    BF_CHECK_MSG(EntryIsEmpty(entry),
+                 "metric '" << name << "' registered with another type");
+    entry.double_counter_family = std::make_unique<DoubleCounterFamily>(
+        std::move(label_names), max_series);
+  }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
+  return entry.double_counter_family.get();
+}
+
+HistogramFamily* MetricsRegistry::histogram_family(
+    const std::string& name, std::vector<std::string> label_names,
+    size_t max_series, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.histogram_family == nullptr) {
+    BF_CHECK_MSG(EntryIsEmpty(entry),
+                 "metric '" << name << "' registered with another type");
+    entry.histogram_family =
+        std::make_unique<HistogramFamily>(std::move(label_names), max_series);
+  }
+  if (entry.help.empty()) entry.help.assign(help.data(), help.size());
+  return entry.histogram_family.get();
+}
+
+bool MetricsRegistry::TryReadValue(const std::string& name,
+                                   double* out) const {
+  std::function<double()> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    const Entry& entry = it->second;
+    if (entry.counter != nullptr) {
+      *out = static_cast<double>(entry.counter->value());
+      return true;
+    }
+    if (entry.double_counter != nullptr) {
+      *out = entry.double_counter->value();
+      return true;
+    }
+    if (entry.gauge != nullptr) {
+      *out = static_cast<double>(entry.gauge->value());
+      return true;
+    }
+    if (entry.callback == nullptr) return false;
+    callback = entry.callback;
+  }
+  // The callback may take its component's locks; run it outside the
+  // registry mutex like the snapshotting paths do not — those hold
+  // mu_, which is fine because callbacks never re-enter the registry;
+  // copying out here keeps this reader just as safe with less nesting.
+  *out = callback();
+  return true;
+}
+
+namespace {
+
+/// The JSON labels object for one family series
+/// (`{"policy":"p","tenant":"t"}`).
+void AppendJsonLabels(const std::vector<std::string>& label_names,
+                      const std::string* const values[], std::string* out) {
+  out->append("{");
+  for (size_t i = 0; i < label_names.size() && i < 2; ++i) {
+    if (i > 0) out->append(",");
+    AppendJsonString(label_names[i], out);
+    out->append(":");
+    AppendJsonString(*values[i], out);
+  }
+  out->append("}");
+}
+
+}  // namespace
 
 std::string MetricsRegistry::SnapshotJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string counters;
   std::string gauges;
   std::string histograms;
+  std::string families;
   // entries_ is an ordered map, so the exposition is deterministic.
   for (const auto& [name, entry] : entries_) {
+    if (entry.counter_family != nullptr ||
+        entry.double_counter_family != nullptr ||
+        entry.histogram_family != nullptr) {
+      if (!families.empty()) families.append(",");
+      AppendJsonString(name, &families);
+      families.append(":[");
+      bool first = true;
+      const auto append_series_open = [&](const auto& label_names,
+                                          const auto& series) {
+        if (!first) families.append(",");
+        first = false;
+        families.append("{\"labels\":");
+        AppendJsonLabels(label_names, series.values, &families);
+      };
+      if (entry.counter_family != nullptr) {
+        for (const auto& series : entry.counter_family->Snapshot()) {
+          append_series_open(entry.counter_family->label_names(), series);
+          families.append(",\"value\":");
+          AppendU64(series.metric->value(), &families);
+          families.append("}");
+        }
+      } else if (entry.double_counter_family != nullptr) {
+        for (const auto& series : entry.double_counter_family->Snapshot()) {
+          append_series_open(entry.double_counter_family->label_names(),
+                             series);
+          families.append(",\"value\":");
+          AppendDouble(series.metric->value(), &families);
+          families.append("}");
+        }
+      } else {
+        for (const auto& series : entry.histogram_family->Snapshot()) {
+          append_series_open(entry.histogram_family->label_names(), series);
+          const HistogramSnapshot snap = series.metric->Snapshot();
+          families.append(",\"count\":");
+          AppendU64(snap.count, &families);
+          families.append(",\"sum_ms\":");
+          AppendDouble(snap.sum_ms, &families);
+          families.append(",\"p50_ms\":");
+          AppendDouble(snap.p50_ms, &families);
+          families.append(",\"p99_ms\":");
+          AppendDouble(snap.p99_ms, &families);
+          families.append(",\"max_ms\":");
+          AppendDouble(snap.max_ms, &families);
+          families.append("}");
+        }
+      }
+      families.append("]");
+      continue;
+    }
     if (entry.counter != nullptr || entry.double_counter != nullptr) {
       if (!counters.empty()) counters.append(",");
       AppendJsonString(name, &counters);
@@ -238,16 +438,81 @@ std::string MetricsRegistry::SnapshotJson() const {
   out.append(gauges);
   out.append("},\"histograms\":{");
   out.append(histograms);
+  out.append("},\"families\":{");
+  out.append(families);
   out.append("}}");
   return out;
 }
 
+namespace {
+
+/// One histogram's cumulative bucket / sum / count block. `selector`
+/// is the already-escaped `label="value",...` prefix (may be empty)
+/// the bucket lines merge le into.
+void AppendPromHistogram(const std::string& name, const std::string& selector,
+                         const LatencyHistogram& histogram,
+                         std::string* out) {
+  uint64_t cumulative[LatencyHistogram::kBuckets];
+  const uint64_t total = histogram.CumulativeBuckets(cumulative);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  uint64_t last = 0;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    // Only emit buckets that add information (the log2 ladder is 40
+    // rungs; quiet histograms would otherwise dominate the
+    // exposition). The +Inf bucket always closes the series, and the
+    // emitted subsequence stays cumulative non-decreasing because it
+    // is a subsequence of a cumulative series.
+    if (cumulative[i] == last && i + 1 < LatencyHistogram::kBuckets) {
+      continue;
+    }
+    last = cumulative[i];
+    out->append(name).append("_bucket{").append(selector);
+    if (!selector.empty()) out->append(",");
+    out->append("le=\"");
+    AppendDouble(static_cast<double>(1ull << i) / 1000.0, out);
+    out->append("\"} ");
+    AppendU64(cumulative[i], out);
+    out->append("\n");
+  }
+  out->append(name).append("_bucket{").append(selector);
+  if (!selector.empty()) out->append(",");
+  out->append("le=\"+Inf\"} ");
+  AppendU64(total, out);
+  out->append("\n");
+  out->append(name).append("_sum");
+  if (!selector.empty()) out->append("{").append(selector).append("}");
+  out->append(" ");
+  AppendDouble(snap.sum_ms, out);
+  out->append("\n");
+  out->append(name).append("_count");
+  if (!selector.empty()) out->append("{").append(selector).append("}");
+  out->append(" ");
+  AppendU64(total, out);
+  out->append("\n");
+}
+
+/// The escaped `label="value",...` selector for one family series.
+void BuildPromSelector(const std::vector<std::string>& label_names,
+                       const std::string* const values[],
+                       std::string* selector) {
+  selector->clear();
+  for (size_t i = 0; i < label_names.size() && i < 2; ++i) {
+    if (i > 0) selector->append(",");
+    selector->append(label_names[i]).append("=\"");
+    AppendPromLabelValue(*values[i], selector);
+    selector->append("\"");
+  }
+}
+
+}  // namespace
+
 std::string MetricsRegistry::PrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  std::string selector;
   for (const auto& [name, entry] : entries_) {
     if (entry.counter != nullptr || entry.double_counter != nullptr) {
-      out.append("# TYPE ").append(name).append(" counter\n");
+      AppendPromHeader(name, entry.help, "counter", &out);
       out.append(name).append(" ");
       if (entry.counter != nullptr) {
         AppendU64(entry.counter->value(), &out);
@@ -256,7 +521,7 @@ std::string MetricsRegistry::PrometheusText() const {
       }
       out.append("\n");
     } else if (entry.gauge != nullptr || entry.callback != nullptr) {
-      out.append("# TYPE ").append(name).append(" gauge\n");
+      AppendPromHeader(name, entry.help, "gauge", &out);
       out.append(name).append(" ");
       if (entry.gauge != nullptr) {
         AppendI64(entry.gauge->value(), &out);
@@ -265,34 +530,33 @@ std::string MetricsRegistry::PrometheusText() const {
       }
       out.append("\n");
     } else if (entry.histogram != nullptr) {
-      uint64_t cumulative[LatencyHistogram::kBuckets];
-      const uint64_t total = entry.histogram->CumulativeBuckets(cumulative);
-      const HistogramSnapshot snap = entry.histogram->Snapshot();
-      out.append("# TYPE ").append(name).append(" histogram\n");
-      uint64_t last = 0;
-      for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
-        // Only emit buckets that add information (the log2 ladder is
-        // 40 rungs; quiet histograms would otherwise dominate the
-        // exposition). The +Inf bucket always closes the series.
-        if (cumulative[i] == last && i + 1 < LatencyHistogram::kBuckets) {
-          continue;
-        }
-        last = cumulative[i];
-        out.append(name).append("_bucket{le=\"");
-        AppendDouble(static_cast<double>(1ull << i) / 1000.0, &out);
-        out.append("\"} ");
-        AppendU64(cumulative[i], &out);
+      AppendPromHeader(name, entry.help, "histogram", &out);
+      AppendPromHistogram(name, /*selector=*/"", *entry.histogram, &out);
+    } else if (entry.counter_family != nullptr) {
+      AppendPromHeader(name, entry.help, "counter", &out);
+      for (const auto& series : entry.counter_family->Snapshot()) {
+        BuildPromSelector(entry.counter_family->label_names(), series.values,
+                          &selector);
+        out.append(name).append("{").append(selector).append("} ");
+        AppendU64(series.metric->value(), &out);
         out.append("\n");
       }
-      out.append(name).append("_bucket{le=\"+Inf\"} ");
-      AppendU64(total, &out);
-      out.append("\n");
-      out.append(name).append("_sum ");
-      AppendDouble(snap.sum_ms, &out);
-      out.append("\n");
-      out.append(name).append("_count ");
-      AppendU64(total, &out);
-      out.append("\n");
+    } else if (entry.double_counter_family != nullptr) {
+      AppendPromHeader(name, entry.help, "counter", &out);
+      for (const auto& series : entry.double_counter_family->Snapshot()) {
+        BuildPromSelector(entry.double_counter_family->label_names(),
+                          series.values, &selector);
+        out.append(name).append("{").append(selector).append("} ");
+        AppendDouble(series.metric->value(), &out);
+        out.append("\n");
+      }
+    } else if (entry.histogram_family != nullptr) {
+      AppendPromHeader(name, entry.help, "histogram", &out);
+      for (const auto& series : entry.histogram_family->Snapshot()) {
+        BuildPromSelector(entry.histogram_family->label_names(),
+                          series.values, &selector);
+        AppendPromHistogram(name, selector, *series.metric, &out);
+      }
     }
   }
   return out;
@@ -477,12 +741,250 @@ JsonlReplayReport EpsilonAuditLog::ReplayJsonl(std::string_view jsonl) {
   return report;
 }
 
+// ---------------------------------------------------- flight recorder
+
+namespace {
+thread_local FlightLane g_flight_lane = FlightLane::kSync;
+}  // namespace
+
+const char* FlightLaneName(FlightLane lane) {
+  switch (lane) {
+    case FlightLane::kSync: return "sync";
+    case FlightLane::kAsyncWarm: return "async_warm";
+    case FlightLane::kAsyncCold: return "async_cold";
+    case FlightLane::kAsyncStream: return "async_stream";
+  }
+  return "?";
+}
+
+FlightLane CurrentFlightLane() { return g_flight_lane; }
+
+FlightLaneScope::FlightLaneScope(FlightLane lane) : prev_(g_flight_lane) {
+  g_flight_lane = lane;
+}
+
+FlightLaneScope::~FlightLaneScope() { g_flight_lane = prev_; }
+
+const char* FlightOutcomeName(FlightOutcome outcome) {
+  switch (outcome) {
+    case FlightOutcome::kOk: return "ok";
+    case FlightOutcome::kRefusedBudget: return "refused_budget";
+    case FlightOutcome::kRefusedDurability: return "refused_durability";
+    case FlightOutcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+namespace {
+void CopyTruncated(std::string_view v, char* dst, size_t dst_size) {
+  const size_t n = std::min(v.size(), dst_size - 1);
+  std::memcpy(dst, v.data(), n);
+  dst[n] = '\0';
+}
+}  // namespace
+
+void FlightRecord::SetTenant(std::string_view v) {
+  CopyTruncated(v, tenant, sizeof(tenant));
+}
+
+void FlightRecord::SetPolicy(std::string_view v) {
+  CopyTruncated(v, policy, sizeof(policy));
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  if (capacity == 0) return;
+  capacity_ = 1;
+  while (capacity_ < capacity) capacity_ <<= 1;
+  mask_ = capacity_ - 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void FlightRecorder::ConfigureBurst(uint32_t window, uint32_t refusals) {
+  burst_window_ = std::max<uint32_t>(1, window);
+  burst_refusals_ = std::max<uint32_t>(1, refusals);
+}
+
+bool FlightRecorder::Record(const FlightRecord& record) {
+  if (capacity_ == 0) return false;
+  // Pack the POD record into whole words (it is trivially copyable
+  // and word-multiple by the static_assert).
+  uint64_t words[kWords];
+  std::memcpy(words, &record, sizeof(record));
+  const uint64_t index = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(index) & mask_];
+  // Seqlock write: odd while in flight. Under an extreme wrap race two
+  // writers can interleave on one slot; readers then see a seq
+  // mismatch (or an odd seq) and skip the record — a one-slot hole in
+  // a diagnostic ring, never a torn read.
+  const uint64_t seq = slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  for (size_t w = 0; w < kWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);
+
+  // Incident detection: refusal bursts inside a sliding window of
+  // consecutive records, durability refusals immediately. Counter
+  // resets race benignly (a burst straddling a reset needs a few more
+  // refusals to fire — detection, not accounting).
+  bool incident = record.outcome == FlightOutcome::kRefusedDurability;
+  const uint32_t seen = window_count_.fetch_add(1, std::memory_order_relaxed);
+  if (record.outcome == FlightOutcome::kRefusedBudget) {
+    const uint32_t refused =
+        window_refused_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (refused >= burst_refusals_) incident = true;
+  }
+  if (seen + 1 >= burst_window_) {
+    window_count_.store(0, std::memory_order_relaxed);
+    window_refused_.store(0, std::memory_order_relaxed);
+  }
+  return incident &&
+         !incident_fired_.exchange(true, std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  if (capacity_ == 0) return out;
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  out.reserve(static_cast<size_t>(head - first));
+  for (uint64_t i = first; i < head; ++i) {
+    const Slot& slot = slots_[static_cast<size_t>(i) & mask_];
+    FlightRecord record;
+    bool valid = false;
+    for (int attempt = 0; attempt < 3 && !valid; ++attempt) {
+      const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // write in flight
+      uint64_t words[kWords];
+      for (size_t w = 0; w < kWords; ++w) {
+        words[w] = slot.words[w].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;
+      std::memcpy(&record, words, sizeof(record));
+      valid = s1 != 0;  // seq 0 = never written
+    }
+    if (!valid) continue;
+    // Defensive NUL termination: a skewed read may carry any bytes.
+    record.tenant[sizeof(record.tenant) - 1] = '\0';
+    record.policy[sizeof(record.policy) - 1] = '\0';
+    out.push_back(record);
+  }
+  return out;
+}
+
+void FlightRecorder::AppendJsonl(const FlightRecord& record,
+                                 std::string* out) {
+  out->append("{\"t_us\":");
+  AppendI64(record.t_us, out);
+  out->append(",\"tenant\":");
+  AppendJsonString(record.tenant, out);
+  out->append(",\"policy\":");
+  AppendJsonString(record.policy, out);
+  out->append(",\"lane\":\"");
+  out->append(FlightLaneName(record.lane));
+  out->append("\",\"outcome\":\"");
+  out->append(FlightOutcomeName(record.outcome));
+  out->append("\",\"eps\":");
+  AppendDouble(record.epsilon, out);
+  out->append(",\"admit_us\":");
+  AppendU64(record.admit_us, out);
+  out->append(",\"total_us\":");
+  AppendU64(record.total_us, out);
+  out->append("}\n");
+}
+
+std::string FlightRecorder::DumpJsonl() const {
+  std::string out;
+  for (const FlightRecord& record : Snapshot()) {
+    AppendJsonl(record, &out);
+  }
+  return out;
+}
+
+// ------------------------------------------------- ε burn-rate alerts
+
+BurnAlertLog::BurnAlertLog(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void BurnAlertLog::Append(BurnAlert alert) {
+  if (alert.fired) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  alert.seq = ++total_;
+  alert.wall_micros = std::max(alert.wall_micros, last_wall_micros_);
+  last_wall_micros_ = alert.wall_micros;
+  const size_t slot = static_cast<size_t>((alert.seq - 1) % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(alert);
+  } else {
+    ring_.push_back(std::move(alert));
+  }
+}
+
+std::vector<BurnAlert> BurnAlertLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BurnAlert> out;
+  out.reserve(ring_.size());
+  if (total_ <= capacity_) {
+    out.assign(ring_.begin(), ring_.end());
+    return out;
+  }
+  const size_t start = static_cast<size_t>(total_ % capacity_);
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t BurnAlertLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void BurnAlertLog::AppendJsonl(const BurnAlert& alert, std::string* out) {
+  out->append("{\"seq\":");
+  AppendU64(alert.seq, out);
+  out->append(",\"t_us\":");
+  AppendI64(alert.wall_micros, out);
+  out->append(",\"kind\":");
+  out->append(alert.fired ? "\"fired\"" : "\"cleared\"");
+  out->append(",\"ledger\":");
+  AppendJsonString(alert.ledger_id, out);
+  out->append(",\"remaining\":");
+  AppendDouble(alert.remaining, out);
+  out->append(",\"fast_rate\":");
+  AppendDouble(alert.fast_rate, out);
+  out->append(",\"slow_rate\":");
+  AppendDouble(alert.slow_rate, out);
+  out->append(",\"projected_s\":");
+  AppendDouble(alert.projected_s, out);
+  out->append("}\n");
+}
+
+std::string BurnAlertLog::ExportJsonl() const {
+  std::string out;
+  for (const BurnAlert& alert : Snapshot()) {
+    AppendJsonl(alert, &out);
+  }
+  return out;
+}
+
 // ------------------------------------------------------------- facade
 
 EngineTelemetry::EngineTelemetry(double trace_sample_rate,
                                  size_t audit_capacity,
-                                 size_t trace_ring_capacity)
+                                 size_t trace_ring_capacity,
+                                 size_t flight_capacity,
+                                 size_t burn_alert_capacity)
     : audit_(audit_capacity),
+      flight_(flight_capacity),
+      burn_alerts_(burn_alert_capacity),
       sample_every_(trace_sample_rate <= 0.0
                         ? 0
                         : std::max<uint64_t>(
@@ -549,6 +1051,16 @@ std::vector<TraceRecord> EngineTelemetry::SnapshotTraces() const {
     out.push_back(trace_ring_[(start + i) % trace_ring_.size()]);
   }
   return out;
+}
+
+uint64_t EngineTelemetry::trace_total() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_total_;
+}
+
+uint64_t EngineTelemetry::trace_dropped() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return trace_total_ > trace_capacity_ ? trace_total_ - trace_capacity_ : 0;
 }
 
 std::string EngineTelemetry::TracesJsonl() const {

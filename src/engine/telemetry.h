@@ -50,6 +50,7 @@
 #ifndef BLOWFISH_ENGINE_TELEMETRY_H_
 #define BLOWFISH_ENGINE_TELEMETRY_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -140,32 +141,216 @@ class LatencyHistogram {
   std::atomic<double> sum_ms_{0.0};
 };
 
+/// \brief Bounded-cardinality labeled series family: one metric `M`
+/// per distinct label tuple, capped at `max_series` tuples with every
+/// overflow tuple collapsing into one preallocated `other` series — a
+/// hostile tenant minting fresh session ids cannot explode the
+/// exposition's cardinality or allocate unboundedly.
+///
+/// WithLabels is the hot-path lookup: a lock-free open-addressed
+/// probe over atomically published slots — no lock and no allocation
+/// on a hit, and once the family is full the miss path is lock-free
+/// too (probe to an empty slot, then the `other` series). Only the
+/// first contact with a new tuple, while capacity remains, takes the
+/// family mutex to publish its series. Published series are immortal
+/// for the family's lifetime, so returned pointers are stable.
+template <typename M>
+class MetricFamily {
+ public:
+  static constexpr size_t kMaxLabels = 2;
+  static constexpr std::string_view kOverflowValue = "other";
+
+  MetricFamily(std::vector<std::string> label_names, size_t max_series)
+      : label_names_(std::move(label_names)),
+        max_series_(std::max<size_t>(1, max_series)) {
+    table_size_ = 4;
+    while (table_size_ < max_series_ * 2) table_size_ <<= 1;
+    table_ = std::make_unique<std::atomic<Series*>[]>(table_size_);
+    for (size_t i = 0; i < label_names_.size() && i < kMaxLabels; ++i) {
+      other_.values[i] = std::string(kOverflowValue);
+    }
+  }
+
+  const std::vector<std::string>& label_names() const { return label_names_; }
+  size_t max_series() const { return max_series_; }
+  /// Distinct label tuples published (the `other` series not counted).
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+  /// Lookups that landed in the `other` overflow series.
+  uint64_t overflow_hits() const {
+    return overflow_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// The series for (v0, v1); creates it on first contact, or the
+  /// `other` series once `max_series` distinct tuples exist.
+  M* WithLabels(std::string_view v0, std::string_view v1 = {}) {
+    const uint64_t hash = HashLabels(v0, v1);
+    const size_t mask = table_size_ - 1;
+    size_t idx = static_cast<size_t>(hash) & mask;
+    for (;;) {
+      Series* series = table_[idx].load(std::memory_order_acquire);
+      if (series == nullptr) break;
+      if (series->values[0] == v0 && series->values[1] == v1) {
+        return &series->metric;
+      }
+      idx = (idx + 1) & mask;
+    }
+    // Absent. Full family: lock-free overflow — the table never fills
+    // (sized 2x capacity), so the probe above always terminates.
+    if (count_.load(std::memory_order_acquire) >= max_series_) {
+      overflow_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &other_.metric;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-probe under the lock: a racing first contact may have
+    // published the tuple (or taken the last capacity slot) meanwhile.
+    idx = static_cast<size_t>(hash) & mask;
+    for (;;) {
+      Series* series = table_[idx].load(std::memory_order_acquire);
+      if (series == nullptr) break;
+      if (series->values[0] == v0 && series->values[1] == v1) {
+        return &series->metric;
+      }
+      idx = (idx + 1) & mask;
+    }
+    if (count_.load(std::memory_order_relaxed) >= max_series_) {
+      overflow_hits_.fetch_add(1, std::memory_order_relaxed);
+      return &other_.metric;
+    }
+    owned_.push_back(std::make_unique<Series>());
+    Series* series = owned_.back().get();
+    series->values[0].assign(v0.data(), v0.size());
+    series->values[1].assign(v1.data(), v1.size());
+    table_[idx].store(series, std::memory_order_release);
+    count_.fetch_add(1, std::memory_order_release);
+    return &series->metric;
+  }
+
+  struct SeriesRef {
+    const std::string* values[kMaxLabels] = {nullptr, nullptr};
+    const M* metric = nullptr;
+  };
+
+  /// Every published series plus — once any lookup overflowed — the
+  /// `other` series, sorted by label values (deterministic exposition).
+  std::vector<SeriesRef> Snapshot() const {
+    std::vector<SeriesRef> out;
+    out.reserve(count_.load(std::memory_order_acquire) + 1);
+    for (size_t i = 0; i < table_size_; ++i) {
+      const Series* series = table_[i].load(std::memory_order_acquire);
+      if (series == nullptr) continue;
+      SeriesRef ref;
+      ref.values[0] = &series->values[0];
+      ref.values[1] = &series->values[1];
+      ref.metric = &series->metric;
+      out.push_back(ref);
+    }
+    if (overflow_hits() > 0) {
+      SeriesRef ref;
+      ref.values[0] = &other_.values[0];
+      ref.values[1] = &other_.values[1];
+      ref.metric = &other_.metric;
+      out.push_back(ref);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SeriesRef& a, const SeriesRef& b) {
+                if (*a.values[0] != *b.values[0]) {
+                  return *a.values[0] < *b.values[0];
+                }
+                return *a.values[1] < *b.values[1];
+              });
+    return out;
+  }
+
+ private:
+  struct Series {
+    std::string values[kMaxLabels];
+    M metric;
+  };
+
+  static uint64_t HashLabels(std::string_view v0, std::string_view v1) {
+    // FNV-1a over v0 \x1f v1 — no allocation, stable across lookups.
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::string_view s) {
+      for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+      }
+      h ^= 0x1fu;
+      h *= 1099511628211ull;
+    };
+    mix(v0);
+    mix(v1);
+    return h;
+  }
+
+  std::vector<std::string> label_names_;
+  size_t max_series_;
+  size_t table_size_;
+  std::unique_ptr<std::atomic<Series*>[]> table_;
+  std::atomic<size_t> count_{0};
+  std::atomic<uint64_t> overflow_hits_{0};
+  Series other_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Series>> owned_ GUARDED_BY(mu_);
+};
+
+using CounterFamily = MetricFamily<Counter>;
+using DoubleCounterFamily = MetricFamily<DoubleCounter>;
+using HistogramFamily = MetricFamily<LatencyHistogram>;
+
 /// \brief Name -> metric directory. Get-or-create registration locks;
 /// the returned pointers are stable for the registry's lifetime and
 /// update lock-free. Names follow Prometheus conventions
-/// (`engine_submits_total`).
+/// (`engine_submits_total`). Every registration takes an optional
+/// help string, emitted as `# HELP` in the exposition.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* counter(const std::string& name);
-  DoubleCounter* double_counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  LatencyHistogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name, std::string_view help = {});
+  DoubleCounter* double_counter(const std::string& name,
+                                std::string_view help = {});
+  Gauge* gauge(const std::string& name, std::string_view help = {});
+  LatencyHistogram* histogram(const std::string& name,
+                              std::string_view help = {});
   /// A gauge whose value is computed at snapshot time (plan-cache
   /// stats, queue depths — levels a component already tracks under
   /// its own lock). `fn` runs on the snapshotting thread and may take
   /// that component's locks; it must not call back into the registry.
-  void gauge_callback(const std::string& name, std::function<double()> fn);
+  void gauge_callback(const std::string& name, std::function<double()> fn,
+                      std::string_view help = {});
+
+  /// Labeled family registration (see MetricFamily). Re-registration
+  /// under the same name returns the existing family; `label_names`
+  /// and `max_series` are fixed by the first call.
+  CounterFamily* counter_family(const std::string& name,
+                                std::vector<std::string> label_names,
+                                size_t max_series,
+                                std::string_view help = {});
+  DoubleCounterFamily* double_counter_family(
+      const std::string& name, std::vector<std::string> label_names,
+      size_t max_series, std::string_view help = {});
+  HistogramFamily* histogram_family(const std::string& name,
+                                    std::vector<std::string> label_names,
+                                    size_t max_series,
+                                    std::string_view help = {});
+
+  /// Reads one scalar metric's current value by name (counter, gauge,
+  /// or callback — histograms and families have no single value).
+  /// False when absent or not scalar. For composed health reports.
+  bool TryReadValue(const std::string& name, double* out) const;
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
-  /// {count, sum_ms, p50_ms, p99_ms, max_ms}}} — keys sorted.
+  /// {count, sum_ms, p50_ms, p99_ms, max_ms}}, "families": {name:
+  /// [{"labels": {...}, ...}]}} — keys sorted.
   std::string SnapshotJson() const;
-  /// Prometheus text exposition: counters and gauges as-is,
-  /// histograms as cumulative `_bucket{le="..."}` series (le in ms)
-  /// plus `_sum` / `_count`.
+  /// Prometheus text exposition: `# HELP` + `# TYPE` for every
+  /// family; counters and gauges as-is, histograms as cumulative
+  /// `_bucket{le="..."}` series (le in ms) plus `_sum` / `_count`;
+  /// labeled families one line per series with label values escaped
+  /// per the exposition format (backslash, quote, newline).
   std::string PrometheusText() const;
 
  private:
@@ -175,7 +360,13 @@ class MetricsRegistry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<LatencyHistogram> histogram;
     std::function<double()> callback;
+    std::unique_ptr<CounterFamily> counter_family;
+    std::unique_ptr<DoubleCounterFamily> double_counter_family;
+    std::unique_ptr<HistogramFamily> histogram_family;
+    std::string help;
   };
+
+  bool EntryIsEmpty(const Entry& entry) const;
 
   mutable std::mutex mu_;
   std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
@@ -387,6 +578,183 @@ class EpsilonAuditLog {
   std::function<void(const AuditEvent&)> sink_ GUARDED_BY(mu_);
 };
 
+// ---------------------------------------------------- flight recorder
+
+/// \brief Which execution lane carried a request — stamped into flight
+/// records so an incident dump shows where the traffic ran.
+enum class FlightLane : uint8_t {
+  kSync = 0,      ///< caller-thread Submit / SubmitBatch / SubmitStream
+  kAsyncWarm,     ///< async warm lane worker
+  kAsyncCold,     ///< async cold lane (single-flight leader)
+  kAsyncStream,   ///< async stream producer
+};
+const char* FlightLaneName(FlightLane lane);
+
+/// The calling thread's current lane (kSync unless inside a
+/// FlightLaneScope — async workers set one around request execution).
+FlightLane CurrentFlightLane();
+
+/// \brief RAII thread-local lane marker. The async pipeline executes
+/// requests through the same QueryEngine::Submit the sync path uses;
+/// workers wrap execution in a scope so flight records carry the lane
+/// without threading a parameter through every call.
+class FlightLaneScope {
+ public:
+  explicit FlightLaneScope(FlightLane lane);
+  ~FlightLaneScope();
+  FlightLaneScope(const FlightLaneScope&) = delete;
+  FlightLaneScope& operator=(const FlightLaneScope&) = delete;
+
+ private:
+  FlightLane prev_;
+};
+
+/// \brief How a flight-recorded request ended.
+enum class FlightOutcome : uint8_t {
+  kOk = 0,
+  kRefusedBudget,      ///< kOutOfRange: a ledger could not afford ε
+  kRefusedDurability,  ///< kUnavailableDurability: spend not journaled
+  kFailed,             ///< any other admission/validation failure
+};
+const char* FlightOutcomeName(FlightOutcome outcome);
+
+/// \brief One compact per-request record, fixed-size and POD so the
+/// ring can publish it through atomic words. Tenant and policy are
+/// truncated into inline buffers — the recorder never allocates.
+struct FlightRecord {
+  int64_t t_us = 0;        ///< wall micros at record time
+  double epsilon = 0.0;    ///< ε the request asked for
+  uint32_t admit_us = 0;   ///< admission (validate→charge) micros
+  uint32_t total_us = 0;   ///< end-to-end micros (0 when unknown)
+  FlightOutcome outcome = FlightOutcome::kOk;
+  FlightLane lane = FlightLane::kSync;
+  char tenant[23] = {0};   ///< NUL-terminated, truncated
+  char policy[23] = {0};   ///< NUL-terminated, truncated
+
+  void SetTenant(std::string_view v);
+  void SetPolicy(std::string_view v);
+};
+static_assert(sizeof(FlightRecord) % sizeof(uint64_t) == 0,
+              "FlightRecord must pack into whole atomic words");
+
+/// \brief Always-on fixed-size ring of the last `capacity` request
+/// records, independent of trace sampling: when something goes wrong,
+/// the requests leading up to it are already captured.
+///
+/// Lock-free on both sides: a writer claims a slot with one
+/// fetch_add, then publishes the record through the slot's atomic
+/// words under a seqlock (odd seq = write in progress). Readers
+/// retry/skip slots whose seq moved — under a wrap race a reader can
+/// at worst skip a record, never tear one into UB or a TSan report.
+/// capacity 0 disables the recorder; Record is then a single branch.
+class FlightRecorder {
+ public:
+  /// capacity is rounded up to a power of two; 0 disables.
+  explicit FlightRecorder(size_t capacity);
+
+  bool enabled() const { return capacity_ != 0; }
+  size_t capacity() const { return capacity_; }
+  /// Records ever appended; ring keeps the last min(total, capacity).
+  uint64_t total() const { return head_.load(std::memory_order_relaxed); }
+
+  /// Burst detector knobs: an incident fires on the first durability
+  /// refusal, or when `refusals` budget refusals land within one
+  /// `window` of consecutive records.
+  void ConfigureBurst(uint32_t window, uint32_t refusals);
+
+  /// Appends one record and runs the incident detector. Returns true
+  /// exactly once per recorder lifetime — on the first incident — so
+  /// the owner can auto-dump the ring while it still holds the
+  /// pre-incident traffic.
+  bool Record(const FlightRecord& record);
+
+  bool incident_fired() const {
+    return incident_fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Retained records, oldest first. Slots mid-write are skipped.
+  std::vector<FlightRecord> Snapshot() const;
+  /// One JSON object per line, oldest first.
+  std::string DumpJsonl() const;
+  static void AppendJsonl(const FlightRecord& record, std::string* out);
+
+ private:
+  static constexpr size_t kWords = sizeof(FlightRecord) / sizeof(uint64_t);
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  ///< odd while a write is in flight
+    std::atomic<uint64_t> words[kWords] = {};
+  };
+
+  size_t capacity_ = 0;  ///< power of two, or 0 = disabled
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};
+
+  uint32_t burst_window_ = 256;
+  uint32_t burst_refusals_ = 32;
+  std::atomic<uint32_t> window_count_{0};
+  std::atomic<uint32_t> window_refused_{0};
+  std::atomic<bool> incident_fired_{false};
+};
+
+// ------------------------------------------------- ε burn-rate alerts
+
+/// \brief One structured burn-rate alert: a ledger whose current spend
+/// rate projects exhaustion within the configured horizon (fired), or
+/// whose rate has dropped back below it (cleared). Produced by
+/// BudgetAccountant under the same shard locks that order audit
+/// events, so alerts interleave consistently with the spends that
+/// caused them.
+struct BurnAlert {
+  uint64_t seq = 0;         ///< assigned at append; dense, starts at 1
+  int64_t wall_micros = 0;  ///< clock at the triggering spend
+  bool fired = true;        ///< fired (true) or cleared (false)
+  std::string ledger_id;    ///< accountant's durable ledger name
+  double remaining = 0.0;   ///< post-charge balance at the trigger
+  double fast_rate = 0.0;   ///< ε/s over the fast window
+  double slow_rate = 0.0;   ///< ε/s over the slow window
+  double projected_s = 0.0; ///< seconds to exhaustion at the fast rate
+};
+
+/// \brief Bounded ring of burn alerts with JSONL export — the audit
+/// log's shape, for rate alerts. Appends come from the accountant
+/// while it holds the charge's shard locks (shard locks order before
+/// this mutex, like the audit log's).
+class BurnAlertLog {
+ public:
+  /// capacity = 0 disables capture (Append still counts fired/active).
+  explicit BurnAlertLog(size_t capacity);
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  void Append(BurnAlert alert);
+
+  /// Retained alerts, oldest first (seq order).
+  std::vector<BurnAlert> Snapshot() const;
+  uint64_t total() const;
+  /// Alerts that fired (lifetime count — the alert counter metric).
+  uint64_t fired_total() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+  /// Ledgers currently in the alerting state (fired minus cleared).
+  int64_t active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// One JSON object per line, seq order, doubles exact (%.17g).
+  std::string ExportJsonl() const;
+  static void AppendJsonl(const BurnAlert& alert, std::string* out);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<BurnAlert> ring_ GUARDED_BY(mu_);
+  uint64_t total_ GUARDED_BY(mu_) = 0;
+  /// Clamp for non-decreasing wall_micros across ring events.
+  int64_t last_wall_micros_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> fired_{0};
+  std::atomic<int64_t> active_{0};
+};
+
 // ------------------------------------------------------------- facade
 
 /// \brief Per-engine bundle: the registry, the audit log, the trace
@@ -396,12 +764,18 @@ class EpsilonAuditLog {
 class EngineTelemetry {
  public:
   EngineTelemetry(double trace_sample_rate, size_t audit_capacity,
-                  size_t trace_ring_capacity = 256);
+                  size_t trace_ring_capacity = 256,
+                  size_t flight_capacity = 0,
+                  size_t burn_alert_capacity = 0);
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   EpsilonAuditLog& audit() { return audit_; }
   const EpsilonAuditLog& audit() const { return audit_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  BurnAlertLog& burn_alerts() { return burn_alerts_; }
+  const BurnAlertLog& burn_alerts() const { return burn_alerts_; }
 
   /// Per-submit sampling decision. Rate 0: one member load, returns an
   /// inactive span — no clock, no atomics, no allocation. Rate r > 0:
@@ -426,9 +800,17 @@ class EngineTelemetry {
   /// JSONL: one {"trace_id", "t_us", "ok", "stages": {...}} per line.
   std::string TracesJsonl() const;
 
+  /// Sampled traces ever finished into the ring.
+  uint64_t trace_total() const;
+  /// Traces overwritten by ring wrap-around (the data loss the
+  /// `engine_trace_dropped` metric exposes to scrapers).
+  uint64_t trace_dropped() const;
+
  private:
   MetricsRegistry metrics_;
   EpsilonAuditLog audit_;
+  FlightRecorder flight_;
+  BurnAlertLog burn_alerts_;
 
   const uint64_t sample_every_;  ///< 0 = tracing off
   std::atomic<uint64_t> sample_clock_{0};

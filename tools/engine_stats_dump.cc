@@ -27,12 +27,22 @@
 // with zero misses, and (c) the answer to be bit-identical to a cold
 // engine with the same seed. The directory is left behind for
 // snapshot_fsck — CI runs the fsck over it next.
+//
+// --serve <port> starts the engine's in-process scrape server
+// (127.0.0.1, port 0 = ephemeral; the bound port prints to stdout)
+// and keeps generating light demo traffic until SIGINT/SIGTERM — a
+// live target for `curl /metrics`, `/varz`, `/healthz`, `/flightz`
+// and for the CI exposition lint.
+//
+// --flight <out.jsonl> additionally dumps the always-on flight
+// recorder after the demo traffic.
 
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,7 +64,8 @@ using namespace blowfish;
   std::fprintf(stderr,
                "usage: engine_stats_dump [--format json|prom] "
                "[--out PREFIX] [--requests N] [--sample-rate R] "
-               "[--journal DIR] [--snapshot DIR]\n");
+               "[--journal DIR] [--snapshot DIR] [--serve PORT] "
+               "[--flight OUT.jsonl]\n");
   std::exit(2);
 }
 
@@ -63,6 +74,8 @@ struct Args {
   std::string out;
   std::string journal;
   std::string snapshot;
+  std::string flight;
+  int serve = -1;  ///< obs port; -1 = no scrape server
   int requests = 64;
   double sample_rate = 1.0;
 };
@@ -86,6 +99,13 @@ Args Parse(int argc, char** argv) {
       args.journal = value();
     } else if (flag == "--snapshot") {
       args.snapshot = value();
+    } else if (flag == "--serve") {
+      args.serve = std::atoi(value());
+      if (args.serve < 0 || args.serve > 65535) {
+        Usage("--serve needs a port in [0, 65535] (0 = ephemeral)");
+      }
+    } else if (flag == "--flight") {
+      args.flight = value();
     } else if (flag == "--requests") {
       args.requests = std::atoi(value());
       if (args.requests < 1) Usage("--requests must be >= 1");
@@ -118,6 +138,9 @@ void WriteFile(const std::string& path, const std::string& body) {
 bool BitExact(double a, double b) {
   return std::memcmp(&a, &b, sizeof a) == 0;
 }
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
 
 /// Durability smoke: journaled traffic -> shutdown -> recovery must
 /// resume every ledger at the exact pre-shutdown balance.
@@ -327,9 +350,15 @@ int main(int argc, char** argv) {
   if (!args.journal.empty()) return RunJournalSmoke(args);
   if (!args.snapshot.empty()) return RunSnapshotSmoke(args);
 
+  if (args.serve >= 0) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+  }
+
   EngineOptions options;
   options.seed = 2015;  // reproducible demo traffic
   options.trace_sample_rate = args.sample_rate;
+  options.obs_port = args.serve;
   {
     AsyncQueryEngine async(options);
     QueryEngine& engine = async.engine();
@@ -419,6 +448,37 @@ int main(int argc, char** argv) {
       WriteFile(args.out + ext, metrics);
       WriteFile(args.out + ".audit.jsonl", audit);
       WriteFile(args.out + ".traces.jsonl", traces);
+    }
+    if (!args.flight.empty()) {
+      WriteFile(args.flight, telemetry.flight().DumpJsonl());
+    }
+
+    if (args.serve >= 0) {
+      if (engine.obs_server() == nullptr) {
+        std::fprintf(stderr, "error: obs server did not start: %s\n",
+                     engine.obs_error().ToString().c_str());
+        return 1;
+      }
+      // Line-buffered port announcement so a scripted caller (CI) can
+      // scrape immediately.
+      std::printf("obs server listening on http://127.0.0.1:%d "
+                  "(/metrics /varz /healthz /flightz) — Ctrl-C stops\n",
+                  engine.obs_server()->port());
+      std::fflush(stdout);
+      // Keep light demo traffic flowing so scrapes show live counters
+      // (a generous dedicated session: the loop never exhausts it).
+      engine.OpenSession("scrape-demo:traffic", 1e9).Check();
+      QueryRequest tick;
+      tick.session = "scrape-demo:traffic";
+      tick.policy = "salaries";
+      tick.workload = IdentityWorkload(16);
+      tick.epsilon = 1e-4;
+      while (g_stop == 0) {
+        (void)engine.Submit(tick);
+        usleep(50 * 1000);
+      }
+      std::printf("obs server: served %" PRIu64 " scrapes, stopping\n",
+                  engine.obs_server()->requests_served());
     }
     async.Shutdown(AsyncQueryEngine::ShutdownMode::kDrain);
   }
